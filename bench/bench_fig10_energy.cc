@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figure 10: energy consumption of GPU and pLUTo systems normalized
+ * to the baseline CPU (reported as CPU energy / system energy, so
+ * higher is better, matching the figure).
+ */
+
+#include "bench_common.hh"
+
+#include "baselines/systems.hh"
+
+using namespace pluto;
+using namespace pluto::bench;
+
+int
+main()
+{
+    section("Figure 10: CPU-normalized energy savings "
+            "(CPU energy / system energy; higher is better)");
+
+    const auto cpu = baselines::cpuSpec();
+    const auto gpu = baselines::gpuSpec();
+    const auto configs = allConfigs();
+
+    std::vector<std::string> header = {"Workload", "GPU"};
+    for (const auto &c : configs)
+        header.push_back(c.label());
+    AsciiTable table(header);
+    std::vector<std::vector<double>> columns(1 + configs.size());
+
+    for (const auto &w : workloads::figure7Workloads()) {
+        const auto rates = w->rates();
+        std::vector<std::string> row = {w->name()};
+        // Per-element energies: host = rate x power.
+        const double cpu_pj =
+            units::energyFromPower(cpu.power, rates.cpu);
+        const double gpu_pj =
+            units::energyFromPower(gpu.power, rates.gpu);
+        columns[0].push_back(cpu_pj / gpu_pj);
+        row.push_back(fmtX(cpu_pj / gpu_pj));
+        for (std::size_t i = 0; i < configs.size(); ++i) {
+            const auto res = runOn(*w, configs[i]);
+            const double ratio = cpu_pj / res.pjPerElem();
+            columns[1 + i].push_back(ratio);
+            row.push_back(fmtX(ratio));
+        }
+        table.addRow(row);
+    }
+
+    std::vector<std::string> gmean_row = {"GMEAN"};
+    for (const auto &col : columns)
+        gmean_row.push_back(fmtX(geomean(col)));
+    table.addRow(gmean_row);
+
+    std::printf("%s", table.render().c_str());
+    std::printf("\nPaper reference (GMEAN): GSA 1361x, BSA 1855x, "
+                "GMC 3071x less energy than CPU on DDR4; 3DS saves "
+                "~8x less than DDR4 (HMC background power).\n");
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Figure 11: fraction of total execution time spent loading LUT data
+ * versus the volume of queried data, for loading from DDR4 memory
+ * (19.2 GB/s) and from an M.2 SSD (7.5 GB/s). Also reports the
+ * break-even volume (paper: ~1.9 MB for DDR4) and the fraction at
+ * 120 MB (paper: ~2%).
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "pluto/analysis.hh"
+#include "pluto/lut_store.hh"
+
+using namespace pluto;
+using namespace pluto::core;
+
+namespace
+{
+
+/** Query time for `volume` bytes: 8-bit LUT queries, BSA, 16 lanes. */
+TimeNs
+queryTime(double volume_bytes)
+{
+    const auto t = dram::TimingParams::ddr4_2400();
+    const auto g = dram::Geometry::ddr4();
+    const TimeNs per_wave = queryLatency(Design::Bsa, t, 256);
+    const double wave_bytes =
+        static_cast<double>(g.rowBytes) * g.defaultSalp;
+    return volume_bytes / wave_bytes * per_wave;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Figure 11: fraction of time spent loading LUTs "
+                "vs queried volume ===\n\n");
+
+    const LutLoadModel model;
+    const auto g = dram::Geometry::ddr4();
+    // One 256-entry LUT's replicated subarray image.
+    const TimeNs load_mem =
+        model.loadTime(LutLoadMethod::FromMemory, 256, g.rowBytes);
+    const TimeNs load_ssd =
+        model.loadTime(LutLoadMethod::FromStorage, 256, g.rowBytes);
+    const TimeNs load_gen = model.loadTime(
+        LutLoadMethod::FirstTimeGeneration, 256, g.rowBytes);
+
+    AsciiTable t({"Volume (MB)", "DDR4 load frac", "SSD load frac",
+                  "First-gen frac"});
+    double crossover_mem = -1;
+    for (double mb = 0.25; mb <= 128.0; mb *= 2.0) {
+        const double bytes = mb * 1024 * 1024;
+        const TimeNs q = queryTime(bytes);
+        const double f_mem = load_mem / (load_mem + q);
+        const double f_ssd = load_ssd / (load_ssd + q);
+        const double f_gen = load_gen / (load_gen + q);
+        if (crossover_mem < 0 && f_mem <= 0.5)
+            crossover_mem = mb;
+        t.addRow({fmtSig(mb, 4), fmtPct(f_mem), fmtPct(f_ssd),
+                  fmtPct(f_gen)});
+    }
+    std::printf("%s", t.render().c_str());
+
+    // Exact break-even: load == query.
+    const double breakeven_bytes =
+        load_mem / queryTime(1.0); // queryTime is linear in bytes
+    std::printf("\nBreak-even volume (DDR4 loading == querying): "
+                "%.2f MB (paper: ~1.9 MB)\n",
+                breakeven_bytes / (1024 * 1024));
+    const double f120 =
+        load_mem / (load_mem + queryTime(120.0 * 1024 * 1024));
+    std::printf("Load fraction at 120 MB: %s (paper: ~2%%)\n",
+                fmtPct(f120).c_str());
+    return 0;
+}

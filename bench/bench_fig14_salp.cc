@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Figure 14: geometric-mean speedup over the CPU for varying degrees
+ * of subarray-level parallelism, for all three designs on DDR4
+ * (1..2048 subarrays) and 3DS (512..8192).
+ *
+ * Each workload runs functionally once at the geometry's default
+ * parallelism; the in-DRAM portion of its time then scales inversely
+ * with the subarray count (the paper's observation that scaling is
+ * approximately proportional for sufficiently large inputs), while
+ * the host-serial portion (e.g. the CRC combine) does not scale.
+ */
+
+#include "bench_common.hh"
+
+using namespace pluto;
+using namespace pluto::bench;
+
+int
+main()
+{
+    section("Figure 14: GMEAN speedup over CPU vs subarray-level "
+            "parallelism");
+
+    struct Sweep
+    {
+        dram::MemoryKind kind;
+        std::vector<u32> salps;
+    };
+    const std::vector<Sweep> sweeps = {
+        {dram::MemoryKind::Ddr4, {1, 16, 256, 2048}},
+        {dram::MemoryKind::Hmc3ds, {512, 8192}},
+    };
+
+    AsciiTable t({"Memory", "Subarrays", "pLUTo-GSA", "pLUTo-BSA",
+                  "pLUTo-GMC"});
+    for (const auto &sweep : sweeps) {
+        const u32 def = dram::Geometry::forKind(sweep.kind).defaultSalp;
+        for (const u32 salp : sweep.salps) {
+            std::vector<std::string> row = {
+                dram::memoryKindName(sweep.kind), std::to_string(salp)};
+            for (const auto d :
+                 {core::Design::Gsa, core::Design::Bsa,
+                  core::Design::Gmc}) {
+                std::vector<double> speedups;
+                for (const auto &w : workloads::figure7Workloads()) {
+                    const auto res = runOn(*w, {d, sweep.kind});
+                    const double dram_ns = res.timeNs - res.hostNs;
+                    const double scaled =
+                        res.hostNs +
+                        dram_ns * static_cast<double>(def) / salp;
+                    speedups.push_back(
+                        w->rates().cpu * res.elements / scaled);
+                }
+                row.push_back(fmtX(geomean(speedups)));
+            }
+            t.addRow(row);
+        }
+    }
+    std::printf("%s", t.render().c_str());
+    std::printf("\nExpected shape: near-linear scaling with subarray "
+                "count while inputs are large enough; serial host "
+                "portions (CRC combine) flatten the curve at high "
+                "parallelism. Energy is unaffected by the degree of "
+                "parallelism (Section 8.8).\n");
+    return 0;
+}

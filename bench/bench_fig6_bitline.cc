@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Figure 6: bitline voltage over time after wordline activation at
+ * t = 0, for baseline DRAM and the three pLUTo designs, under a
+ * 100-run Monte Carlo with 5% process variation (Section 8.1).
+ * Prints sampled voltage envelopes and the three key correctness
+ * observations.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "circuit/monte_carlo.hh"
+#include "common/table.hh"
+
+using namespace pluto;
+using namespace pluto::circuit;
+
+int
+main()
+{
+    std::printf("=== Figure 6: bitline voltage vs time "
+                "(100-run Monte Carlo, 5%% variation) ===\n\n");
+
+    MonteCarlo mc;
+    const double vdd = BitlineSim().params().vdd;
+
+    for (const auto variant : allVariants) {
+        const auto traces = mc.traces(variant, 100, true);
+        std::printf("%s (charged cell, matched): bitline voltage "
+                    "envelope [min..max] across runs\n",
+                    variantName(variant));
+        AsciiTable t({"t (ns)", "min V", "mean V", "max V"});
+        for (const double at : {0.0, 2.0, 4.0, 6.0, 8.0, 12.0, 25.0,
+                                50.0, 125.0}) {
+            double lo = 1e9, hi = -1e9, sum = 0;
+            for (const auto &tr : traces) {
+                const auto idx = static_cast<std::size_t>(
+                    at / BitlineSim().params().dt);
+                const double v =
+                    tr.vBitline[std::min(idx, tr.vBitline.size() - 1)];
+                lo = std::min(lo, v);
+                hi = std::max(hi, v);
+                sum += v;
+            }
+            t.addRow({fmtSig(at, 4), fmtSig(lo, 4),
+                      fmtSig(sum / traces.size(), 4), fmtSig(hi, 4)});
+        }
+        std::printf("%s\n", t.render().c_str());
+    }
+
+    std::printf("Summary (Section 8.1's key observations):\n");
+    AsciiTable s({"Variant", "Correct senses", "Worst 90% swing (ns)",
+                  "Unmatched disturbance (% of VDD)"});
+    for (const auto variant : allVariants) {
+        const auto sum = mc.run(variant, 100);
+        char correct[32];
+        std::snprintf(correct, sizeof(correct), "%u+%u / %u+%u",
+                      sum.correctOnes, sum.correctZeros, sum.runs,
+                      sum.runs);
+        s.addRow({variantName(variant), correct,
+                  fmtSig(sum.worstActivationNs, 3),
+                  fmtPct(sum.unmatchedDisturbanceFrac)});
+    }
+    std::printf("%s", s.render().c_str());
+    std::printf("\nExpected: every variant senses correctly within "
+                "tRCD-class time; GMC's gated (unmatched) bitlines "
+                "stay within ~1%% of VDD/2; GSA is the noisiest "
+                "(unmatched bitlines float at the charge-shared "
+                "level). VDD = %.2f V.\n",
+                vdd);
+    return 0;
+}

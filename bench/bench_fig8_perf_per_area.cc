@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Figure 8: speedup per unit area relative to the baseline CPU.
+ * pLUTo is normalized by its added-silicon area (Table 5 overheads
+ * for DDR4; per-vault-amortized overhead for 3DS), hosts by their
+ * die areas.
+ */
+
+#include "bench_common.hh"
+
+#include "area/model.hh"
+#include "baselines/systems.hh"
+
+using namespace pluto;
+using namespace pluto::bench;
+
+int
+main()
+{
+    section("Figure 8: speedup per unit area over CPU "
+            "(higher is better)");
+
+    const area::AreaModel areas;
+    const auto cpu = baselines::cpuSpec();
+    const auto gpu = baselines::gpuSpec();
+    const auto configs = allConfigs();
+
+    std::vector<std::string> header = {"Workload", "GPU"};
+    for (const auto &c : configs)
+        header.push_back(c.label());
+    AsciiTable table(header);
+    std::vector<std::vector<double>> columns(1 + configs.size());
+
+    for (const auto &w : workloads::figure7Workloads()) {
+        const auto rates = w->rates();
+        std::vector<std::string> row = {w->name()};
+        // Performance per area, normalized to the CPU's.
+        const double cpu_perf_area = 1.0 / (rates.cpu * cpu.dieArea);
+        const double gpu_ratio =
+            (1.0 / (rates.gpu * gpu.dieArea)) / cpu_perf_area;
+        columns[0].push_back(gpu_ratio);
+        row.push_back(fmtX(gpu_ratio));
+        for (std::size_t i = 0; i < configs.size(); ++i) {
+            const auto res = runOn(*w, configs[i]);
+            const double a = areas.plutoOverheadArea(
+                configs[i].memory, configs[i].design);
+            const double ratio =
+                (1.0 / (res.nsPerElem() * a)) / cpu_perf_area;
+            columns[1 + i].push_back(ratio);
+            row.push_back(fmtX(ratio));
+        }
+        table.addRow(row);
+    }
+
+    std::vector<std::string> gmean_row = {"GMEAN"};
+    for (const auto &col : columns)
+        gmean_row.push_back(fmtX(geomean(col)));
+    table.addRow(gmean_row);
+
+    std::printf("%s", table.render().c_str());
+    std::printf("\nPaper reference (GMEAN, DDR4): GSA 426x, BSA 801x, "
+                "GMC 1504x the CPU's perf/area; 3DS ~29x higher than "
+                "DDR4. All pLUTo designs beat CPU and GPU by wide "
+                "margins.\n");
+    return 0;
+}

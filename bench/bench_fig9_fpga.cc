@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Figure 9: pLUTo speedup relative to the FPGA baseline across the
+ * arithmetic / bit-counting / CRC / binarization workload set.
+ */
+
+#include "bench_common.hh"
+
+using namespace pluto;
+using namespace pluto::bench;
+
+int
+main()
+{
+    section("Figure 9: speedup over the FPGA baseline "
+            "(higher is better)");
+
+    const auto configs = allConfigs();
+    std::vector<std::string> header = {"Workload"};
+    for (const auto &c : configs)
+        header.push_back(c.label());
+    AsciiTable table(header);
+    std::vector<std::vector<double>> columns(configs.size());
+
+    for (const auto &w : workloads::figure9Workloads()) {
+        const auto rates = w->rates();
+        std::vector<std::string> row = {w->name()};
+        for (std::size_t i = 0; i < configs.size(); ++i) {
+            const auto res = runOn(*w, configs[i]);
+            const double speedup = rates.fpga / res.nsPerElem();
+            columns[i].push_back(speedup);
+            row.push_back(fmtX(speedup));
+        }
+        table.addRow(row);
+    }
+
+    std::vector<std::string> gmean_row = {"GMEAN"};
+    for (const auto &col : columns)
+        gmean_row.push_back(fmtX(geomean(col)));
+    table.addRow(gmean_row);
+
+    std::printf("%s", table.render().c_str());
+    std::printf("\nPaper reference (GMEAN over FPGA, DDR4): GSA 160x, "
+                "BSA 274x, GMC 459x. Largest gains on small LUTs "
+                "(BC4, ImgBin); smallest on wide operands (MUL16).\n");
+    return 0;
+}

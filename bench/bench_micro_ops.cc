@@ -1,0 +1,127 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator itself: packed
+ * element access, row math, the query engine's functional path, the
+ * sweep emulation, and the circuit integrator. These guard the
+ * simulator's own performance (the figure benches run millions of
+ * functional operations).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "circuit/bitline.hh"
+#include "common/bitvec.hh"
+#include "common/random.hh"
+#include "ops/rowmath.hh"
+#include "pluto/query_engine.hh"
+
+using namespace pluto;
+
+namespace
+{
+
+void
+BM_ElementViewGetSet(benchmark::State &state)
+{
+    const u32 width = static_cast<u32>(state.range(0));
+    std::vector<u8> buf(8192);
+    ElementView view(buf, width);
+    const u64 n = view.size();
+    u64 i = 0;
+    for (auto _ : state) {
+        view.set(i % n, i);
+        benchmark::DoNotOptimize(view.get((i + 1) % n));
+        ++i;
+    }
+}
+BENCHMARK(BM_ElementViewGetSet)->Arg(1)->Arg(4)->Arg(8)->Arg(32);
+
+void
+BM_RowXor(benchmark::State &state)
+{
+    Rng rng(1);
+    const auto a = rng.bytes(8192), b = rng.bytes(8192);
+    std::vector<u8> out(8192);
+    for (auto _ : state) {
+        ops::rowXor(a, b, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetBytesProcessed(static_cast<i64>(state.iterations()) * 8192);
+}
+BENCHMARK(BM_RowXor);
+
+void
+BM_RowShiftLeft(benchmark::State &state)
+{
+    Rng rng(2);
+    auto row = rng.bytes(8192);
+    for (auto _ : state) {
+        ops::rowShiftLeft(row, static_cast<u32>(state.range(0)));
+        benchmark::DoNotOptimize(row.data());
+    }
+}
+BENCHMARK(BM_RowShiftLeft)->Arg(1)->Arg(8);
+
+struct EngineFixture
+{
+    EngineFixture()
+        : mod(dram::Geometry::tiny()),
+          sched(dram::TimingParams::ddr4_2400(),
+                dram::EnergyParams::ddr4()),
+          ops(mod, sched), store(mod, sched),
+          engine(mod, sched, ops, store, core::Design::Bsa)
+    {
+        const auto lut = core::Lut::fromFunction(
+            "sq", 4, 8, [](u64 x) { return (x * x) & 0xff; });
+        idx = store.place(lut, {{0, 4}});
+        Rng rng(3);
+        auto row = mod.rowAt({0, 0, 0});
+        ElementView v(row, 8);
+        for (u64 i = 0; i < v.size(); ++i)
+            v.set(i, rng.below(16));
+    }
+
+    dram::Module mod;
+    dram::CommandScheduler sched;
+    ops::InDramOps ops;
+    core::LutStore store;
+    core::QueryEngine engine;
+    u32 idx = 0;
+};
+
+void
+BM_QueryFunctional(benchmark::State &state)
+{
+    EngineFixture f;
+    auto &p = f.store.placement(f.idx);
+    for (auto _ : state)
+        f.engine.query(p, {0, 0, 0}, {0, 1, 0});
+}
+BENCHMARK(BM_QueryFunctional);
+
+void
+BM_QueryViaSweep(benchmark::State &state)
+{
+    EngineFixture f;
+    auto &p = f.store.placement(f.idx);
+    for (auto _ : state)
+        f.engine.queryViaSweep(p, {0, 0, 0}, {0, 1, 0});
+}
+BENCHMARK(BM_QueryViaSweep);
+
+void
+BM_BitlineTransient(benchmark::State &state)
+{
+    circuit::BitlineSim sim;
+    Rng rng(4);
+    for (auto _ : state) {
+        const auto tr =
+            sim.simulate(circuit::CircuitVariant::Bsa, true, true, &rng);
+        benchmark::DoNotOptimize(tr.vBitline.data());
+    }
+}
+BENCHMARK(BM_BitlineTransient);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Table 1: comparison of the three pLUTo designs — attributes,
+ * query-latency and query-energy expressions evaluated numerically
+ * over a range of LUT sizes.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "pluto/analysis.hh"
+
+using namespace pluto;
+using namespace pluto::core;
+
+int
+main()
+{
+    std::printf("=== Table 1: pLUTo design comparison ===\n\n");
+
+    AsciiTable attrs({"Attribute", "pLUTo-BSA", "pLUTo-GSA",
+                      "pLUTo-GMC"});
+    attrs.addRow({"Area Efficiency", "Medium", "High", "Low"});
+    attrs.addRow({"Throughput", "Medium", "Low", "High"});
+    attrs.addRow({"Energy Efficiency", "Medium", "Low", "High"});
+    auto traits = [](Design d) { return DesignTraits::of(d); };
+    attrs.addRow({"Destructive Reads",
+                  traits(Design::Bsa).destructiveReads ? "Yes" : "No",
+                  traits(Design::Gsa).destructiveReads ? "Yes" : "No",
+                  traits(Design::Gmc).destructiveReads ? "Yes" : "No"});
+    attrs.addRow({"LUT Data Loading",
+                  traits(Design::Bsa).reloadPerQuery ? "After every use"
+                                                     : "Once",
+                  traits(Design::Gsa).reloadPerQuery ? "After every use"
+                                                     : "Once",
+                  traits(Design::Gmc).reloadPerQuery ? "After every use"
+                                                     : "Once"});
+    attrs.addRow({"Query Latency", "(tRCD+tRP)*N",
+                  "LISA*N + tRCD*N + tRP", "tRCD*N + tRP"});
+    attrs.addRow({"Query Energy", "(E_RCD+E_RP)*N",
+                  "E_LISA*N + E_RCD*N + E_RP", "E_RCD*N + E_RP"});
+    std::printf("%s\n", attrs.render().c_str());
+
+    const auto t = dram::TimingParams::ddr4_2400();
+    const auto e = dram::EnergyParams::ddr4();
+    AsciiTable num({"N", "BSA lat (ns)", "GSA lat (ns)", "GMC lat (ns)",
+                    "BSA E (nJ)", "GSA E (nJ)", "GMC E (nJ)"});
+    for (u32 n : {2u, 4u, 16u, 64u, 256u, 512u}) {
+        num.addRow({std::to_string(n),
+                    fmtSig(queryLatency(Design::Bsa, t, n), 4),
+                    fmtSig(queryLatency(Design::Gsa, t, n), 4),
+                    fmtSig(queryLatency(Design::Gmc, t, n), 4),
+                    fmtSig(queryEnergy(Design::Bsa, e, n) * 1e-3, 4),
+                    fmtSig(queryEnergy(Design::Gsa, e, n) * 1e-3, 4),
+                    fmtSig(queryEnergy(Design::Gmc, e, n) * 1e-3, 4)});
+    }
+    std::printf("%s", num.render().c_str());
+    std::printf("\nInvariants: GMC < BSA < GSA in latency and energy "
+                "for every N; BSA/GMC latency ratio approaches 2 for "
+                "large N (footnote 3).\n");
+    return 0;
+}

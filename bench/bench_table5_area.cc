@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Table 5: area breakdown for base DRAM and the three pLUTo designs.
+ */
+
+#include <cstdio>
+
+#include "area/model.hh"
+#include "common/table.hh"
+
+using namespace pluto;
+using namespace pluto::area;
+
+int
+main()
+{
+    std::printf("=== Table 5: area breakdown (mm^2) ===\n\n");
+
+    const AreaModel model;
+    const auto base = model.baseline();
+    const auto gsa = model.forDesign(core::Design::Gsa);
+    const auto bsa = model.forDesign(core::Design::Bsa);
+    const auto gmc = model.forDesign(core::Design::Gmc);
+
+    AsciiTable t({"Component", "Base DRAM", "pLUTo-GSA", "pLUTo-BSA",
+                  "pLUTo-GMC"});
+    const char *order[] = {"DRAM Cell",     "Local WL driver",
+                           "Match Logic",   "Match Lines",
+                           "Sense Amp",     "Row Decoder",
+                           "Column Decoder", "Other"};
+    for (const char *name : order) {
+        t.addRow({name, fmtSig(base.components.at(name), 4),
+                  fmtSig(gsa.components.at(name), 4),
+                  fmtSig(bsa.components.at(name), 4),
+                  fmtSig(gmc.components.at(name), 4)});
+    }
+    char gsa_total[48], bsa_total[48], gmc_total[48];
+    std::snprintf(gsa_total, sizeof(gsa_total), "%.2f (+%.1f%%)",
+                  gsa.total(), gsa.overheadVs(base) * 100);
+    std::snprintf(bsa_total, sizeof(bsa_total), "%.2f (+%.1f%%)",
+                  bsa.total(), bsa.overheadVs(base) * 100);
+    std::snprintf(gmc_total, sizeof(gmc_total), "%.2f (+%.1f%%)",
+                  gmc.total(), gmc.overheadVs(base) * 100);
+    t.addRow({"Total", fmtSig(base.total(), 4), gsa_total, bsa_total,
+              gmc_total});
+    std::printf("%s", t.render().c_str());
+    std::printf("\nPaper reference totals: 70.23 / 77.44 (+10.2%%) / "
+                "82.00 (+16.7%%) / 86.47 (+23.1%%).\n");
+    return 0;
+}

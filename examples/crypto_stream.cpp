@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Cryptography example: table-driven CRC-32 integrity checking of
+ * packet batches in DRAM (the paper's CRC workload), shown end to
+ * end through the pLUTo Library API, with the per-step recurrence
+ * (xor / mask / LUT query / shift) spelled out.
+ */
+
+#include <cstdio>
+
+#include "workloads/workload.hh"
+
+using namespace pluto;
+
+int
+main()
+{
+    std::printf("CRC-32 over DRAM-resident packet batches\n");
+    std::printf("========================================\n\n");
+
+    const auto crc = workloads::makeCrc(32);
+    for (const auto design : {core::Design::Bsa, core::Design::Gmc}) {
+        runtime::DeviceConfig cfg;
+        cfg.design = design;
+        runtime::PlutoDevice dev(cfg);
+        // 8192 packets of 128 B.
+        const auto res = crc->run(dev, 8192ull * 128);
+        std::printf("%-10s  %llu bytes  %8.1f us  %6.3f mJ  "
+                    "verified: %s\n",
+                    core::designName(design),
+                    static_cast<unsigned long long>(res.elements),
+                    res.timeNs * 1e-3, res.energyPj * 1e-9,
+                    res.verified ? "yes" : "NO");
+    }
+
+    std::printf("\nEach of the 128 byte-steps advances every packet's "
+                "CRC at once:\n"
+                "  t1    <- state ^ bytes          (Ambit XOR)\n"
+                "  t1    <- t1 & 0xff              (Ambit AND)\n"
+                "  t2    <- CRC32_TABLE[t1]        (pLUTo LUT query)\n"
+                "  t3    <- (state >> 8) & mask    (DRISA shift + AND)\n"
+                "  state <- t3 ^ t2                (Ambit XOR)\n"
+                "followed by a serial CPU-side combine (Section 8.2's "
+                "CRC bottleneck).\n");
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * DSP example: in-DRAM waveform synthesis with trigonometric LUTs —
+ * the complex-operation class Section 5.7 positions pLUTo for
+ * ("relying on ... pLUTo for trigonometric functions"). A phase ramp
+ * maps through the sinQ7 LUT (one bulk query), then an envelope is
+ * applied with the Q1.7 point-wise multiplier (api_pluto_mulq),
+ * producing an amplitude-modulated tone verified against
+ * double-precision math within quantization error.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "runtime/device.hh"
+
+using namespace pluto;
+using namespace pluto::runtime;
+
+int
+main()
+{
+    const u64 samples = 1 << 18;
+    const u32 tone_step = 5;    // phase increment per sample
+    const u32 env_step = 1;     // slow envelope phase increment
+
+    PlutoDevice dev;
+    const auto sin_lut = dev.loadLut("sinq7");
+
+    // Phase ramps (host-generated index streams; the adds that build
+    // them in-DRAM are the ADD workloads elsewhere in this repo).
+    std::vector<u64> tone_phase(samples), env_phase(samples);
+    for (u64 i = 0; i < samples; ++i) {
+        tone_phase[i] = (i * tone_step) & 0xff;
+        env_phase[i] = (i * env_step / 64) & 0x7f; // half turn: >= 0
+    }
+
+    // sin(tone) via one bulk query per row of samples.
+    const auto vtone = dev.alloc(samples, 8);
+    const auto vwave = dev.alloc(samples, 8);
+    dev.write(vtone, tone_phase);
+    dev.resetStats();
+    dev.lutOp(vwave, vtone, sin_lut);
+
+    // Envelope = sin(env) >= 0; modulate via Q1.7 multiply. The
+    // operands are packed into 16-bit slots by api_pluto_mulq.
+    const auto venv_p = dev.alloc(samples, 8);
+    dev.write(venv_p, env_phase);
+    const auto venv = dev.alloc(samples, 8);
+    dev.lutOp(venv, venv_p, sin_lut);
+
+    const auto a = dev.alloc(samples, 16);
+    const auto b = dev.alloc(samples, 16);
+    const auto out = dev.alloc(samples, 16);
+    dev.write(a, dev.read(vwave));
+    dev.write(b, dev.read(venv));
+    dev.apiMulQ(out, a, b, 8);
+    const auto stats = dev.stats();
+
+    // Verify against double-precision synthesis.
+    const auto got = dev.read(out);
+    double max_err = 0.0;
+    for (u64 i = 0; i < samples; ++i) {
+        const double tone =
+            std::sin(2.0 * M_PI * tone_phase[i] / 256.0);
+        const double env =
+            std::sin(2.0 * M_PI * env_phase[i] / 256.0);
+        const double expect = tone * env;
+        const double q = static_cast<i8>(got[i]) / 128.0;
+        max_err = std::max(max_err, std::fabs(q - expect));
+    }
+
+    std::printf("Synthesized %llu amplitude-modulated samples "
+                "in-DRAM\n",
+                static_cast<unsigned long long>(samples));
+    std::printf("  max error vs double-precision: %.4f "
+                "(Q1.7 quantization bound ~0.02)\n",
+                max_err);
+    std::printf("  simulated time %.1f us, energy %.3f mJ\n",
+                stats.timeNs * 1e-3, stats.energyMj());
+    return max_err < 0.03 ? 0 : 1;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Image-processing pipeline example: color-grade then binarize a
+ * synthetic 3-channel image entirely in DRAM, comparing the three
+ * pLUTo designs' simulated time and energy — the workloads the
+ * paper's image evaluation (ImgBin, ColorGrade) builds on.
+ */
+
+#include <cstdio>
+
+#include "common/random.hh"
+#include "runtime/device.hh"
+
+using namespace pluto;
+using namespace pluto::runtime;
+
+namespace
+{
+
+void
+runOn(core::Design design, const std::vector<u64> &pixels)
+{
+    DeviceConfig cfg;
+    cfg.design = design;
+    PlutoDevice dev(cfg);
+
+    const LutHandle grade = dev.loadLut("colorgrade");
+    const LutHandle bin = dev.loadLut("binarize128");
+    const VecHandle in = dev.alloc(pixels.size(), 8);
+    const VecHandle graded = dev.alloc(pixels.size(), 8);
+    const VecHandle out = dev.alloc(pixels.size(), 8);
+    dev.write(in, pixels);
+
+    dev.resetStats();
+    dev.lutOp(graded, in, grade); // tone-map every channel value
+    dev.lutOp(out, graded, bin);  // then threshold
+    const auto stats = dev.stats();
+
+    // Spot-check the composition against the host.
+    const auto &g = dev.library().get("colorgrade");
+    const auto result = dev.read(out);
+    u64 errors = 0;
+    for (std::size_t i = 0; i < pixels.size(); ++i) {
+        const u64 expect = g.at(pixels[i]) >= 128 ? 255 : 0;
+        errors += result[i] != expect;
+    }
+
+    std::printf("%-10s  time %8.1f us  energy %7.3f mJ  errors %llu\n",
+                core::designName(design), stats.timeNs * 1e-3,
+                stats.energyMj(),
+                static_cast<unsigned long long>(errors));
+}
+
+} // namespace
+
+int
+main()
+{
+    const u64 pixels = 936000ull * 3; // the paper's image size
+    Rng rng(42);
+    std::vector<u64> image(pixels);
+    for (auto &p : image)
+        p = rng.below(256);
+
+    std::printf("Grading + binarizing a %.1f MB image in-DRAM:\n\n",
+                pixels / 1048576.0);
+    for (const auto d : {core::Design::Gsa, core::Design::Bsa,
+                         core::Design::Gmc})
+        runOn(d, image);
+    std::printf("\nGMC is fastest and most energy-efficient; GSA pays "
+                "a LUT reload before every query (Table 1).\n");
+    return 0;
+}

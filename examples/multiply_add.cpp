@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The paper's end-to-end Figure 5 example: out = A * B + C over
+ * 2-bit operands, expressed three ways —
+ *   1. reference C code (host),
+ *   2. the pLUTo Library API (api_pluto_mul / api_pluto_add),
+ *   3. the pLUTo Compiler: a dataflow graph lowered to pLUTo ISA
+ *      instructions (with the operand-alignment shifts/merges the
+ *      compiler inserts), executed by the pLUTo Controller.
+ * Prints the compiled program's disassembly, mirroring Figure 5c.
+ */
+
+#include <cstdio>
+
+#include "compiler/compiler.hh"
+#include "compiler/reference.hh"
+#include "runtime/device.hh"
+
+using namespace pluto;
+using namespace pluto::runtime;
+
+int
+main()
+{
+    const u64 n = 1024;
+    std::vector<u64> va(n), vb(n), vc(n);
+    for (u64 i = 0; i < n; ++i) {
+        va[i] = i % 4;        // 2-bit operands
+        vb[i] = (i / 4) % 4;
+        vc[i] = (i / 16) % 16; // 4-bit addend
+    }
+
+    // 1. Reference C code.
+    std::vector<u64> expect(n);
+    for (u64 i = 0; i < n; ++i)
+        expect[i] = va[i] * vb[i] + vc[i];
+
+    // 2. pLUTo Library API.
+    {
+        PlutoDevice dev;
+        const auto a = pluto_malloc(dev, n, 4);
+        const auto b = pluto_malloc(dev, n, 4);
+        const auto tmp = pluto_malloc(dev, n, 4);
+        dev.write(a, va);
+        dev.write(b, vb);
+        api_pluto_mul(dev, a, b, tmp, 2); // 4-bit product
+
+        // Widen to 8-bit slots for the 4-bit addition.
+        const auto prod8 = pluto_malloc(dev, n, 8);
+        const auto c8 = pluto_malloc(dev, n, 8);
+        const auto out = pluto_malloc(dev, n, 8);
+        dev.write(prod8, dev.read(tmp));
+        dev.write(c8, vc);
+        api_pluto_add(dev, prod8, c8, out, 4);
+
+        const auto got = dev.read(out);
+        u64 errors = 0;
+        for (u64 i = 0; i < n; ++i)
+            errors += got[i] != expect[i];
+        std::printf("pLUTo Library API: %llu/%llu correct\n",
+                    static_cast<unsigned long long>(n - errors),
+                    static_cast<unsigned long long>(n));
+    }
+
+    // 3. pLUTo Compiler.
+    {
+        compiler::Graph g(n);
+        const auto a = g.input("A", 4);
+        const auto b = g.input("B", 4);
+        const auto prod = g.mul(a, b, 2);
+        g.markOutput(prod, "prod");
+        const auto compiled = compiler::compile(g);
+
+        std::printf("\nCompiled pLUTo ISA program (Figure 5c style):\n");
+        std::printf("%s", compiled.program.disassemble().c_str());
+        std::printf("row registers: %u physical (naive would use %u)\n",
+                    compiled.physicalRowRegs, compiled.naiveRowRegs);
+
+        // Execute through the Controller and compare with the
+        // compiler's reference evaluator.
+        PlutoDevice dev;
+        dev.controller().execute(compiled.program);
+        dev.controller().writeValues(compiled.inputRegs.at("A"), va);
+        dev.controller().writeValues(compiled.inputRegs.at("B"), vb);
+        // Re-run the compute portion now that inputs are written: the
+        // program is a straight line, so simply execute the non-alloc
+        // instructions again.
+        for (const auto &instr : compiled.program.instructions()) {
+            if (instr.op != isa::Opcode::RowAlloc &&
+                instr.op != isa::Opcode::SubarrayAlloc)
+                dev.controller().execute(instr);
+        }
+        auto got = dev.controller().readValues(
+            compiled.outputRegs.at("prod"));
+        got.resize(n);
+
+        auto &lib = dev.library();
+        const auto ref = compiler::evaluate(
+            g, {{"A", va}, {"B", vb}},
+            [&](const std::string &name) -> const core::Lut & {
+                return lib.get(name);
+            },
+            dev.geometry().rowBytes);
+
+        u64 errors = 0;
+        for (u64 i = 0; i < n; ++i)
+            errors += got[i] != ref.at("prod")[i];
+        std::printf("Compiler + Controller: %llu/%llu match the "
+                    "reference evaluator\n",
+                    static_cast<unsigned long long>(n - errors),
+                    static_cast<unsigned long long>(n));
+    }
+    return 0;
+}

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Command-line workload runner: execute any evaluated workload on any
+ * pLUTo configuration and print time / energy / verification — the
+ * tool a downstream user reaches for first.
+ *
+ * Usage:
+ *   pluto_cli [--workload NAME] [--design bsa|gsa|gmc]
+ *             [--memory ddr4|3ds] [--salp N] [--faw 0..1]
+ *             [--refresh] [--elements N] [--list]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "workloads/workload.hh"
+
+using namespace pluto;
+
+namespace
+{
+
+void
+usage()
+{
+    std::printf(
+        "usage: pluto_cli [options]\n"
+        "  --workload NAME   workload to run (default ColorGrade)\n"
+        "  --design D        bsa | gsa | gmc (default bsa)\n"
+        "  --memory M        ddr4 | 3ds (default ddr4)\n"
+        "  --salp N          subarray-level parallelism (default: "
+        "preset)\n"
+        "  --faw F           tFAW scale 0..1 (default 0 = "
+        "unthrottled)\n"
+        "  --refresh         model refresh interference\n"
+        "  --elements N      input size (default: paper scale)\n"
+        "  --list            list workloads and exit\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload = "ColorGrade";
+    runtime::DeviceConfig cfg;
+    u64 elements = 0;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage();
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "--list") {
+            for (const auto &name : workloads::workloadNames())
+                std::printf("%s\n", name.c_str());
+            return 0;
+        } else if (arg == "--workload") {
+            workload = next();
+        } else if (arg == "--design") {
+            const std::string d = next();
+            if (d == "bsa")
+                cfg.design = core::Design::Bsa;
+            else if (d == "gsa")
+                cfg.design = core::Design::Gsa;
+            else if (d == "gmc")
+                cfg.design = core::Design::Gmc;
+            else {
+                usage();
+                return 1;
+            }
+        } else if (arg == "--memory") {
+            const std::string m = next();
+            if (m == "ddr4")
+                cfg.memory = dram::MemoryKind::Ddr4;
+            else if (m == "3ds")
+                cfg.memory = dram::MemoryKind::Hmc3ds;
+            else {
+                usage();
+                return 1;
+            }
+        } else if (arg == "--salp") {
+            cfg.salp = static_cast<u32>(std::atoi(next()));
+        } else if (arg == "--faw") {
+            cfg.fawScale = std::atof(next());
+        } else if (arg == "--refresh") {
+            cfg.modelRefresh = true;
+        } else if (arg == "--elements") {
+            elements = std::strtoull(next(), nullptr, 10);
+        } else {
+            usage();
+            return arg == "--help" ? 0 : 1;
+        }
+    }
+
+    const auto w = workloads::makeWorkload(workload);
+    runtime::PlutoDevice dev(cfg);
+    if (elements == 0)
+        elements = w->defaultElements(cfg.memory);
+    const auto res = w->run(dev, elements);
+    const auto rates = w->rates();
+
+    std::printf("workload   %s\n", w->name().c_str());
+    std::printf("config     %s on %s, salp=%u, tFAW=%.0f%%%s\n",
+                core::designName(cfg.design),
+                dram::memoryKindName(cfg.memory), dev.salp(),
+                cfg.fawScale * 100,
+                cfg.modelRefresh ? ", refresh" : "");
+    std::printf("elements   %llu\n",
+                static_cast<unsigned long long>(res.elements));
+    std::printf("time       %.2f us  (%.4f ns/element)\n",
+                res.timeNs * 1e-3, res.nsPerElem());
+    std::printf("energy     %.4f mJ  (%.3f pJ/element)\n",
+                res.energyPj * 1e-9, res.pjPerElem());
+    std::printf("verified   %s\n", res.verified ? "yes" : "NO");
+    std::printf("speedup    %.1fx vs CPU, %.2fx vs GPU, %.1fx vs "
+                "PnM, %.1fx vs FPGA\n",
+                rates.cpu / res.nsPerElem(),
+                rates.gpu / res.nsPerElem(),
+                rates.pnm / res.nsPerElem(),
+                rates.fpga / res.nsPerElem());
+    return res.verified ? 0 : 2;
+}

@@ -1,0 +1,161 @@
+#include "baselines/bitserial.hh"
+
+#include "common/logging.hh"
+#include "ops/rowmath.hh"
+
+namespace pluto::baselines
+{
+
+BitSerialEngine::BitSerialEngine(dram::Module &mod,
+                                 dram::CommandScheduler &sched)
+    : mod_(mod), sched_(sched),
+      costs_(sched.timing(), sched.energyParams())
+{
+}
+
+VerticalVec
+BitSerialEngine::alloc(const dram::SubarrayAddress &sa, RowIndex base,
+                       u32 bits, u64 elements) const
+{
+    const auto &geom = mod_.geometry();
+    if (base + bits > geom.rowsPerSubarray)
+        fatal("bit-serial: %u bit planes at row %u exceed subarray "
+              "height %u", bits, base, geom.rowsPerSubarray);
+    if (elements > geom.rowBits())
+        fatal("bit-serial: %llu elements exceed the %llu bitlines of "
+              "a row", static_cast<unsigned long long>(elements),
+              static_cast<unsigned long long>(geom.rowBits()));
+    return {sa, base, bits, elements};
+}
+
+std::vector<u8>
+BitSerialEngine::plane(const VerticalVec &v, u32 j) const
+{
+    PLUTO_ASSERT(j < v.bits);
+    return mod_.readRow(v.subarray.rowAt(v.baseRow + j));
+}
+
+void
+BitSerialEngine::storePlane(const VerticalVec &v, u32 j,
+                            std::span<const u8> data)
+{
+    PLUTO_ASSERT(j < v.bits);
+    mod_.writeRow(v.subarray.rowAt(v.baseRow + j), data);
+}
+
+void
+BitSerialEngine::write(const VerticalVec &v, std::span<const u64> values)
+{
+    if (values.size() > v.elements)
+        fatal("bit-serial: writing %zu values into %llu elements",
+              values.size(),
+              static_cast<unsigned long long>(v.elements));
+    const auto &geom = mod_.geometry();
+    std::vector<u8> row(geom.rowBytes);
+    for (u32 j = 0; j < v.bits; ++j) {
+        std::fill(row.begin(), row.end(), 0);
+        for (std::size_t i = 0; i < values.size(); ++i) {
+            if ((values[i] >> j) & 1)
+                row[i / 8] |= static_cast<u8>(1u << (i % 8));
+        }
+        storePlane(v, j, row);
+        // One transposed row crosses the channel per bit plane.
+        sched_.op("bitserial.write_plane",
+                  static_cast<double>(geom.rowBytes) / 19.2,
+                  geom.rowBytes * sched_.energyParams().eIoPerByte);
+    }
+}
+
+std::vector<u64>
+BitSerialEngine::read(const VerticalVec &v) const
+{
+    std::vector<u64> out(v.elements, 0);
+    for (u32 j = 0; j < v.bits; ++j) {
+        const auto row = plane(v, j);
+        for (u64 i = 0; i < v.elements; ++i) {
+            if ((row[i / 8] >> (i % 8)) & 1)
+                out[i] |= 1ull << j;
+        }
+    }
+    return out;
+}
+
+std::vector<u8>
+BitSerialEngine::add(const VerticalVec &a, const VerticalVec &b,
+                     const VerticalVec &dst)
+{
+    if (a.bits != b.bits || a.bits != dst.bits ||
+        a.elements != b.elements || a.elements != dst.elements)
+        fatal("bit-serial add: shape mismatch");
+    const auto &geom = mod_.geometry();
+    std::vector<u8> carry(geom.rowBytes, 0);
+    std::vector<u8> sum(geom.rowBytes), next_carry(geom.rowBytes);
+    for (u32 j = 0; j < a.bits; ++j) {
+        const auto pa = plane(a, j);
+        const auto pb = plane(b, j);
+        // Row-wide full adder over the bit planes.
+        ops::rowXor(pa, pb, sum);
+        ops::rowXor(sum, carry, sum);
+        ops::rowMaj(pa, pb, carry, next_carry);
+        carry.swap(next_carry);
+        storePlane(dst, j, sum);
+        // SIMDRAM's MAJ-synthesized full adder: ~8.6 prims of
+        // ACT-ACT-PRE sequences per bit position (calibrated to
+        // Table 6; see pum_compare.cc).
+        sched_.op("bitserial.fa", addPrimsPerBit * costs_.prim,
+                  addPrimsPerBit * costs_.primEnergy,
+                  static_cast<u32>(addPrimsPerBit *
+                                   ops::OpCosts::actsPerPrim));
+    }
+    return carry;
+}
+
+void
+BitSerialEngine::mul(const VerticalVec &a, const VerticalVec &b,
+                     const VerticalVec &dst)
+{
+    if (a.bits != b.bits || a.elements != b.elements ||
+        dst.bits != 2 * a.bits || dst.elements != a.elements)
+        fatal("bit-serial mul: dst must be twice the operand width");
+    const auto &geom = mod_.geometry();
+    const u32 n = a.bits;
+
+    // Zero the accumulator planes.
+    const std::vector<u8> zero(geom.rowBytes, 0);
+    for (u32 j = 0; j < dst.bits; ++j)
+        storePlane(dst, j, zero);
+
+    // Shift-and-add: acc += (a AND b_j) << j, with an in-place
+    // ripple carry through the accumulator's upper planes.
+    std::vector<u8> partial(geom.rowBytes), sum(geom.rowBytes);
+    std::vector<u8> carry(geom.rowBytes), next_carry(geom.rowBytes);
+    for (u32 j = 0; j < n; ++j) {
+        const auto bj = plane(b, j);
+        std::fill(carry.begin(), carry.end(), 0);
+        for (u32 k = 0; k < n; ++k) {
+            const auto ak = plane(a, k);
+            ops::rowAnd(ak, bj, partial);
+            const auto acc = plane(dst, j + k);
+            ops::rowXor(acc, partial, sum);
+            ops::rowXor(sum, carry, sum);
+            ops::rowMaj(acc, partial, carry, next_carry);
+            carry.swap(next_carry);
+            storePlane(dst, j + k, sum);
+        }
+        // Propagate the remaining carry through the upper planes.
+        for (u32 k = j + n; k < dst.bits; ++k) {
+            const auto acc = plane(dst, k);
+            ops::rowXor(acc, carry, sum);
+            ops::rowAnd(acc, carry, next_carry);
+            carry.swap(next_carry);
+            storePlane(dst, k, sum);
+        }
+    }
+    // Quadratic activation cost (Section 8.6's observation [75]).
+    const double prims = mulPrims(n);
+    sched_.op("bitserial.mul", prims * costs_.prim,
+              prims * costs_.primEnergy,
+              static_cast<u32>(prims * ops::OpCosts::actsPerPrim));
+}
+
+} // namespace pluto::baselines

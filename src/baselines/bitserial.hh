@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Executable SIMDRAM-class bit-serial PuM engine.
+ *
+ * Prior bit-serial PuM (SIMDRAM [75], Ambit-based arithmetic) lays
+ * data out *vertically*: bit j of element i lives in row (base + j),
+ * bitline i, so one row-wide MAJ/XOR advances one bit position of
+ * every element at once (the opposite of pLUTo's bit-parallel
+ * layout, Section 4). This engine implements that paradigm
+ * functionally — vertical allocation, transposition in/out,
+ * ripple-carry addition and shift-and-add multiplication over bit
+ * planes — with timing charged at the same calibrated prim counts as
+ * the analytic Table 6 model (~8.6 prims per full-adder bit, ~10 n^2
+ * prims per n-bit multiply), so the two models are mutually
+ * consistent by construction and cross-checked in tests.
+ *
+ * It exists to make the paper's central comparison executable: the
+ * same vectors can be added on this engine and on pLUTo (apiAdd) and
+ * must agree bit-for-bit, while their command streams differ
+ * (quadratic activations here vs a single row sweep there).
+ */
+
+#ifndef PLUTO_BASELINES_BITSERIAL_HH
+#define PLUTO_BASELINES_BITSERIAL_HH
+
+#include <span>
+#include <vector>
+
+#include "dram/module.hh"
+#include "dram/scheduler.hh"
+#include "ops/costs.hh"
+
+namespace pluto::baselines
+{
+
+/** A vertically laid-out vector: one row per bit position. */
+struct VerticalVec
+{
+    dram::SubarrayAddress subarray;
+    /** First bit-plane row. */
+    RowIndex baseRow = 0;
+    /** Element width in bits (== rows occupied). */
+    u32 bits = 0;
+    /** Element count (== bitlines used, <= row bits). */
+    u64 elements = 0;
+};
+
+/** Bit-serial (vertical-layout) processing engine. */
+class BitSerialEngine
+{
+  public:
+    BitSerialEngine(dram::Module &mod, dram::CommandScheduler &sched);
+
+    /**
+     * Bind a vertical vector to rows [base, base + bits) of a
+     * subarray. `elements` must fit the row width.
+     */
+    VerticalVec alloc(const dram::SubarrayAddress &sa, RowIndex base,
+                      u32 bits, u64 elements) const;
+
+    /**
+     * Transpose host values into the vertical layout (the
+     * transposition-unit step SIMDRAM performs at the memory
+     * controller). Charges one row write per bit plane.
+     */
+    void write(const VerticalVec &v, std::span<const u64> values);
+
+    /** Transpose the vertical layout back to host values. */
+    std::vector<u64> read(const VerticalVec &v) const;
+
+    /**
+     * dst = a + b (mod 2^bits) via a ripple-carry of row-wide full
+     * adders: sum_j = a_j ^ b_j ^ c, c = MAJ(a_j, b_j, c). All three
+     * vectors must share width and element count. @return the final
+     * carry-out bit plane (host copy) for overflow checks.
+     */
+    std::vector<u8> add(const VerticalVec &a, const VerticalVec &b,
+                        const VerticalVec &dst);
+
+    /**
+     * dst = a * b via shift-and-add over bit planes: for every
+     * multiplier bit j, AND a's planes with b_j and ripple the
+     * partial into the accumulator at offset j. dst must be
+     * 2x the operand width (full product).
+     */
+    void mul(const VerticalVec &a, const VerticalVec &b,
+             const VerticalVec &dst);
+
+    /**
+     * Calibrated prim counts (consistent with pum_compare.cc):
+     * a row-wide full adder costs ~8.575 prims (SIMDRAM's
+     * MAJ-synthesized adder); an n-bit multiply ~10 n^2 prims.
+     */
+    static constexpr double addPrimsPerBit = 8.575;
+    static double mulPrims(u32 bits) { return 10.0 * bits * bits; }
+
+  private:
+    /** One bit plane as a host row image. */
+    std::vector<u8> plane(const VerticalVec &v, u32 j) const;
+    void storePlane(const VerticalVec &v, u32 j,
+                    std::span<const u8> data);
+
+    dram::Module &mod_;
+    dram::CommandScheduler &sched_;
+    ops::OpCosts costs_;
+};
+
+} // namespace pluto::baselines
+
+#endif // PLUTO_BASELINES_BITSERIAL_HH

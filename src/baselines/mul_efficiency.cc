@@ -1,0 +1,65 @@
+#include "baselines/mul_efficiency.hh"
+
+#include "common/logging.hh"
+#include "ops/costs.hh"
+#include "pluto/analysis.hh"
+
+namespace pluto::baselines
+{
+
+EnergyPj
+plutoBsaMulEnergyPerOp(u32 bits, const dram::EnergyParams &e,
+                       const dram::Geometry &g)
+{
+    PLUTO_ASSERT(bits >= 1 && bits <= 32);
+    if (bits <= 4) {
+        // Direct LUT: 2^(2b) rows swept; one query yields
+        // rowBits / (2b) multiplications.
+        const u32 rows = 1u << (2 * bits);
+        const double ops = static_cast<double>(g.rowBits()) / (2 * bits);
+        return core::queryEnergy(core::Design::Bsa, e, rows) / ops;
+    }
+    // Composed: (b/4)^2 4-bit partial products plus ~2x as many
+    // aligned additions, each an 8-bit-slot 256-row query.
+    const u32 chunks = (bits + 3) / 4;
+    const double count = 3.0 * chunks * chunks;
+    const double ops_per_query =
+        static_cast<double>(g.rowBits()) / 8.0;
+    const EnergyPj per4 =
+        core::queryEnergy(core::Design::Bsa, e, 256) / ops_per_query;
+    return count * per4;
+}
+
+EnergyPj
+simdramMulEnergyPerOp(u32 bits, const dram::TimingParams &t,
+                      const dram::Geometry &g)
+{
+    PLUTO_ASSERT(bits >= 1 && bits <= 32);
+    // ~10 b^2 activate-precharge prims at 5.3 W, amortized over one
+    // element per bitline.
+    const ops::OpCosts costs(t, dram::EnergyParams::ddr4());
+    const double prims = 10.0 * bits * bits;
+    const TimeNs latency = prims * costs.prim;
+    const PowerW power = 5.3;
+    const double ops = static_cast<double>(g.rowBits());
+    return units::energyFromPower(power, latency) / ops;
+}
+
+EnergyPj
+pnmMulEnergyPerOp(u32 bits)
+{
+    PLUTO_ASSERT(bits >= 1 && bits <= 32);
+    // Fixed-function 16-bit datapath on the logic layer: ~1.2 nJ per
+    // issue (core + DRAM access energy), doubled when the operand
+    // needs the 32-bit path.
+    return bits <= 16 ? 1200.0 : 2400.0;
+}
+
+double
+opsPerJoule(EnergyPj per_op)
+{
+    PLUTO_ASSERT(per_op > 0.0);
+    return 1.0 / (per_op * 1e-12);
+}
+
+} // namespace pluto::baselines

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Multiplication energy-efficiency models for Figure 12b: pLUTo-BSA
+ * vs a bit-serial PuM (SIMDRAM) vs the PnM baseline across operand
+ * bit widths.
+ *
+ *  - pLUTo-BSA: direct 2^(2b)-entry LUT query for b <= 4; composed
+ *    schoolbook multiplication from 4-bit partial products (and their
+ *    additions) for wider operands, which keeps the cost quadratic in
+ *    b instead of exponential.
+ *  - SIMDRAM: bit-serial multiplication costs a quadratic number of
+ *    activations (~10 b^2 prims, Section 8.6's observation [75]);
+ *    a DRAM row processes one element per bitline.
+ *  - PnM: a fixed-function multiplier on the HMC logic layer; energy
+ *    per operation is roughly flat until the operand exceeds the
+ *    datapath width.
+ */
+
+#ifndef PLUTO_BASELINES_MUL_EFFICIENCY_HH
+#define PLUTO_BASELINES_MUL_EFFICIENCY_HH
+
+#include "common/units.hh"
+#include "dram/geometry.hh"
+#include "dram/timing.hh"
+
+namespace pluto::baselines
+{
+
+/** Energy of one b-bit multiplication on pLUTo-BSA (pJ). */
+EnergyPj plutoBsaMulEnergyPerOp(u32 bits, const dram::EnergyParams &e,
+                                const dram::Geometry &g);
+
+/** Energy of one b-bit multiplication on SIMDRAM (pJ). */
+EnergyPj simdramMulEnergyPerOp(u32 bits, const dram::TimingParams &t,
+                               const dram::Geometry &g);
+
+/** Energy of one b-bit multiplication on the PnM baseline (pJ). */
+EnergyPj pnmMulEnergyPerOp(u32 bits);
+
+/** Convenience: operations per joule from energy per op. */
+double opsPerJoule(EnergyPj per_op);
+
+} // namespace pluto::baselines
+
+#endif // PLUTO_BASELINES_MUL_EFFICIENCY_HH

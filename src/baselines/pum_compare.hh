@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Prior-PuM comparator models for Table 6: Ambit [84], SIMDRAM [75],
+ * LAcc [96] and DRISA [79], plus pLUTo-BSA at 4-subarray parallelism.
+ *
+ * Each prior system's operation is expressed as a number of
+ * activate-precharge prims (tRAS + tRP); the counts are calibrated to
+ * the per-operation latencies Table 6 reports (which the paper in
+ * turn derives from the original works under each design's ideal
+ * data layout). pLUTo-BSA latencies are *computed* from this repo's
+ * own query model: LUT rows partitioned across 4 subarrays
+ * (Section 5.6), operand interleaving via DRISA shift + bare TRA
+ * merge for binary bitwise ops (Section 8.9), and a LISA result move.
+ */
+
+#ifndef PLUTO_BASELINES_PUM_COMPARE_HH
+#define PLUTO_BASELINES_PUM_COMPARE_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+#include "dram/timing.hh"
+
+namespace pluto::baselines
+{
+
+/** Operations compared in Table 6. */
+enum class PumOp
+{
+    Not,
+    And,
+    Or,
+    Xor,
+    Xnor,
+    Add4,
+    Mul4,
+    BitCount4,
+    BitCount8,
+    Lut6to2,
+    Lut8to8,
+    Binarize8,
+    Exp8,
+};
+
+/** @return the row label used in Table 6. */
+const char *pumOpName(PumOp op);
+
+/** All Table 6 ops in presentation order. */
+std::vector<PumOp> allPumOps();
+
+/** Systems compared in Table 6. */
+enum class PumSystem
+{
+    Ambit,
+    Simdram,
+    Lacc,
+    Drisa,
+    PlutoBsa,
+};
+
+const char *pumSystemName(PumSystem s);
+
+/** Static per-system attributes (Table 6 header rows). */
+struct PumSpec
+{
+    std::string name;
+    double capacityGb = 8.0;
+    AreaMm2 areaMm2 = 0.0;
+    PowerW powerW = 0.0;
+};
+
+PumSpec pumSpec(PumSystem s);
+
+/**
+ * Row-granular operation latency on system `s` at DDR4 timings, or
+ * nullopt if the system does not support the operation (Table 6's
+ * "-" cells).
+ */
+std::optional<TimeNs> pumOpLatency(PumSystem s, PumOp op,
+                                   const dram::TimingParams &t);
+
+/**
+ * Per-operation energy. Command-stream systems (Ambit, SIMDRAM,
+ * LAcc, pLUTo) use per-prim activation energies; DRISA, whose
+ * in-DRAM logic dominates its 98 W envelope, uses power x latency.
+ */
+std::optional<EnergyPj> pumOpEnergy(PumSystem s, PumOp op,
+                                    const dram::TimingParams &t,
+                                    const dram::EnergyParams &e);
+
+} // namespace pluto::baselines
+
+#endif // PLUTO_BASELINES_PUM_COMPARE_HH

@@ -1,0 +1,115 @@
+#include "circuit/bitline.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace pluto::circuit
+{
+
+const char *
+variantName(CircuitVariant v)
+{
+    switch (v) {
+      case CircuitVariant::Baseline:
+        return "Baseline";
+      case CircuitVariant::Bsa:
+        return "pLUTo-BSA";
+      case CircuitVariant::Gsa:
+        return "pLUTo-GSA";
+      case CircuitVariant::Gmc:
+        return "pLUTo-GMC";
+    }
+    panic("bad CircuitVariant");
+}
+
+double
+Trace::activationTime(double vdd, bool cell_was_one) const
+{
+    // 90% of the half-swing from the precharge level toward the
+    // sensed rail.
+    const double mid = vdd / 2.0;
+    const double thresh = 0.9 * mid;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        const double dev = vBitline[i] - mid;
+        if (cell_was_one ? dev >= thresh : dev <= -thresh)
+            return t[i];
+    }
+    return -1.0;
+}
+
+double
+Trace::maxDisturbance(double vdd) const
+{
+    double worst = 0.0;
+    for (const double v : vBitline)
+        worst = std::max(worst, std::fabs(v - vdd / 2.0));
+    return worst;
+}
+
+BitlineSim::BitlineSim(CircuitParams params)
+    : params_(params)
+{
+}
+
+Trace
+BitlineSim::simulate(CircuitVariant variant, bool cell_value, bool matched,
+                     Rng *rng) const
+{
+    const auto &p = params_;
+    auto vary = [&](double nominal) {
+        return rng ? nominal * (1.0 + p.sigma * rng->gaussian())
+                   : nominal;
+    };
+
+    const double cc = vary(p.cellCap);
+    const double cb = vary(p.bitlineCap);
+    const double ga = vary(p.accessG);
+    const double gs = vary(p.senseG);
+    // Sense-amp input-referred offset from device mismatch.
+    const double offset =
+        rng ? 0.01 * p.vdd * p.sigma / 0.05 * rng->gaussian() : 0.0;
+
+    // Topology per Section 5 (see the header comment).
+    const bool cell_connected =
+        !(variant == CircuitVariant::Gmc && !matched);
+    const bool sa_connected =
+        !((variant == CircuitVariant::Gsa ||
+           variant == CircuitVariant::Gmc) &&
+          !matched);
+
+    double vc = cell_value ? p.vdd : 0.0;
+    double vb = p.vdd / 2.0;
+
+    Trace tr;
+    const std::size_t steps =
+        static_cast<std::size_t>(p.span / p.dt) + 1;
+    tr.t.reserve(steps);
+    tr.vBitline.reserve(steps);
+    tr.vCell.reserve(steps);
+
+    for (std::size_t k = 0; k < steps; ++k) {
+        const double t = k * p.dt;
+        tr.t.push_back(t);
+        tr.vBitline.push_back(vb);
+        tr.vCell.push_back(vc);
+
+        // Charge sharing through the access transistor.
+        if (cell_connected) {
+            const double i = ga * (vc - vb); // uS * V = uA
+            vc -= i * p.dt / cc;             // uA * ns / fF = V
+            vb += i * p.dt / cb;
+        }
+        // Regenerative sensing after the enable delay.
+        if (sa_connected && t >= p.senseDelay) {
+            const double dev = vb - p.vdd / 2.0 + offset;
+            vb += gs * dev * p.dt / cb;
+        }
+        vb = std::clamp(vb, 0.0, p.vdd);
+        vc = std::clamp(vc, 0.0, p.vdd);
+    }
+    return tr;
+}
+
+} // namespace pluto::circuit

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Circuit-level bitline model (the LTSpice + 22nm PTM substitute for
+ * Section 8.1 / Figure 6).
+ *
+ * The model integrates two coupled processes with forward Euler:
+ *  1. charge sharing between the cell capacitor and the bitline
+ *     capacitance through the access-transistor conductance, and
+ *  2. regenerative amplification by the cross-coupled sense
+ *     amplifier once it is enabled (positive feedback around
+ *     VDD / 2, saturating at the rails), which also restores the
+ *     cell through the still-open access transistor.
+ *
+ * The three pLUTo designs alter the topology exactly as Section 5
+ * describes:
+ *  - BSA: bitline path unchanged (the FF copies after sensing);
+ *  - GSA: a matchline-controlled switch gates the SA from the
+ *    bitline — on a mismatch the SA never amplifies and the cell's
+ *    charge is lost (destructive read);
+ *  - GMC: a matchline-controlled transistor gates the cell itself —
+ *    on a mismatch no charge is shared and the bitline stays
+ *    precharged.
+ *
+ * Process variation (5%, Section 8.1) perturbs the capacitances,
+ * conductances and the SA offset per Monte Carlo run.
+ */
+
+#ifndef PLUTO_CIRCUIT_BITLINE_HH
+#define PLUTO_CIRCUIT_BITLINE_HH
+
+#include <vector>
+
+#include "common/random.hh"
+#include "common/units.hh"
+#include "pluto/design.hh"
+
+namespace pluto::circuit
+{
+
+/** Which bitline topology to simulate. */
+enum class CircuitVariant
+{
+    Baseline, ///< unmodified DRAM
+    Bsa,
+    Gsa,
+    Gmc,
+};
+
+/** @return display name ("Baseline", "pLUTo-BSA", ...). */
+const char *variantName(CircuitVariant v);
+
+/** All variants in Figure 6's order. */
+inline constexpr CircuitVariant allVariants[] = {
+    CircuitVariant::Baseline, CircuitVariant::Bsa, CircuitVariant::Gsa,
+    CircuitVariant::Gmc};
+
+/** Nominal device parameters (22nm low-power class). */
+struct CircuitParams
+{
+    /** Supply voltage (V). */
+    double vdd = 0.8;
+    /** Cell capacitance (fF). */
+    double cellCap = 22.0;
+    /** Bitline capacitance (fF). */
+    double bitlineCap = 85.0;
+    /** Access transistor on-conductance (uS). */
+    double accessG = 18.0;
+    /** Sense-amp regenerative gain (uS effective). */
+    double senseG = 55.0;
+    /** Delay from wordline assert to SA enable (ns). */
+    TimeNs senseDelay = 4.0;
+    /** Fractional process variation (Section 8.1: 5%). */
+    double sigma = 0.05;
+    /** Integration step (ns). */
+    TimeNs dt = 0.01;
+    /** Simulated span (ns); Figure 6 plots ~125 ns. */
+    TimeNs span = 125.0;
+};
+
+/** One simulated transient. */
+struct Trace
+{
+    /** Sample times (ns). */
+    std::vector<double> t;
+    /** Bitline voltage (V). */
+    std::vector<double> vBitline;
+    /** Cell voltage (V). */
+    std::vector<double> vCell;
+
+    /** Final bitline voltage. */
+    double finalBitline() const { return vBitline.back(); }
+
+    /** Final cell voltage (restoration check). */
+    double finalCell() const { return vCell.back(); }
+
+    /**
+     * Time at which the bitline first reaches 90% of its swing
+     * toward the sensed rail, or -1 if it never does.
+     */
+    double activationTime(double vdd, bool cell_was_one) const;
+
+    /** Largest deviation of the bitline from VDD/2 (V). */
+    double maxDisturbance(double vdd) const;
+};
+
+/** Deterministic bitline transient simulator. */
+class BitlineSim
+{
+  public:
+    explicit BitlineSim(CircuitParams params = {});
+
+    const CircuitParams &params() const { return params_; }
+
+    /**
+     * Simulate one wordline activation at t = 0.
+     *
+     * @param variant Topology to model.
+     * @param cell_value Stored bit (true = charged).
+     * @param matched Matchline state for this bitline's slot.
+     * @param rng Source of process variation; pass nullptr for the
+     *        nominal (variation-free) device.
+     */
+    Trace simulate(CircuitVariant variant, bool cell_value, bool matched,
+                   Rng *rng = nullptr) const;
+
+  private:
+    CircuitParams params_;
+};
+
+} // namespace pluto::circuit
+
+#endif // PLUTO_CIRCUIT_BITLINE_HH

@@ -1,0 +1,64 @@
+#include "circuit/monte_carlo.hh"
+
+#include <algorithm>
+
+namespace pluto::circuit
+{
+
+MonteCarlo::MonteCarlo(CircuitParams params, u64 seed)
+    : sim_(params), seed_(seed)
+{
+}
+
+MonteCarloSummary
+MonteCarlo::run(CircuitVariant variant, u32 runs)
+{
+    MonteCarloSummary s;
+    s.variant = variant;
+    s.runs = runs;
+    const double vdd = sim_.params().vdd;
+    Rng rng(seed_ + static_cast<u64>(variant));
+
+    for (u32 k = 0; k < runs; ++k) {
+        const auto one = sim_.simulate(variant, true, true, &rng);
+        const auto zero = sim_.simulate(variant, false, true, &rng);
+        if (one.finalBitline() > 0.95 * vdd)
+            ++s.correctOnes;
+        if (zero.finalBitline() < 0.05 * vdd)
+            ++s.correctZeros;
+        s.worstActivationNs =
+            std::max({s.worstActivationNs, one.activationTime(vdd, true),
+                      zero.activationTime(vdd, false)});
+
+        if (variant == CircuitVariant::Gsa ||
+            variant == CircuitVariant::Gmc) {
+            const auto um = sim_.simulate(variant, true, false, &rng);
+            if (variant == CircuitVariant::Gmc) {
+                s.unmatchedDisturbanceFrac =
+                    std::max(s.unmatchedDisturbanceFrac,
+                             um.maxDisturbance(vdd) / vdd);
+            } else {
+                // GSA unmatched bitlines legitimately float at the
+                // charge-shared level; record it for reporting (the
+                // "noisiest" observation) without a correctness claim.
+                s.unmatchedDisturbanceFrac =
+                    std::max(s.unmatchedDisturbanceFrac,
+                             um.maxDisturbance(vdd) / vdd);
+            }
+        }
+    }
+    return s;
+}
+
+std::vector<Trace>
+MonteCarlo::traces(CircuitVariant variant, u32 runs, bool cell_value)
+{
+    std::vector<Trace> out;
+    out.reserve(runs);
+    Rng rng(seed_ + 1000 + static_cast<u64>(variant));
+    for (u32 k = 0; k < runs; ++k)
+        out.push_back(sim_.simulate(variant, cell_value, true, &rng));
+    return out;
+}
+
+} // namespace pluto::circuit

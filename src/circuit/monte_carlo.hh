@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Monte Carlo driver for the bitline simulator: N runs with 5%
+ * process variation per variant (Figure 6's experiment), plus the
+ * summary metrics the paper's three key observations rest on
+ * (Section 8.1).
+ */
+
+#ifndef PLUTO_CIRCUIT_MONTE_CARLO_HH
+#define PLUTO_CIRCUIT_MONTE_CARLO_HH
+
+#include <vector>
+
+#include "circuit/bitline.hh"
+
+namespace pluto::circuit
+{
+
+/** Aggregate results of one Monte Carlo campaign. */
+struct MonteCarloSummary
+{
+    CircuitVariant variant = CircuitVariant::Baseline;
+    u32 runs = 0;
+    /** Runs in which a matched, charged cell sensed to VDD. */
+    u32 correctOnes = 0;
+    /** Runs in which a matched, empty cell sensed to 0. */
+    u32 correctZeros = 0;
+    /** Worst 90%-swing activation time across runs (ns). */
+    double worstActivationNs = 0.0;
+    /**
+     * Worst bitline disturbance on an unmatched slot, as a fraction
+     * of VDD (GMC only gates cells; baseline/BSA have no unmatched
+     * notion and report 0).
+     */
+    double unmatchedDisturbanceFrac = 0.0;
+
+    /** @return true if every run sensed correctly. */
+    bool allCorrect() const
+    {
+        return correctOnes == runs && correctZeros == runs;
+    }
+};
+
+/** Runs the Figure 6 experiment. */
+class MonteCarlo
+{
+  public:
+    explicit MonteCarlo(CircuitParams params = {}, u64 seed = 810000);
+
+    /**
+     * Simulate `runs` process-variation samples of a matched
+     * activation per stored value, plus unmatched activations for
+     * the gated designs. @return the summary.
+     */
+    MonteCarloSummary run(CircuitVariant variant, u32 runs = 100);
+
+    /**
+     * Produce `runs` matched charged-cell traces for plotting
+     * (Figure 6's blue shades).
+     */
+    std::vector<Trace> traces(CircuitVariant variant, u32 runs,
+                              bool cell_value = true);
+
+  private:
+    BitlineSim sim_;
+    u64 seed_;
+};
+
+} // namespace pluto::circuit
+
+#endif // PLUTO_CIRCUIT_MONTE_CARLO_HH

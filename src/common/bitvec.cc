@@ -1,0 +1,105 @@
+#include "common/bitvec.hh"
+
+#include "common/logging.hh"
+
+namespace pluto
+{
+
+namespace
+{
+
+u64
+getPacked(std::span<const u8> data, u32 width, u64 idx)
+{
+    const u64 bit = idx * width;
+    const u64 byte = bit / 8;
+    if (width >= 8) {
+        const u64 bytes = width / 8;
+        u64 v = 0;
+        for (u64 i = 0; i < bytes; ++i)
+            v |= static_cast<u64>(data[byte + i]) << (8 * i);
+        return v;
+    }
+    const u32 shift = bit % 8;
+    const u8 mask = static_cast<u8>((1u << width) - 1);
+    return (data[byte] >> shift) & mask;
+}
+
+void
+setPacked(std::span<u8> data, u32 width, u64 idx, u64 value)
+{
+    const u64 bit = idx * width;
+    const u64 byte = bit / 8;
+    if (width >= 8) {
+        const u64 bytes = width / 8;
+        for (u64 i = 0; i < bytes; ++i)
+            data[byte + i] = static_cast<u8>(value >> (8 * i));
+        return;
+    }
+    const u32 shift = bit % 8;
+    const u8 mask = static_cast<u8>((1u << width) - 1);
+    data[byte] = static_cast<u8>(
+        (data[byte] & ~(mask << shift)) | ((value & mask) << shift));
+}
+
+} // namespace
+
+ElementView::ElementView(std::span<u8> data, u32 width)
+    : data_(data), width_(width)
+{
+    if (!isSupportedElementWidth(width))
+        panic("unsupported element width %u", width);
+}
+
+u64
+ElementView::get(u64 idx) const
+{
+    PLUTO_ASSERT(idx < size());
+    return getPacked(data_, width_, idx);
+}
+
+void
+ElementView::set(u64 idx, u64 value)
+{
+    PLUTO_ASSERT(idx < size());
+    setPacked(data_, width_, idx, value);
+}
+
+ConstElementView::ConstElementView(std::span<const u8> data, u32 width)
+    : data_(data), width_(width)
+{
+    if (!isSupportedElementWidth(width))
+        panic("unsupported element width %u", width);
+}
+
+u64
+ConstElementView::get(u64 idx) const
+{
+    PLUTO_ASSERT(idx < size());
+    return getPacked(data_, width_, idx);
+}
+
+std::vector<u8>
+packElements(const std::vector<u64> &values, u32 width)
+{
+    if (!isSupportedElementWidth(width))
+        panic("unsupported element width %u", width);
+    const u64 bits = values.size() * width;
+    std::vector<u8> out((bits + 7) / 8, 0);
+    ElementView view(out, width);
+    for (u64 i = 0; i < values.size(); ++i)
+        view.set(i, values[i]);
+    return out;
+}
+
+std::vector<u64>
+unpackElements(std::span<const u8> data, u32 width)
+{
+    ConstElementView view(data, width);
+    std::vector<u64> out(view.size());
+    for (u64 i = 0; i < out.size(); ++i)
+        out[i] = view.get(i);
+    return out;
+}
+
+} // namespace pluto

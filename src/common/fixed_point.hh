@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Minimal signed fixed-point arithmetic in Q-format (Q1.7, Q1.15),
+ * as used by the vector point-wise multiplication workload (Table 4
+ * of the pLUTo paper).
+ */
+
+#ifndef PLUTO_COMMON_FIXED_POINT_HH
+#define PLUTO_COMMON_FIXED_POINT_HH
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/types.hh"
+
+namespace pluto
+{
+
+/**
+ * Signed fixed-point number with `Frac` fractional bits stored in a
+ * `Raw` integer. Q1.7 == Fixed<i8, 7>, Q1.15 == Fixed<i16, 15>.
+ */
+template <typename Raw, int Frac>
+struct Fixed
+{
+    Raw raw = 0;
+
+    static constexpr double scale = static_cast<double>(1 << Frac);
+
+    constexpr Fixed() = default;
+    constexpr explicit Fixed(Raw r) : raw(r) {}
+
+    /** Build from a real value, saturating to the representable range. */
+    static Fixed
+    fromDouble(double v)
+    {
+        const double lo = -1.0;
+        const double hi = (scale - 1.0) / scale;
+        v = std::clamp(v, lo, hi);
+        return Fixed(static_cast<Raw>(std::lround(v * scale)));
+    }
+
+    /** @return the represented real value. */
+    double toDouble() const { return static_cast<double>(raw) / scale; }
+
+    /**
+     * Fixed-point multiply: (a*b) >> Frac with truncation toward
+     * negative infinity (arithmetic shift), matching the LUT-based
+     * implementation.
+     */
+    friend Fixed
+    operator*(Fixed a, Fixed b)
+    {
+        const i64 prod = static_cast<i64>(a.raw) * static_cast<i64>(b.raw);
+        return Fixed(static_cast<Raw>(prod >> Frac));
+    }
+
+    friend bool operator==(Fixed a, Fixed b) { return a.raw == b.raw; }
+};
+
+/** Q1.7: 8-bit signed fixed point with 7 fractional bits. */
+using Q1_7 = Fixed<i8, 7>;
+/** Q1.15: 16-bit signed fixed point with 15 fractional bits. */
+using Q1_15 = Fixed<i16, 15>;
+
+} // namespace pluto
+
+#endif // PLUTO_COMMON_FIXED_POINT_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * gem5-style status and error reporting.
+ *
+ * panic() is for internal invariant violations (simulator bugs) and
+ * aborts; fatal() is for user errors (bad configuration, invalid
+ * arguments) and exits cleanly; warn()/inform() report conditions
+ * without stopping the simulation.
+ */
+
+#ifndef PLUTO_COMMON_LOGGING_HH
+#define PLUTO_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace pluto
+{
+
+/** Severity of a log message. */
+enum class LogLevel
+{
+    Inform,
+    Warn,
+    Fatal,
+    Panic,
+};
+
+/** Global verbosity control: messages below this level are dropped. */
+void setLogVerbose(bool verbose);
+
+/** @return true if inform() messages are printed. */
+bool logVerbose();
+
+/**
+ * Report an informational message to stderr (suppressed unless
+ * verbose logging is enabled).
+ */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report a warning to stderr. Never stops the simulation. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report a user-caused error and exit(1). Use for bad configuration or
+ * invalid arguments, not for simulator bugs.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an internal invariant violation and abort(). Use for
+ * conditions that should never happen regardless of user input.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** panic() unless the condition holds. */
+#define PLUTO_ASSERT(cond, ...)                                          \
+    do {                                                                 \
+        if (!(cond))                                                     \
+            ::pluto::panic("assertion failed: %s: " #cond, __func__);    \
+    } while (0)
+
+} // namespace pluto
+
+#endif // PLUTO_COMMON_LOGGING_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (xoshiro256**).
+ *
+ * Every stochastic component of the simulator (workload input
+ * generation, Monte Carlo circuit runs, synthetic MNIST digits) draws
+ * from an explicitly seeded Rng so results are reproducible run to run.
+ */
+
+#ifndef PLUTO_COMMON_RANDOM_HH
+#define PLUTO_COMMON_RANDOM_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace pluto
+{
+
+/** xoshiro256** generator with splitmix64 seeding. */
+class Rng
+{
+  public:
+    explicit Rng(u64 seed = 0x5eed5eed5eed5eedULL);
+
+    /** @return next 64 uniformly random bits. */
+    u64 next();
+
+    /** @return uniform integer in [0, bound). bound must be > 0. */
+    u64 below(u64 bound);
+
+    /** @return uniform double in [0, 1). */
+    double uniform();
+
+    /** @return uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** @return standard normal deviate (Box-Muller). */
+    double gaussian();
+
+    /** @return normal deviate with the given mean/stddev. */
+    double gaussian(double mean, double stddev);
+
+    /** Fill `n` bytes with uniform random values. */
+    std::vector<u8> bytes(u64 n);
+
+    /** @return `n` uniform values each below `bound`. */
+    std::vector<u64> values(u64 n, u64 bound);
+
+  private:
+    u64 s_[4];
+    bool haveSpare_ = false;
+    double spare_ = 0.0;
+};
+
+} // namespace pluto
+
+#endif // PLUTO_COMMON_RANDOM_HH

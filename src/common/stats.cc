@@ -1,0 +1,53 @@
+#include "common/stats.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace pluto
+{
+
+void
+StatSet::add(const std::string &name, double delta)
+{
+    counters_[name] += delta;
+}
+
+double
+StatSet::get(const std::string &name) const
+{
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0.0 : it->second;
+}
+
+void
+StatSet::merge(const StatSet &other)
+{
+    for (const auto &[name, value] : other.counters_)
+        counters_[name] += value;
+}
+
+std::string
+StatSet::format() const
+{
+    std::ostringstream os;
+    for (const auto &[name, value] : counters_)
+        os << name << " = " << value << "\n";
+    return os.str();
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double v : values) {
+        PLUTO_ASSERT(v > 0.0);
+        acc += std::log(v);
+    }
+    return std::exp(acc / static_cast<double>(values.size()));
+}
+
+} // namespace pluto

@@ -1,0 +1,81 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace pluto
+{
+
+AsciiTable::AsciiTable(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+}
+
+void
+AsciiTable::addRow(std::vector<std::string> cells)
+{
+    cells.resize(header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+AsciiTable::render() const
+{
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        width[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << (c ? "  " : "");
+            os << row[c];
+            os << std::string(width[c] - row[c].size(), ' ');
+        }
+        os << "\n";
+    };
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < width.size(); ++c)
+        total += width[c] + (c ? 2 : 0);
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : rows_)
+        emit(row);
+    return os.str();
+}
+
+std::string
+fmtSig(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*g", digits, v);
+    return buf;
+}
+
+std::string
+fmtX(double v)
+{
+    char buf[64];
+    if (std::fabs(v) >= 100.0)
+        std::snprintf(buf, sizeof(buf), "%.0fx", v);
+    else if (std::fabs(v) >= 10.0)
+        std::snprintf(buf, sizeof(buf), "%.1fx", v);
+    else
+        std::snprintf(buf, sizeof(buf), "%.2fx", v);
+    return buf;
+}
+
+std::string
+fmtPct(double frac)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.1f%%", frac * 100.0);
+    return buf;
+}
+
+} // namespace pluto

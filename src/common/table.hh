@@ -1,0 +1,44 @@
+/**
+ * @file
+ * ASCII table printer used by the bench harnesses to emit paper-style
+ * rows (figures as series tables, tables as tables).
+ */
+
+#ifndef PLUTO_COMMON_TABLE_HH
+#define PLUTO_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace pluto
+{
+
+/** Column-aligned ASCII table with a header row. */
+class AsciiTable
+{
+  public:
+    explicit AsciiTable(std::vector<std::string> header);
+
+    /** Append a row of already-formatted cells. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render the table, header first, with a separator line. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with `digits` significant digits. */
+std::string fmtSig(double v, int digits = 4);
+
+/** Format a ratio as e.g. "713.2x". */
+std::string fmtX(double v);
+
+/** Format a percentage as e.g. "16.7%". */
+std::string fmtPct(double frac);
+
+} // namespace pluto
+
+#endif // PLUTO_COMMON_TABLE_HH

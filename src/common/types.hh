@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Fundamental scalar type aliases used across the pLUTo code base.
+ */
+
+#ifndef PLUTO_COMMON_TYPES_HH
+#define PLUTO_COMMON_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pluto
+{
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/** Index of a DRAM row within its subarray. */
+using RowIndex = u32;
+/** Index of a subarray within its bank. */
+using SubarrayIndex = u32;
+/** Index of a bank within the module. */
+using BankIndex = u32;
+
+} // namespace pluto
+
+#endif // PLUTO_COMMON_TYPES_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Physical-unit helpers. Time is expressed in nanoseconds, energy in
+ * picojoules, area in square millimeters, and bandwidth in bytes per
+ * nanosecond (== GB/s) throughout the code base. These helpers make
+ * literals self-describing at call sites.
+ */
+
+#ifndef PLUTO_COMMON_UNITS_HH
+#define PLUTO_COMMON_UNITS_HH
+
+namespace pluto
+{
+
+/** Time in nanoseconds. */
+using TimeNs = double;
+/** Energy in picojoules. */
+using EnergyPj = double;
+/** Area in mm^2. */
+using AreaMm2 = double;
+/** Power in watts. */
+using PowerW = double;
+/** Bandwidth in bytes per nanosecond (numerically equal to GB/s). */
+using BytesPerNs = double;
+
+namespace units
+{
+
+/** Convert microseconds to nanoseconds. */
+constexpr TimeNs usToNs(double us) { return us * 1e3; }
+/** Convert milliseconds to nanoseconds. */
+constexpr TimeNs msToNs(double ms) { return ms * 1e6; }
+/** Convert seconds to nanoseconds. */
+constexpr TimeNs sToNs(double s) { return s * 1e9; }
+/** Convert nanojoules to picojoules. */
+constexpr EnergyPj nJToPj(double nj) { return nj * 1e3; }
+/** Convert microjoules to picojoules. */
+constexpr EnergyPj uJToPj(double uj) { return uj * 1e6; }
+/** Convert millijoules to picojoules. */
+constexpr EnergyPj mJToPj(double mj) { return mj * 1e9; }
+/** Convert picojoules to millijoules. */
+constexpr double pJToMj(EnergyPj pj) { return pj * 1e-9; }
+/** Convert GB/s to bytes per nanosecond. */
+constexpr BytesPerNs gbPerS(double gbps) { return gbps; }
+/** Energy in pJ from power (W) over a duration (ns): 1 W x 1 ns = 1 nJ. */
+constexpr EnergyPj energyFromPower(PowerW w, TimeNs ns) { return w * ns * 1e3; }
+
+/** Kibibytes in bytes. */
+constexpr double kib = 1024.0;
+/** Mebibytes in bytes. */
+constexpr double mib = 1024.0 * 1024.0;
+/** Gibibytes in bytes. */
+constexpr double gib = 1024.0 * 1024.0 * 1024.0;
+
+} // namespace units
+} // namespace pluto
+
+#endif // PLUTO_COMMON_UNITS_HH

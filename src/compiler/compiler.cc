@@ -1,0 +1,222 @@
+#include "compiler/compiler.hh"
+
+#include <set>
+
+#include "common/logging.hh"
+
+namespace pluto::compiler
+{
+
+namespace
+{
+
+/** Tracks physical row registers and their reuse. */
+class RegisterPool
+{
+  public:
+    RegisterPool(isa::Program &prog, u64 elements, bool reuse)
+        : prog_(prog), elements_(elements), reuse_(reuse)
+    {
+    }
+
+    /** Acquire a register of `width`-bit slots (alloc if needed). */
+    i32
+    acquire(u32 width)
+    {
+        auto &free = free_[width];
+        if (reuse_ && !free.empty()) {
+            const i32 reg = *free.begin();
+            free.erase(free.begin());
+            return reg;
+        }
+        const i32 reg = prog_.newRowReg();
+        prog_.append(isa::makeRowAlloc(reg, elements_, width));
+        ++allocated_;
+        return reg;
+    }
+
+    /** Return a dead register to the pool. */
+    void
+    release(i32 reg, u32 width)
+    {
+        free_[width].insert(reg);
+    }
+
+    u32 allocated() const { return allocated_; }
+
+  private:
+    isa::Program &prog_;
+    u64 elements_;
+    bool reuse_;
+    std::map<u32, std::set<i32>> free_;
+    u32 allocated_ = 0;
+};
+
+/** LUT sizes per standard name are known to the runtime library; the
+ *  compiler only needs 2^indexBits, which is derivable from the node
+ *  shape. */
+u32
+lutSizeFor(const Node &n)
+{
+    switch (n.kind) {
+      case Node::Kind::Add:
+      case Node::Kind::Mul:
+      case Node::Kind::MulQ:
+        return 1u << (2 * n.operandBits);
+      case Node::Kind::Bitcount:
+        return 1u << n.width;
+      default:
+        panic("lutSizeFor: node has no LUT");
+    }
+}
+
+} // namespace
+
+CompiledProgram
+compile(const Graph &g, const CompileOptions &opts)
+{
+    CompiledProgram out;
+    isa::Program &prog = out.program;
+    const auto last = g.lastUses();
+
+    // Determine each distinct LUT's row count from the node shapes.
+    std::map<std::string, u32> lut_sizes;
+    for (u32 i = 0; i < g.size(); ++i) {
+        const Node &n = g.node(i);
+        if (n.lutName.empty())
+            continue;
+        const u32 size = n.kind == Node::Kind::LutQuery ? n.lutSize
+                                                        : lutSizeFor(n);
+        const auto it = lut_sizes.find(n.lutName);
+        if (it == lut_sizes.end())
+            lut_sizes[n.lutName] = size;
+        else if (it->second != size)
+            fatal("compile: LUT '%s' used with conflicting sizes "
+                  "(%u vs %u)", n.lutName.c_str(), it->second, size);
+    }
+
+    // Prologue: one pluto_subarray_alloc per distinct LUT.
+    for (const auto &[name, size] : lut_sizes) {
+        const i32 reg = prog.newSubarrayReg();
+        out.lutRegs[name] = reg;
+        prog.append(isa::makeSubarrayAlloc(reg, size, name));
+    }
+
+    RegisterPool pool(prog, g.elements(), opts.reuseRegisters);
+
+    // Node id -> physical register currently holding its value.
+    std::vector<i32> reg_of(g.size(), -1);
+
+    // Inputs get pinned registers.
+    for (u32 i = 0; i < g.size(); ++i) {
+        const Node &n = g.node(i);
+        if (n.kind != Node::Kind::Input)
+            continue;
+        reg_of[i] = pool.acquire(n.width);
+        out.inputRegs[n.name] = reg_of[i];
+    }
+
+    // A naive allocation uses one register per value plus one
+    // alignment temp per macro node.
+    out.naiveRowRegs = g.size();
+    for (u32 i = 0; i < g.size(); ++i) {
+        const auto k = g.node(i).kind;
+        if (k == Node::Kind::Add || k == Node::Kind::Mul ||
+            k == Node::Kind::MulQ)
+            ++out.naiveRowRegs;
+    }
+
+    auto release_dead = [&](u32 now) {
+        if (!opts.reuseRegisters)
+            return;
+        for (u32 i = 0; i < g.size(); ++i) {
+            if (reg_of[i] >= 0 && last[i] == now &&
+                g.node(i).kind != Node::Kind::Input) {
+                pool.release(reg_of[i], g.node(i).width);
+                reg_of[i] = -2; // dead
+            }
+        }
+    };
+
+    for (u32 i = 0; i < g.size(); ++i) {
+        const Node &n = g.node(i);
+        auto src = [&](u32 k) {
+            const NodeId op = n.operands[k];
+            PLUTO_ASSERT(reg_of[op] >= 0);
+            return reg_of[op];
+        };
+        switch (n.kind) {
+          case Node::Kind::Input:
+            break;
+          case Node::Kind::Add:
+          case Node::Kind::Mul:
+          case Node::Kind::MulQ: {
+            // Figure 5 alignment: tmp <- a; tmp <<= n;
+            // tmp <- tmp | b; dst <- LUT[tmp].
+            const i32 tmp = pool.acquire(n.width);
+            prog.append(isa::makeMove(tmp, src(0)));
+            prog.append(isa::makeShift(isa::Opcode::BitShiftL, tmp,
+                                       n.operandBits));
+            prog.append(isa::makeBitwise(isa::Opcode::MergeOr, tmp, tmp,
+                                         src(1)));
+            const i32 dst = pool.acquire(n.width);
+            prog.append(isa::makeLutOp(dst, tmp, out.lutRegs[n.lutName],
+                                       lut_sizes[n.lutName], n.width));
+            pool.release(tmp, n.width);
+            reg_of[i] = dst;
+            break;
+          }
+          case Node::Kind::Bitcount:
+          case Node::Kind::LutQuery: {
+            const i32 dst = pool.acquire(n.width);
+            prog.append(isa::makeLutOp(dst, src(0),
+                                       out.lutRegs[n.lutName],
+                                       lut_sizes[n.lutName], n.width));
+            reg_of[i] = dst;
+            break;
+          }
+          case Node::Kind::And:
+          case Node::Kind::Or:
+          case Node::Kind::Xor: {
+            const i32 dst = pool.acquire(n.width);
+            const isa::Opcode op = n.kind == Node::Kind::And
+                                       ? isa::Opcode::And
+                                       : n.kind == Node::Kind::Or
+                                             ? isa::Opcode::Or
+                                             : isa::Opcode::Xor;
+            prog.append(isa::makeBitwise(op, dst, src(0), src(1)));
+            reg_of[i] = dst;
+            break;
+          }
+          case Node::Kind::Not: {
+            const i32 dst = pool.acquire(n.width);
+            prog.append(isa::makeBitwise(isa::Opcode::Not, dst, src(0)));
+            reg_of[i] = dst;
+            break;
+          }
+          case Node::Kind::ShiftL:
+          case Node::Kind::ShiftR: {
+            // Shifts mutate in place: copy first to preserve the
+            // operand's value for other readers.
+            const i32 dst = pool.acquire(n.width);
+            prog.append(isa::makeMove(dst, src(0)));
+            prog.append(isa::makeShift(n.kind == Node::Kind::ShiftL
+                                           ? isa::Opcode::BitShiftL
+                                           : isa::Opcode::BitShiftR,
+                                       dst, n.amount));
+            reg_of[i] = dst;
+            break;
+          }
+        }
+        release_dead(i);
+    }
+
+    for (const auto &[name, id] : g.outputs()) {
+        PLUTO_ASSERT(reg_of[id] >= 0);
+        out.outputRegs[name] = reg_of[id];
+    }
+    out.physicalRowRegs = pool.allocated();
+    return out;
+}
+
+} // namespace pluto::compiler

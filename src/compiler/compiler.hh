@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The pLUTo Compiler (Section 6.3): lowers a dataflow Graph to a
+ * pLUTo ISA Program. It performs
+ *  1. dependency analysis (liveness over the topological order),
+ *  2. operand alignment: macro Add/Mul/MulQ nodes expand to the
+ *     Figure 5 sequence move + pluto_bit_shift_l + pluto_or (cheap
+ *     TRA merge) + pluto_op,
+ *  3. row-register allocation with liveness-driven reuse, and
+ *  4. LUT subarray allocation (one pluto_subarray_alloc per distinct
+ *     LUT, hoisted to the program prologue).
+ */
+
+#ifndef PLUTO_COMPILER_COMPILER_HH
+#define PLUTO_COMPILER_COMPILER_HH
+
+#include <map>
+#include <string>
+
+#include "compiler/graph.hh"
+#include "isa/program.hh"
+
+namespace pluto::compiler
+{
+
+/** Result of compiling a Graph. */
+struct CompiledProgram
+{
+    isa::Program program;
+    /** Input name -> row register holding it. */
+    std::map<std::string, i32> inputRegs;
+    /** Output name -> row register holding it. */
+    std::map<std::string, i32> outputRegs;
+    /** LUT name -> subarray register. */
+    std::map<std::string, i32> lutRegs;
+    /** Physical row registers allocated (after reuse). */
+    u32 physicalRowRegs = 0;
+    /** Row registers a naive one-per-value allocation would need. */
+    u32 naiveRowRegs = 0;
+};
+
+/** Compiler options. */
+struct CompileOptions
+{
+    /** Reuse dead row registers (disable to measure the benefit). */
+    bool reuseRegisters = true;
+};
+
+/** Compile `g` into a pLUTo ISA program. */
+CompiledProgram compile(const Graph &g, const CompileOptions &opts = {});
+
+} // namespace pluto::compiler
+
+#endif // PLUTO_COMPILER_COMPILER_HH

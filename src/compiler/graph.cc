@@ -1,0 +1,229 @@
+#include "compiler/graph.hh"
+
+#include "common/bitvec.hh"
+#include "common/logging.hh"
+
+namespace pluto::compiler
+{
+
+Graph::Graph(u64 elements)
+    : elements_(elements)
+{
+    if (elements == 0)
+        fatal("graph: element count must be > 0");
+}
+
+NodeId
+Graph::addNode(Node n)
+{
+    nodes_.push_back(std::move(n));
+    return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void
+Graph::checkOperand(NodeId id) const
+{
+    if (id >= nodes_.size())
+        fatal("graph: operand node %u does not exist", id);
+}
+
+const Node &
+Graph::node(NodeId id) const
+{
+    checkOperand(id);
+    return nodes_[id];
+}
+
+NodeId
+Graph::input(const std::string &name, u32 slot_width)
+{
+    if (!isSupportedElementWidth(slot_width))
+        fatal("graph: unsupported input width %u", slot_width);
+    Node n;
+    n.kind = Node::Kind::Input;
+    n.width = slot_width;
+    n.name = name;
+    return addNode(std::move(n));
+}
+
+NodeId
+Graph::add(NodeId a, NodeId b, u32 operand_bits)
+{
+    checkOperand(a);
+    checkOperand(b);
+    const u32 slot = 2 * operand_bits;
+    if (node(a).width != slot || node(b).width != slot)
+        fatal("graph: add%u operands must use %u-bit slots",
+              operand_bits, slot);
+    Node n;
+    n.kind = Node::Kind::Add;
+    n.width = slot;
+    n.operands = {a, b};
+    n.operandBits = operand_bits;
+    n.lutName = "add" + std::to_string(operand_bits);
+    return addNode(std::move(n));
+}
+
+NodeId
+Graph::mul(NodeId a, NodeId b, u32 operand_bits)
+{
+    checkOperand(a);
+    checkOperand(b);
+    const u32 slot = 2 * operand_bits;
+    if (node(a).width != slot || node(b).width != slot)
+        fatal("graph: mul%u operands must use %u-bit slots",
+              operand_bits, slot);
+    Node n;
+    n.kind = Node::Kind::Mul;
+    n.width = slot;
+    n.operands = {a, b};
+    n.operandBits = operand_bits;
+    n.lutName = "mul" + std::to_string(operand_bits);
+    return addNode(std::move(n));
+}
+
+NodeId
+Graph::mulQ(NodeId a, NodeId b, u32 operand_bits)
+{
+    checkOperand(a);
+    checkOperand(b);
+    const u32 slot = 2 * operand_bits;
+    if (node(a).width != slot || node(b).width != slot)
+        fatal("graph: mulq%u operands must use %u-bit slots",
+              operand_bits, slot);
+    Node n;
+    n.kind = Node::Kind::MulQ;
+    n.width = slot;
+    n.operands = {a, b};
+    n.operandBits = operand_bits;
+    n.lutName = "mulq" + std::to_string(operand_bits);
+    return addNode(std::move(n));
+}
+
+NodeId
+Graph::bitcount(NodeId a, u32 bits)
+{
+    checkOperand(a);
+    if (bits != 4 && bits != 8)
+        fatal("graph: bitcount supports 4- or 8-bit slots");
+    if (node(a).width != bits)
+        fatal("graph: bitcount%u operand must use %u-bit slots", bits,
+              bits);
+    Node n;
+    n.kind = Node::Kind::Bitcount;
+    n.width = bits;
+    n.operands = {a};
+    n.lutName = "bc" + std::to_string(bits);
+    return addNode(std::move(n));
+}
+
+NodeId
+Graph::lutQuery(NodeId a, const std::string &lut_name, u32 slot_width,
+                u32 lut_size)
+{
+    checkOperand(a);
+    if (node(a).width != slot_width)
+        fatal("graph: lutQuery '%s' expects %u-bit slots, operand has "
+              "%u", lut_name.c_str(), slot_width, node(a).width);
+    if (lut_size == 0 || (lut_size & (lut_size - 1)) != 0)
+        fatal("graph: lutQuery '%s' size %u is not a power of two",
+              lut_name.c_str(), lut_size);
+    Node n;
+    n.kind = Node::Kind::LutQuery;
+    n.width = slot_width;
+    n.operands = {a};
+    n.lutName = lut_name;
+    n.lutSize = lut_size;
+    return addNode(std::move(n));
+}
+
+NodeId
+Graph::binary(Node::Kind kind, NodeId a, NodeId b)
+{
+    checkOperand(a);
+    checkOperand(b);
+    if (node(a).width != node(b).width)
+        fatal("graph: bitwise operand width mismatch (%u vs %u)",
+              node(a).width, node(b).width);
+    Node n;
+    n.kind = kind;
+    n.width = node(a).width;
+    n.operands = {a, b};
+    return addNode(std::move(n));
+}
+
+NodeId
+Graph::bitwiseAnd(NodeId a, NodeId b)
+{
+    return binary(Node::Kind::And, a, b);
+}
+
+NodeId
+Graph::bitwiseOr(NodeId a, NodeId b)
+{
+    return binary(Node::Kind::Or, a, b);
+}
+
+NodeId
+Graph::bitwiseXor(NodeId a, NodeId b)
+{
+    return binary(Node::Kind::Xor, a, b);
+}
+
+NodeId
+Graph::bitwiseNot(NodeId a)
+{
+    checkOperand(a);
+    Node n;
+    n.kind = Node::Kind::Not;
+    n.width = node(a).width;
+    n.operands = {a};
+    return addNode(std::move(n));
+}
+
+NodeId
+Graph::shiftLeft(NodeId a, u32 bits)
+{
+    checkOperand(a);
+    Node n;
+    n.kind = Node::Kind::ShiftL;
+    n.width = node(a).width;
+    n.operands = {a};
+    n.amount = bits;
+    return addNode(std::move(n));
+}
+
+NodeId
+Graph::shiftRight(NodeId a, u32 bits)
+{
+    checkOperand(a);
+    Node n;
+    n.kind = Node::Kind::ShiftR;
+    n.width = node(a).width;
+    n.operands = {a};
+    n.amount = bits;
+    return addNode(std::move(n));
+}
+
+void
+Graph::markOutput(NodeId id, const std::string &name)
+{
+    checkOperand(id);
+    outputs_.emplace_back(name, id);
+}
+
+std::vector<u32>
+Graph::lastUses() const
+{
+    std::vector<u32> last(nodes_.size());
+    for (u32 i = 0; i < nodes_.size(); ++i)
+        last[i] = i;
+    for (u32 i = 0; i < nodes_.size(); ++i)
+        for (const NodeId op : nodes_[i].operands)
+            last[op] = i;
+    for (const auto &[name, id] : outputs_)
+        last[id] = static_cast<u32>(nodes_.size());
+    return last;
+}
+
+} // namespace pluto::compiler

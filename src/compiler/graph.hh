@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Data-dependency graph for the pLUTo Compiler (Section 6.3).
+ *
+ * Programs are expressed as element-wise dataflow over equally sized
+ * vectors: inputs, macro arithmetic ops (add/mul/mulQ/bitcount) that
+ * the compiler lowers to aligned LUT queries, raw LUT queries,
+ * bitwise logic, and shifts. The builder API guarantees acyclicity
+ * (operands must already exist), so node-id order is a topological
+ * order; the compiler still computes liveness over it to reuse row
+ * registers.
+ */
+
+#ifndef PLUTO_COMPILER_GRAPH_HH
+#define PLUTO_COMPILER_GRAPH_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace pluto::compiler
+{
+
+/** Identifier of a value node within a Graph. */
+using NodeId = u32;
+
+/** One dataflow node. */
+struct Node
+{
+    enum class Kind
+    {
+        Input,
+        Add,       ///< macro: n-bit unsigned addition
+        Mul,       ///< macro: n-bit unsigned multiplication
+        MulQ,      ///< macro: Q1.(n-1) fixed-point multiplication
+        Bitcount,  ///< macro: popcount via BC LUT
+        LutQuery,  ///< raw pluto_op against a named LUT
+        And,
+        Or,
+        Xor,
+        Not,
+        ShiftL,    ///< row-level left shift by `amount` bits
+        ShiftR,
+    };
+
+    Kind kind = Kind::Input;
+    /** Element slot width in bits. */
+    u32 width = 0;
+    /** Operand node ids. */
+    std::vector<NodeId> operands;
+    /** Add/Mul/MulQ: operand bit width n. */
+    u32 operandBits = 0;
+    /** Shifts: amount in bits. */
+    u32 amount = 0;
+    /** LutQuery/macros: LUT name resolved by the runtime library. */
+    std::string lutName;
+    /** LutQuery: number of LUT elements (2^indexBits). */
+    u32 lutSize = 0;
+    /** Inputs: user-visible name. */
+    std::string name;
+};
+
+/** A whole dataflow program over vectors of `elements` elements. */
+class Graph
+{
+  public:
+    /** @param elements Uniform vector length of every node. */
+    explicit Graph(u64 elements);
+
+    u64 elements() const { return elements_; }
+
+    /** Declare an input vector of `slot_width`-bit slots. */
+    NodeId input(const std::string &name, u32 slot_width);
+
+    /**
+     * n-bit unsigned addition a + b. Both operands must use 2n-bit
+     * slots with values in the low n bits; the result uses 2n-bit
+     * slots.
+     */
+    NodeId add(NodeId a, NodeId b, u32 operand_bits);
+
+    /** n-bit unsigned multiplication. Same slot contract as add(). */
+    NodeId mul(NodeId a, NodeId b, u32 operand_bits);
+
+    /** Q1.(n-1) fixed-point multiplication. */
+    NodeId mulQ(NodeId a, NodeId b, u32 operand_bits);
+
+    /** Popcount of 4- or 8-bit slots. */
+    NodeId bitcount(NodeId a, u32 bits);
+
+    /**
+     * Raw LUT query against a library LUT of matching slot width.
+     * @param lut_size Number of LUT elements (2^indexBits).
+     */
+    NodeId lutQuery(NodeId a, const std::string &lut_name,
+                    u32 slot_width, u32 lut_size);
+
+    NodeId bitwiseAnd(NodeId a, NodeId b);
+    NodeId bitwiseOr(NodeId a, NodeId b);
+    NodeId bitwiseXor(NodeId a, NodeId b);
+    NodeId bitwiseNot(NodeId a);
+
+    NodeId shiftLeft(NodeId a, u32 bits);
+    NodeId shiftRight(NodeId a, u32 bits);
+
+    /** Mark `id` as a program output under `name`. */
+    void markOutput(NodeId id, const std::string &name);
+
+    const Node &node(NodeId id) const;
+    u32 size() const { return static_cast<u32>(nodes_.size()); }
+
+    /** (name, node) pairs of marked outputs. */
+    const std::vector<std::pair<std::string, NodeId>> &outputs() const
+    {
+        return outputs_;
+    }
+
+    /**
+     * Last-use index of every node (the highest node id that reads
+     * it), or the node's own id if never read. Outputs are pinned
+     * live to the end. Used by register allocation.
+     */
+    std::vector<u32> lastUses() const;
+
+  private:
+    NodeId addNode(Node n);
+    void checkOperand(NodeId id) const;
+    NodeId binary(Node::Kind kind, NodeId a, NodeId b);
+
+    u64 elements_;
+    std::vector<Node> nodes_;
+    std::vector<std::pair<std::string, NodeId>> outputs_;
+};
+
+} // namespace pluto::compiler
+
+#endif // PLUTO_COMPILER_GRAPH_HH

@@ -1,0 +1,183 @@
+#include "compiler/passes.hh"
+
+#include <map>
+#include <tuple>
+
+#include "common/logging.hh"
+
+namespace pluto::compiler
+{
+
+namespace
+{
+
+/** Structural key for CSE. */
+using NodeKey = std::tuple<Node::Kind, std::vector<NodeId>, u32, u32,
+                           u32, std::string>;
+
+NodeKey
+keyOf(const Node &n, const std::vector<NodeId> &mapped_operands)
+{
+    // Inputs are never merged: key on their unique name instead.
+    const std::string tag =
+        n.kind == Node::Kind::Input ? n.name : n.lutName;
+    return {n.kind, mapped_operands, n.width, n.operandBits, n.amount,
+            tag};
+}
+
+/** Replay node `n` (with remapped operands) into `out`. */
+NodeId
+replay(Graph &out, const Node &n, const std::vector<NodeId> &ops)
+{
+    switch (n.kind) {
+      case Node::Kind::Input:
+        return out.input(n.name, n.width);
+      case Node::Kind::Add:
+        return out.add(ops[0], ops[1], n.operandBits);
+      case Node::Kind::Mul:
+        return out.mul(ops[0], ops[1], n.operandBits);
+      case Node::Kind::MulQ:
+        return out.mulQ(ops[0], ops[1], n.operandBits);
+      case Node::Kind::Bitcount:
+        return out.bitcount(ops[0], n.width);
+      case Node::Kind::LutQuery:
+        return out.lutQuery(ops[0], n.lutName, n.width, n.lutSize);
+      case Node::Kind::And:
+        return out.bitwiseAnd(ops[0], ops[1]);
+      case Node::Kind::Or:
+        return out.bitwiseOr(ops[0], ops[1]);
+      case Node::Kind::Xor:
+        return out.bitwiseXor(ops[0], ops[1]);
+      case Node::Kind::Not:
+        return out.bitwiseNot(ops[0]);
+      case Node::Kind::ShiftL:
+        return out.shiftLeft(ops[0], n.amount);
+      case Node::Kind::ShiftR:
+        return out.shiftRight(ops[0], n.amount);
+    }
+    panic("bad node kind");
+}
+
+} // namespace
+
+Graph
+optimize(const Graph &g, const OptOptions &opts, OptStats *stats)
+{
+    OptStats local;
+
+    // Pass 1: liveness from outputs (DCE).
+    std::vector<bool> live(g.size(), !opts.deadCodeElimination);
+    if (opts.deadCodeElimination) {
+        std::vector<NodeId> work;
+        for (const auto &[name, id] : g.outputs()) {
+            if (!live[id]) {
+                live[id] = true;
+                work.push_back(id);
+            }
+        }
+        while (!work.empty()) {
+            const NodeId id = work.back();
+            work.pop_back();
+            for (const NodeId op : g.node(id).operands) {
+                if (!live[op]) {
+                    live[op] = true;
+                    work.push_back(op);
+                }
+            }
+        }
+        for (u32 i = 0; i < g.size(); ++i)
+            local.removedDead += !live[i];
+    }
+
+    // Pass 2: rebuild with algebraic simplification + CSE.
+    Graph out(g.elements());
+    std::vector<NodeId> remap(g.size(), 0);
+    std::vector<bool> emitted(g.size(), false);
+    std::map<NodeKey, NodeId> seen;
+
+    for (u32 i = 0; i < g.size(); ++i) {
+        if (!live[i])
+            continue;
+        const Node &n = g.node(i);
+        std::vector<NodeId> ops;
+        ops.reserve(n.operands.size());
+        for (const NodeId op : n.operands) {
+            PLUTO_ASSERT(emitted[op]);
+            ops.push_back(remap[op]);
+        }
+
+        if (opts.algebraicSimplification) {
+            // shift by 0 is the identity.
+            if ((n.kind == Node::Kind::ShiftL ||
+                 n.kind == Node::Kind::ShiftR) &&
+                n.amount == 0) {
+                remap[i] = ops[0];
+                emitted[i] = true;
+                ++local.simplified;
+                continue;
+            }
+            // NOT(NOT(x)) == x.
+            if (n.kind == Node::Kind::Not) {
+                // Find the already-emitted producer of ops[0].
+                const Node &prev = out.node(ops[0]);
+                if (prev.kind == Node::Kind::Not) {
+                    remap[i] = prev.operands[0];
+                    emitted[i] = true;
+                    ++local.simplified;
+                    continue;
+                }
+            }
+            // shift(shift(x, a), b) same direction == shift(x, a+b).
+            if (n.kind == Node::Kind::ShiftL ||
+                n.kind == Node::Kind::ShiftR) {
+                const Node &prev = out.node(ops[0]);
+                if (prev.kind == n.kind) {
+                    Node fused = n;
+                    fused.amount = n.amount + prev.amount;
+                    const auto key =
+                        keyOf(fused, {prev.operands[0]});
+                    const auto it = seen.find(key);
+                    NodeId id;
+                    if (opts.commonSubexpressionElimination &&
+                        it != seen.end()) {
+                        id = it->second;
+                        ++local.mergedCse;
+                    } else {
+                        id = replay(out, fused, {prev.operands[0]});
+                        seen.emplace(key, id);
+                    }
+                    remap[i] = id;
+                    emitted[i] = true;
+                    ++local.simplified;
+                    continue;
+                }
+            }
+        }
+
+        const auto key = keyOf(n, ops);
+        if (opts.commonSubexpressionElimination &&
+            n.kind != Node::Kind::Input) {
+            const auto it = seen.find(key);
+            if (it != seen.end()) {
+                remap[i] = it->second;
+                emitted[i] = true;
+                ++local.mergedCse;
+                continue;
+            }
+        }
+        const NodeId id = replay(out, n, ops);
+        seen.emplace(key, id);
+        remap[i] = id;
+        emitted[i] = true;
+    }
+
+    for (const auto &[name, id] : g.outputs()) {
+        PLUTO_ASSERT(emitted[id]);
+        out.markOutput(remap[id], name);
+    }
+    if (stats)
+        *stats = local;
+    return out;
+}
+
+} // namespace pluto::compiler

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Graph optimization passes for the pLUTo Compiler. Every pLUTo ISA
+ * instruction costs real DRAM command sequences (sweeps, AAPs,
+ * shifts), so classical redundancy elimination translates directly
+ * into saved activations:
+ *
+ *  - dead-code elimination: drop nodes not reachable from outputs;
+ *  - common-subexpression elimination: merge structurally identical
+ *    nodes (same kind/operands/width/amount/LUT);
+ *  - algebraic simplification: collapse shift-of-shift chains, drop
+ *    zero-amount shifts, and cancel double NOTs.
+ *
+ * optimize() is semantics-preserving: tests assert the optimized
+ * graph evaluates identically to the original on random inputs.
+ */
+
+#ifndef PLUTO_COMPILER_PASSES_HH
+#define PLUTO_COMPILER_PASSES_HH
+
+#include "compiler/graph.hh"
+
+namespace pluto::compiler
+{
+
+/** Which passes optimize() runs. */
+struct OptOptions
+{
+    bool deadCodeElimination = true;
+    bool commonSubexpressionElimination = true;
+    bool algebraicSimplification = true;
+};
+
+/** Counters describing what optimize() did. */
+struct OptStats
+{
+    u32 removedDead = 0;
+    u32 mergedCse = 0;
+    u32 simplified = 0;
+
+    u32 total() const { return removedDead + mergedCse + simplified; }
+};
+
+/**
+ * Optimize `g` under `opts`.
+ *
+ * @param stats Optional out-param receiving pass counters.
+ * @return a new, semantically equivalent graph.
+ */
+Graph optimize(const Graph &g, const OptOptions &opts = {},
+               OptStats *stats = nullptr);
+
+} // namespace pluto::compiler
+
+#endif // PLUTO_COMPILER_PASSES_HH

@@ -1,0 +1,136 @@
+#include "compiler/reference.hh"
+
+#include "common/bitvec.hh"
+#include "common/logging.hh"
+#include "ops/rowmath.hh"
+
+namespace pluto::compiler
+{
+
+namespace
+{
+
+u64
+maskOf(u32 width)
+{
+    return width >= 64 ? ~0ULL : ((1ULL << width) - 1);
+}
+
+/** Apply a row-level shift to packed element values. */
+std::vector<u64>
+rowShift(const std::vector<u64> &values, u32 width, u32 bits, bool left,
+         u32 row_bytes)
+{
+    const u64 per_row = elementsPerBytes(row_bytes, width);
+    std::vector<u64> out;
+    out.reserve(values.size());
+    for (u64 base = 0; base < values.size(); base += per_row) {
+        const u64 count = std::min<u64>(per_row, values.size() - base);
+        std::vector<u64> chunk(values.begin() + base,
+                               values.begin() + base + count);
+        chunk.resize(per_row, 0);
+        auto packed = packElements(chunk, width);
+        packed.resize(row_bytes, 0);
+        if (left)
+            ops::rowShiftLeft(packed, bits);
+        else
+            ops::rowShiftRight(packed, bits);
+        const auto unpacked = unpackElements(packed, width);
+        out.insert(out.end(), unpacked.begin(),
+                   unpacked.begin() + count);
+    }
+    return out;
+}
+
+} // namespace
+
+std::map<std::string, std::vector<u64>>
+evaluate(const Graph &g,
+         const std::map<std::string, std::vector<u64>> &inputs,
+         const LutResolver &resolve, u32 row_bytes)
+{
+    std::vector<std::vector<u64>> values(g.size());
+
+    for (u32 i = 0; i < g.size(); ++i) {
+        const Node &n = g.node(i);
+        const u64 m = maskOf(n.width);
+        auto operand = [&](u32 k) -> const std::vector<u64> & {
+            return values[n.operands[k]];
+        };
+        switch (n.kind) {
+          case Node::Kind::Input: {
+            const auto it = inputs.find(n.name);
+            if (it == inputs.end())
+                fatal("evaluate: missing input '%s'", n.name.c_str());
+            if (it->second.size() != g.elements())
+                fatal("evaluate: input '%s' has %zu values, graph has "
+                      "%llu elements", n.name.c_str(), it->second.size(),
+                      static_cast<unsigned long long>(g.elements()));
+            values[i] = it->second;
+            for (auto &v : values[i])
+                v &= m;
+            break;
+          }
+          case Node::Kind::Add:
+          case Node::Kind::Mul:
+          case Node::Kind::MulQ:
+          case Node::Kind::Bitcount:
+          case Node::Kind::LutQuery: {
+            const core::Lut &lut = resolve(n.lutName);
+            const auto &a = operand(0);
+            std::vector<u64> r(a.size());
+            if (n.kind == Node::Kind::Add || n.kind == Node::Kind::Mul ||
+                n.kind == Node::Kind::MulQ) {
+                const auto &b = operand(1);
+                const u32 nb = n.operandBits;
+                for (std::size_t k = 0; k < a.size(); ++k)
+                    r[k] = lut.at(((a[k] & maskOf(nb)) << nb) |
+                                  (b[k] & maskOf(nb)));
+            } else {
+                for (std::size_t k = 0; k < a.size(); ++k)
+                    r[k] = lut.at(a[k]);
+            }
+            values[i] = std::move(r);
+            break;
+          }
+          case Node::Kind::And:
+          case Node::Kind::Or:
+          case Node::Kind::Xor: {
+            const auto &a = operand(0);
+            const auto &b = operand(1);
+            std::vector<u64> r(a.size());
+            for (std::size_t k = 0; k < a.size(); ++k) {
+                if (n.kind == Node::Kind::And)
+                    r[k] = a[k] & b[k];
+                else if (n.kind == Node::Kind::Or)
+                    r[k] = a[k] | b[k];
+                else
+                    r[k] = (a[k] ^ b[k]) & m;
+            }
+            values[i] = std::move(r);
+            break;
+          }
+          case Node::Kind::Not: {
+            const auto &a = operand(0);
+            std::vector<u64> r(a.size());
+            for (std::size_t k = 0; k < a.size(); ++k)
+                r[k] = (~a[k]) & m;
+            values[i] = std::move(r);
+            break;
+          }
+          case Node::Kind::ShiftL:
+          case Node::Kind::ShiftR:
+            values[i] = rowShift(operand(0), n.width, n.amount,
+                                 n.kind == Node::Kind::ShiftL,
+                                 row_bytes);
+            break;
+        }
+    }
+
+    std::map<std::string, std::vector<u64>> out;
+    for (const auto &[name, id] : g.outputs())
+        out[name] = values[id];
+    return out;
+}
+
+} // namespace pluto::compiler

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Reference evaluator for compiler Graphs: executes the dataflow
+ * directly on host vectors, modeling rows exactly as the DRAM does
+ * (shifts operate on the packed row, so cross-slot bit movement is
+ * reproduced faithfully). Used to validate compiled programs.
+ */
+
+#ifndef PLUTO_COMPILER_REFERENCE_HH
+#define PLUTO_COMPILER_REFERENCE_HH
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "compiler/graph.hh"
+#include "pluto/lut.hh"
+
+namespace pluto::compiler
+{
+
+/** Resolves a LUT name to its contents (e.g. a LutLibrary lookup). */
+using LutResolver =
+    std::function<const core::Lut &(const std::string &)>;
+
+/**
+ * Evaluate `g` over the given input vectors.
+ *
+ * @param g The dataflow graph.
+ * @param inputs Input name -> element values (graph element count).
+ * @param resolve LUT name resolver.
+ * @param row_bytes Packed-row width used for shift semantics.
+ * @return output name -> element values.
+ */
+std::map<std::string, std::vector<u64>>
+evaluate(const Graph &g,
+         const std::map<std::string, std::vector<u64>> &inputs,
+         const LutResolver &resolve, u32 row_bytes);
+
+} // namespace pluto::compiler
+
+#endif // PLUTO_COMPILER_REFERENCE_HH

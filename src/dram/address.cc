@@ -1,0 +1,24 @@
+#include "dram/address.hh"
+
+#include <cstdio>
+
+namespace pluto::dram
+{
+
+std::string
+RowAddress::str() const
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "b%u.s%u.r%u", bank, subarray, row);
+    return buf;
+}
+
+std::string
+SubarrayAddress::str() const
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "b%u.s%u", bank, subarray);
+    return buf;
+}
+
+} // namespace pluto::dram

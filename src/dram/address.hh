@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Row-granularity DRAM addressing. pLUTo operates on whole rows and
+ * whole subarrays, so an address names (bank, subarray, row).
+ */
+
+#ifndef PLUTO_DRAM_ADDRESS_HH
+#define PLUTO_DRAM_ADDRESS_HH
+
+#include <compare>
+#include <string>
+
+#include "common/types.hh"
+
+namespace pluto::dram
+{
+
+/** Location of one DRAM row inside a module. */
+struct RowAddress
+{
+    BankIndex bank = 0;
+    SubarrayIndex subarray = 0;
+    RowIndex row = 0;
+
+    auto operator<=>(const RowAddress &) const = default;
+
+    /** Human-readable form, e.g. "b2.s5.r17". */
+    std::string str() const;
+};
+
+/** Location of one subarray inside a module. */
+struct SubarrayAddress
+{
+    BankIndex bank = 0;
+    SubarrayIndex subarray = 0;
+
+    auto operator<=>(const SubarrayAddress &) const = default;
+
+    /** @return address of row `row` inside this subarray. */
+    RowAddress rowAt(RowIndex row) const { return {bank, subarray, row}; }
+
+    /** Human-readable form, e.g. "b2.s5". */
+    std::string str() const;
+};
+
+} // namespace pluto::dram
+
+#endif // PLUTO_DRAM_ADDRESS_HH

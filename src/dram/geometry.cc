@@ -1,0 +1,51 @@
+#include "dram/geometry.hh"
+
+namespace pluto::dram
+{
+
+Geometry
+Geometry::ddr4()
+{
+    Geometry g;
+    g.banks = 16;
+    g.subarraysPerBank = 32;
+    g.rowsPerSubarray = 512;
+    g.rowBytes = 8192;
+    g.defaultSalp = 16;
+    return g;
+}
+
+Geometry
+Geometry::hmc3ds()
+{
+    Geometry g;
+    // 512 subarrays operate in parallel with 256 B rows so the data
+    // volume per sweep step matches DDR4: 512 x 256 B = 16 x 8 kB
+    // = 128 kB (Section 7).
+    g.banks = 32;
+    g.subarraysPerBank = 64;
+    g.rowsPerSubarray = 512;
+    g.rowBytes = 256;
+    g.defaultSalp = 512;
+    return g;
+}
+
+Geometry
+Geometry::forKind(MemoryKind kind)
+{
+    return kind == MemoryKind::Ddr4 ? ddr4() : hmc3ds();
+}
+
+Geometry
+Geometry::tiny()
+{
+    Geometry g;
+    g.banks = 2;
+    g.subarraysPerBank = 8;
+    g.rowsPerSubarray = 64;
+    g.rowBytes = 32;
+    g.defaultSalp = 2;
+    return g;
+}
+
+} // namespace pluto::dram

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * DRAM organization parameters (Figure 1 of the paper): a module is a
+ * set of banks, each bank a set of subarrays, each subarray a 2-D
+ * array of rows x row-size bytes.
+ */
+
+#ifndef PLUTO_DRAM_GEOMETRY_HH
+#define PLUTO_DRAM_GEOMETRY_HH
+
+#include "common/types.hh"
+#include "dram/timing.hh"
+
+namespace pluto::dram
+{
+
+/** Static shape of a DRAM module. */
+struct Geometry
+{
+    /** Banks per module (DDR4: 4 bank groups x 4 banks, Table 3). */
+    u32 banks = 16;
+    /** Subarrays per bank. */
+    u32 subarraysPerBank = 32;
+    /** Rows per subarray (512 per Table 3). */
+    u32 rowsPerSubarray = 512;
+    /** Bytes per row (DDR4: 8 kB; 3DS: 256 B; Section 7). */
+    u32 rowBytes = 8192;
+
+    /** Default subarray-level parallelism for pLUTo (Section 7). */
+    u32 defaultSalp = 16;
+
+    /** @return bits per row. */
+    u64 rowBits() const { return static_cast<u64>(rowBytes) * 8; }
+
+    /** @return total capacity in bytes. */
+    u64
+    capacityBytes() const
+    {
+        return static_cast<u64>(banks) * subarraysPerBank *
+               rowsPerSubarray * rowBytes;
+    }
+
+    /** DDR4 preset: 8 kB rows, 16-subarray parallelism. */
+    static Geometry ddr4();
+    /** 3DS preset: 256 B rows, 512-subarray parallelism. */
+    static Geometry hmc3ds();
+    /** Preset lookup by kind. */
+    static Geometry forKind(MemoryKind kind);
+    /**
+     * Small geometry for unit tests (fast functional checks that do
+     * not depend on the paper's capacities).
+     */
+    static Geometry tiny();
+};
+
+} // namespace pluto::dram
+
+#endif // PLUTO_DRAM_GEOMETRY_HH

@@ -1,0 +1,86 @@
+#include "dram/module.hh"
+
+#include "common/logging.hh"
+
+namespace pluto::dram
+{
+
+Bank::Bank(u32 subarrays, u32 rows, u32 row_bytes)
+{
+    subs_.reserve(subarrays);
+    for (u32 i = 0; i < subarrays; ++i)
+        subs_.emplace_back(rows, row_bytes);
+}
+
+Subarray &
+Bank::subarray(SubarrayIndex idx)
+{
+    if (idx >= subs_.size())
+        panic("subarray index %u out of range (%zu)", idx, subs_.size());
+    return subs_[idx];
+}
+
+const Subarray &
+Bank::subarray(SubarrayIndex idx) const
+{
+    if (idx >= subs_.size())
+        panic("subarray index %u out of range (%zu)", idx, subs_.size());
+    return subs_[idx];
+}
+
+Module::Module(const Geometry &geom)
+    : geom_(geom)
+{
+    banks_.reserve(geom_.banks);
+    for (u32 b = 0; b < geom_.banks; ++b)
+        banks_.emplace_back(geom_.subarraysPerBank, geom_.rowsPerSubarray,
+                            geom_.rowBytes);
+}
+
+Bank &
+Module::bank(BankIndex idx)
+{
+    if (idx >= banks_.size())
+        panic("bank index %u out of range (%zu)", idx, banks_.size());
+    return banks_[idx];
+}
+
+const Bank &
+Module::bank(BankIndex idx) const
+{
+    if (idx >= banks_.size())
+        panic("bank index %u out of range (%zu)", idx, banks_.size());
+    return banks_[idx];
+}
+
+Subarray &
+Module::subarrayAt(const SubarrayAddress &addr)
+{
+    return bank(addr.bank).subarray(addr.subarray);
+}
+
+const Subarray &
+Module::subarrayAt(const SubarrayAddress &addr) const
+{
+    return bank(addr.bank).subarray(addr.subarray);
+}
+
+std::span<u8>
+Module::rowAt(const RowAddress &addr)
+{
+    return bank(addr.bank).subarray(addr.subarray).row(addr.row);
+}
+
+std::vector<u8>
+Module::readRow(const RowAddress &addr) const
+{
+    return bank(addr.bank).subarray(addr.subarray).readRow(addr.row);
+}
+
+void
+Module::writeRow(const RowAddress &addr, std::span<const u8> data)
+{
+    bank(addr.bank).subarray(addr.subarray).writeRow(addr.row, data);
+}
+
+} // namespace pluto::dram

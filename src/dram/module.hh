@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Functional model of a DRAM module: banks of subarrays (Figure 1).
+ */
+
+#ifndef PLUTO_DRAM_MODULE_HH
+#define PLUTO_DRAM_MODULE_HH
+
+#include <memory>
+#include <vector>
+
+#include "dram/address.hh"
+#include "dram/geometry.hh"
+#include "dram/subarray.hh"
+
+namespace pluto::dram
+{
+
+/** One DRAM bank: a vector of subarrays sharing peripheral logic. */
+class Bank
+{
+  public:
+    Bank(u32 subarrays, u32 rows, u32 row_bytes);
+
+    /** @return subarray `idx`. */
+    Subarray &subarray(SubarrayIndex idx);
+    const Subarray &subarray(SubarrayIndex idx) const;
+
+    /** @return number of subarrays. */
+    u32 subarrays() const { return static_cast<u32>(subs_.size()); }
+
+  private:
+    std::vector<Subarray> subs_;
+};
+
+/** One DRAM module. Owns all functional state. */
+class Module
+{
+  public:
+    explicit Module(const Geometry &geom);
+
+    const Geometry &geometry() const { return geom_; }
+
+    /** @return bank `idx`. */
+    Bank &bank(BankIndex idx);
+    const Bank &bank(BankIndex idx) const;
+
+    /** @return the subarray at `addr`. */
+    Subarray &subarrayAt(const SubarrayAddress &addr);
+    const Subarray &subarrayAt(const SubarrayAddress &addr) const;
+
+    /** Mutable view of the row at `addr`. */
+    std::span<u8> rowAt(const RowAddress &addr);
+
+    /** Read-only snapshot of the row at `addr`. */
+    std::vector<u8> readRow(const RowAddress &addr) const;
+
+    /** Overwrite the row at `addr`. */
+    void writeRow(const RowAddress &addr, std::span<const u8> data);
+
+  private:
+    Geometry geom_;
+    std::vector<Bank> banks_;
+};
+
+} // namespace pluto::dram
+
+#endif // PLUTO_DRAM_MODULE_HH

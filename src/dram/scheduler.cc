@@ -1,0 +1,145 @@
+#include "dram/scheduler.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace pluto::dram
+{
+
+FawTracker::FawTracker(TimeNs t_faw)
+    : tFaw_(t_faw)
+{
+}
+
+TimeNs
+FawTracker::reserve(TimeNs candidate)
+{
+    if (tFaw_ <= 0.0)
+        return candidate;
+    TimeNs t = candidate;
+    if (acts_.size() >= 4)
+        t = std::max(t, acts_[acts_.size() - 4] + tFaw_);
+    acts_.push_back(t);
+    if (acts_.size() > 4)
+        acts_.pop_front();
+    return t;
+}
+
+TimeNs
+FawTracker::reserveBatch(TimeNs candidate, u64 count)
+{
+    if (count == 0)
+        return candidate;
+    if (tFaw_ <= 0.0)
+        return candidate;
+    TimeNs last = candidate;
+    for (u64 i = 0; i < count; ++i)
+        last = reserve(i == 0 ? candidate : last);
+    return last;
+}
+
+void
+FawTracker::reset()
+{
+    acts_.clear();
+}
+
+CommandScheduler::CommandScheduler(const TimingParams &timing,
+                                   const EnergyParams &energy,
+                                   double faw_scale)
+    : timing_(timing), energyParams_(energy),
+      faw_(timing.tFAW * faw_scale)
+{
+    if (faw_scale < 0.0 || faw_scale > 1.0)
+        fatal("tFAW scale %f out of [0,1]", faw_scale);
+}
+
+TimeNs
+CommandScheduler::stretched(TimeNs latency) const
+{
+    return modelRefresh_ ? latency * timing_.refreshStretch() : latency;
+}
+
+void
+CommandScheduler::record(const char *name, TimeNs start, TimeNs end)
+{
+    if (traceLimit_ == 0)
+        return;
+    stats_.inc("trace.events");
+    if (trace_.size() < traceLimit_)
+        trace_.push_back({name, start, end});
+}
+
+void
+CommandScheduler::setTraceLimit(std::size_t limit)
+{
+    traceLimit_ = limit;
+    trace_.clear();
+    trace_.reserve(std::min<std::size_t>(limit, 4096));
+}
+
+void
+CommandScheduler::op(const char *stat, TimeNs latency,
+                     EnergyPj energy_per_unit, u32 num_acts, u32 parallel)
+{
+    PLUTO_ASSERT(parallel >= 1);
+    TimeNs start = now_;
+    if (num_acts > 0) {
+        const u64 total_acts =
+            static_cast<u64>(num_acts) * static_cast<u64>(parallel);
+        start = faw_.reserveBatch(now_, total_acts);
+        stats_.add("dram.acts", static_cast<double>(total_acts));
+    }
+    now_ = start + stretched(latency);
+    energy_ += energy_per_unit * parallel;
+    stats_.inc(stat);
+    stats_.add(std::string(stat) + ".ns", stretched(latency));
+    record(stat, start, now_);
+}
+
+void
+CommandScheduler::sweep(const char *stat, u32 num_rows, TimeNs step_latency,
+                        EnergyPj step_energy, u32 parallel,
+                        TimeNs tail_latency, EnergyPj tail_energy)
+{
+    PLUTO_ASSERT(parallel >= 1);
+    const TimeNs begin = now_;
+    const TimeNs step = stretched(step_latency);
+    for (u32 r = 0; r < num_rows; ++r) {
+        // All `parallel` subarrays activate their next LUT row in
+        // lock-step; each activation reserves a tFAW slot.
+        const TimeNs last_act = faw_.reserveBatch(now_, parallel);
+        now_ = last_act + step;
+    }
+    now_ += stretched(tail_latency);
+    energy_ += (step_energy * num_rows + tail_energy) * parallel;
+    stats_.add("dram.acts",
+               static_cast<double>(num_rows) * parallel);
+    stats_.inc(stat);
+    stats_.add(std::string(stat) + ".rows",
+               static_cast<double>(num_rows));
+    record(stat, begin, now_);
+}
+
+void
+CommandScheduler::hostTime(TimeNs latency, EnergyPj energy)
+{
+    const TimeNs begin = now_;
+    now_ += latency;
+    energy_ += energy;
+    stats_.add("host.ns", latency);
+    record("host", begin, now_);
+}
+
+void
+CommandScheduler::reset()
+{
+    now_ = 0.0;
+    energy_ = 0.0;
+    stats_.clear();
+    faw_.reset();
+    trace_.clear();
+}
+
+} // namespace pluto::dram

@@ -1,0 +1,255 @@
+#include "isa/assembler.hh"
+
+#include <cctype>
+#include <sstream>
+#include <vector>
+
+namespace pluto::isa
+{
+
+namespace
+{
+
+/** Tokenizer over one instruction line. */
+class LineLexer
+{
+  public:
+    explicit LineLexer(const std::string &line)
+        : s_(line)
+    {
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < s_.size() &&
+               (std::isspace(static_cast<unsigned char>(s_[pos_])) ||
+                s_[pos_] == ','))
+            ++pos_;
+    }
+
+    bool
+    done()
+    {
+        skipSpace();
+        return pos_ >= s_.size();
+    }
+
+    /** Read a bare word (mnemonic). */
+    std::string
+    word()
+    {
+        skipSpace();
+        std::string out;
+        while (pos_ < s_.size() &&
+               (std::isalnum(static_cast<unsigned char>(s_[pos_])) ||
+                s_[pos_] == '_'))
+            out.push_back(s_[pos_++]);
+        return out;
+    }
+
+    /** Read "$prgN" or "$lut_rgN"; @return register id or -1. */
+    i32
+    reg(const char *prefix)
+    {
+        skipSpace();
+        const std::string want = std::string("$") + prefix;
+        if (s_.compare(pos_, want.size(), want) != 0)
+            return -1;
+        pos_ += want.size();
+        return number();
+    }
+
+    /** Read a decimal number, optionally prefixed with '#'. */
+    i64
+    number()
+    {
+        skipSpace();
+        if (pos_ < s_.size() && s_[pos_] == '#')
+            ++pos_;
+        bool any = false;
+        i64 v = 0;
+        while (pos_ < s_.size() &&
+               std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+            v = v * 10 + (s_[pos_++] - '0');
+            any = true;
+        }
+        return any ? v : -1;
+    }
+
+    /** Read a quoted string; @return empty on failure. */
+    std::string
+    quoted()
+    {
+        skipSpace();
+        if (pos_ >= s_.size() || s_[pos_] != '"')
+            return {};
+        ++pos_;
+        std::string out;
+        while (pos_ < s_.size() && s_[pos_] != '"')
+            out.push_back(s_[pos_++]);
+        if (pos_ < s_.size())
+            ++pos_; // closing quote
+        return out;
+    }
+
+    /** Skip a parenthesized trailer like "(256 rows)". */
+    void
+    skipTrailer()
+    {
+        skipSpace();
+        if (pos_ < s_.size() && s_[pos_] == '(')
+            pos_ = s_.size();
+    }
+
+  private:
+    const std::string &s_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+AssembleResult
+assemble(const std::string &source)
+{
+    AssembleResult res;
+    std::istringstream in(source);
+    std::string line;
+    std::size_t lineno = 0;
+    i32 max_row = -1, max_sa = -1;
+
+    auto fail = [&](const std::string &msg) {
+        std::ostringstream os;
+        os << "line " << lineno << ": " << msg;
+        res.error = os.str();
+        return res;
+    };
+
+    std::vector<Instruction> instrs;
+    while (std::getline(in, line)) {
+        ++lineno;
+        const auto hash = line.find('#');
+        // '#N' shift amounts also use '#'; only strip comments that
+        // start a line or follow whitespace not preceded by a digit
+        // context. Simpler: treat '#' as comment only when it is the
+        // first non-space character.
+        std::size_t first = line.find_first_not_of(" \t");
+        if (first == std::string::npos)
+            continue;
+        if (line[first] == '#')
+            continue;
+        (void)hash;
+
+        LineLexer lex(line);
+        const std::string op = lex.word();
+        Instruction instr;
+
+        auto rowReg = [&](i32 &slot) {
+            slot = lex.reg("prg");
+            if (slot < 0)
+                return false;
+            max_row = std::max(max_row, slot);
+            return true;
+        };
+        auto saReg = [&](i32 &slot) {
+            slot = lex.reg("lut_rg");
+            if (slot < 0)
+                return false;
+            max_sa = std::max(max_sa, slot);
+            return true;
+        };
+
+        if (op == "pluto_row_alloc") {
+            instr.op = Opcode::RowAlloc;
+            if (!rowReg(instr.dst))
+                return fail("expected $prgN");
+            const i64 size = lex.number();
+            const i64 bitw = lex.number();
+            if (size <= 0 || bitw <= 0)
+                return fail("expected size, bitwidth");
+            instr.size = static_cast<u64>(size);
+            instr.bitwidth = static_cast<u32>(bitw);
+        } else if (op == "pluto_subarray_alloc") {
+            instr.op = Opcode::SubarrayAlloc;
+            if (!saReg(instr.dst))
+                return fail("expected $lut_rgN");
+            instr.lutName = lex.quoted();
+            if (instr.lutName.empty())
+                return fail("expected quoted LUT name");
+            lex.skipTrailer();
+            instr.lutSize = 0; // resolved by the controller
+        } else if (op == "pluto_op") {
+            instr.op = Opcode::LutOp;
+            if (!rowReg(instr.dst) || !rowReg(instr.src1) ||
+                !saReg(instr.lutReg))
+                return fail("expected $prgD, $prgS, $lut_rgN");
+            const i64 size = lex.number();
+            const i64 bitw = lex.number();
+            if (size <= 0 || bitw <= 0)
+                return fail("expected lut_size, lut_bitw");
+            instr.lutSize = static_cast<u32>(size);
+            instr.bitwidth = static_cast<u32>(bitw);
+        } else if (op == "pluto_not" || op == "pluto_move") {
+            instr.op =
+                op == "pluto_not" ? Opcode::Not : Opcode::Move;
+            if (!rowReg(instr.dst) || !rowReg(instr.src1))
+                return fail("expected $prgD, $prgS");
+        } else if (op == "pluto_and" || op == "pluto_or" ||
+                   op == "pluto_xor" || op == "pluto_merge_or") {
+            instr.op = op == "pluto_and"  ? Opcode::And
+                       : op == "pluto_or" ? Opcode::Or
+                       : op == "pluto_xor" ? Opcode::Xor
+                                           : Opcode::MergeOr;
+            if (!rowReg(instr.dst) || !rowReg(instr.src1) ||
+                !rowReg(instr.src2))
+                return fail("expected $prgD, $prgA, $prgB");
+        } else if (op == "pluto_bit_shift_l" ||
+                   op == "pluto_bit_shift_r" ||
+                   op == "pluto_byte_shift_l" ||
+                   op == "pluto_byte_shift_r") {
+            instr.op = op == "pluto_bit_shift_l" ? Opcode::BitShiftL
+                       : op == "pluto_bit_shift_r"
+                           ? Opcode::BitShiftR
+                       : op == "pluto_byte_shift_l"
+                           ? Opcode::ByteShiftL
+                           : Opcode::ByteShiftR;
+            if (!rowReg(instr.dst))
+                return fail("expected $prgN");
+            instr.src1 = instr.dst;
+            const i64 amount = lex.number();
+            if (amount < 0)
+                return fail("expected #amount");
+            instr.amount = static_cast<u32>(amount);
+        } else {
+            return fail("unknown mnemonic '" + op + "'");
+        }
+        instrs.push_back(std::move(instr));
+    }
+
+    // SubarrayAlloc lutSize: fill from any later pluto_op that names
+    // the same register (the controller validates against the
+    // library's actual size; 0 means "resolve from library").
+    for (auto &i : instrs) {
+        if (i.op != Opcode::SubarrayAlloc)
+            continue;
+        for (const auto &j : instrs) {
+            if (j.op == Opcode::LutOp && j.lutReg == i.dst) {
+                i.lutSize = j.lutSize;
+                break;
+            }
+        }
+    }
+
+    for (i32 r = 0; r <= max_row; ++r)
+        res.program.newRowReg();
+    for (i32 r = 0; r <= max_sa; ++r)
+        res.program.newSubarrayReg();
+    for (auto &i : instrs)
+        res.program.append(std::move(i));
+    const std::string err = res.program.validate();
+    if (!err.empty())
+        res.error = err;
+    return res;
+}
+
+} // namespace pluto::isa

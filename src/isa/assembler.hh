@@ -1,0 +1,43 @@
+/**
+ * @file
+ * pLUTo ISA assembler: parses the textual form produced by
+ * Program::disassemble() (and hand-written programs in the same
+ * syntax) back into an executable Program. Supports '#' comments and
+ * blank lines. Together with the disassembler this gives a lossless
+ * text round-trip, used for file-driven programs and in tests.
+ *
+ * Syntax per line (Figure 5c style):
+ *   pluto_row_alloc $prg0, 1024, 8
+ *   pluto_subarray_alloc $lut_rg0, "add4" (256 rows)
+ *   pluto_op $prg1, $prg0, $lut_rg0, 256, 8
+ *   pluto_and $prg2, $prg0, $prg1
+ *   pluto_bit_shift_l $prg0, #4
+ *   pluto_move $prg1, $prg0
+ */
+
+#ifndef PLUTO_ISA_ASSEMBLER_HH
+#define PLUTO_ISA_ASSEMBLER_HH
+
+#include <string>
+
+#include "isa/program.hh"
+
+namespace pluto::isa
+{
+
+/** Result of assembling a source text. */
+struct AssembleResult
+{
+    Program program;
+    /** Empty on success; a "line N: message" diagnostic otherwise. */
+    std::string error;
+
+    bool ok() const { return error.empty(); }
+};
+
+/** Assemble `source` into a Program. Never fatals: errors returned. */
+AssembleResult assemble(const std::string &source);
+
+} // namespace pluto::isa
+
+#endif // PLUTO_ISA_ASSEMBLER_HH

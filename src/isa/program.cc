@@ -1,0 +1,81 @@
+#include "isa/program.hh"
+
+#include <sstream>
+
+namespace pluto::isa
+{
+
+std::size_t
+Program::append(Instruction instr)
+{
+    instrs_.push_back(std::move(instr));
+    return instrs_.size() - 1;
+}
+
+std::string
+Program::disassemble() const
+{
+    std::ostringstream os;
+    for (const auto &i : instrs_)
+        os << i.str() << "\n";
+    return os.str();
+}
+
+std::string
+Program::validate() const
+{
+    auto rowOk = [&](i32 r) { return r >= 0 && r < rowRegs_; };
+    auto saOk = [&](i32 r) { return r >= 0 && r < saRegs_; };
+    std::ostringstream err;
+    for (std::size_t k = 0; k < instrs_.size(); ++k) {
+        const auto &i = instrs_[k];
+        auto bad = [&](const char *what) {
+            err << "instr " << k << " (" << i.str() << "): " << what;
+            return err.str();
+        };
+        switch (i.op) {
+          case Opcode::RowAlloc:
+            if (!rowOk(i.dst))
+                return bad("bad row register");
+            if (i.size == 0 || i.bitwidth == 0)
+                return bad("zero size/bitwidth");
+            break;
+          case Opcode::SubarrayAlloc:
+            if (!saOk(i.dst))
+                return bad("bad subarray register");
+            if (i.lutName.empty())
+                return bad("missing LUT name");
+            break;
+          case Opcode::LutOp:
+            if (!rowOk(i.dst) || !rowOk(i.src1))
+                return bad("bad row register");
+            if (!saOk(i.lutReg))
+                return bad("bad subarray register");
+            if (i.lutSize == 0 || (i.lutSize & (i.lutSize - 1)) != 0)
+                return bad("lut_size must be a power of two");
+            break;
+          case Opcode::Not:
+          case Opcode::Move:
+            if (!rowOk(i.dst) || !rowOk(i.src1))
+                return bad("bad row register");
+            break;
+          case Opcode::And:
+          case Opcode::Or:
+          case Opcode::Xor:
+          case Opcode::MergeOr:
+            if (!rowOk(i.dst) || !rowOk(i.src1) || !rowOk(i.src2))
+                return bad("bad row register");
+            break;
+          case Opcode::BitShiftL:
+          case Opcode::BitShiftR:
+          case Opcode::ByteShiftL:
+          case Opcode::ByteShiftR:
+            if (!rowOk(i.dst))
+                return bad("bad row register");
+            break;
+        }
+    }
+    return {};
+}
+
+} // namespace pluto::isa

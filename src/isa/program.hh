@@ -1,0 +1,65 @@
+/**
+ * @file
+ * A pLUTo program: an ordered list of pLUTo ISA instructions plus the
+ * register count metadata the controller needs to execute it.
+ */
+
+#ifndef PLUTO_ISA_PROGRAM_HH
+#define PLUTO_ISA_PROGRAM_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace pluto::isa
+{
+
+/** An executable sequence of pLUTo ISA instructions. */
+class Program
+{
+  public:
+    /** Append an instruction; @return its index. */
+    std::size_t append(Instruction instr);
+
+    /** @return all instructions in order. */
+    const std::vector<Instruction> &instructions() const
+    {
+        return instrs_;
+    }
+
+    /** @return number of instructions. */
+    std::size_t size() const { return instrs_.size(); }
+
+    bool empty() const { return instrs_.empty(); }
+
+    /** Reserve a fresh row register id. */
+    i32 newRowReg() { return rowRegs_++; }
+
+    /** Reserve a fresh subarray register id. */
+    i32 newSubarrayReg() { return saRegs_++; }
+
+    /** @return number of row registers used. */
+    i32 rowRegCount() const { return rowRegs_; }
+
+    /** @return number of subarray registers used. */
+    i32 subarrayRegCount() const { return saRegs_; }
+
+    /** Full disassembly, one instruction per line. */
+    std::string disassemble() const;
+
+    /**
+     * Validate static well-formedness: registers in range, operands
+     * present for each opcode. @return empty string, or a diagnostic.
+     */
+    std::string validate() const;
+
+  private:
+    std::vector<Instruction> instrs_;
+    i32 rowRegs_ = 0;
+    i32 saRegs_ = 0;
+};
+
+} // namespace pluto::isa
+
+#endif // PLUTO_ISA_PROGRAM_HH

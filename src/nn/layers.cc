@@ -1,0 +1,105 @@
+#include "nn/layers.hh"
+
+#include <algorithm>
+
+namespace pluto::nn
+{
+
+i32
+binarize(i32 v, i32 threshold)
+{
+    return v >= threshold ? 1 : -1;
+}
+
+i32
+quantize4(i32 v, u32 shift)
+{
+    const i32 scaled = v >> shift;
+    return std::clamp(scaled, -8, 7);
+}
+
+Tensor
+conv2dValid(const Tensor &in, const std::vector<i32> &kernels, u32 out_ch,
+            u32 k)
+{
+    PLUTO_ASSERT(in.h >= k && in.w >= k);
+    PLUTO_ASSERT(kernels.size() ==
+                 static_cast<std::size_t>(out_ch) * in.c * k * k);
+    Tensor out(out_ch, in.h - k + 1, in.w - k + 1);
+    for (u32 o = 0; o < out_ch; ++o) {
+        for (u32 y = 0; y < out.h; ++y) {
+            for (u32 x = 0; x < out.w; ++x) {
+                i64 acc = 0;
+                for (u32 ci = 0; ci < in.c; ++ci)
+                    for (u32 dy = 0; dy < k; ++dy)
+                        for (u32 dx = 0; dx < k; ++dx) {
+                            const i32 wv =
+                                kernels[((static_cast<std::size_t>(o) *
+                                          in.c + ci) * k + dy) * k + dx];
+                            acc += static_cast<i64>(wv) *
+                                   in.at(ci, y + dy, x + dx);
+                        }
+                out.at(o, y, x) = static_cast<i32>(acc);
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+avgPool2x2(const Tensor &in)
+{
+    Tensor out(in.c, in.h / 2, in.w / 2);
+    for (u32 ci = 0; ci < out.c; ++ci)
+        for (u32 y = 0; y < out.h; ++y)
+            for (u32 x = 0; x < out.w; ++x) {
+                i32 sum = in.at(ci, 2 * y, 2 * x) +
+                          in.at(ci, 2 * y, 2 * x + 1) +
+                          in.at(ci, 2 * y + 1, 2 * x) +
+                          in.at(ci, 2 * y + 1, 2 * x + 1);
+                // Floor toward negative infinity for negative sums so
+                // the 1-bit path is sign-stable.
+                out.at(ci, y, x) =
+                    sum >= 0 ? sum / 4 : -(((-sum) + 3) / 4);
+            }
+    return out;
+}
+
+std::vector<i32>
+fullyConnected(const std::vector<i32> &x, const std::vector<i32> &w,
+               u32 out_n)
+{
+    PLUTO_ASSERT(w.size() == static_cast<std::size_t>(out_n) * x.size());
+    std::vector<i32> out(out_n, 0);
+    for (u32 o = 0; o < out_n; ++o) {
+        i64 acc = 0;
+        for (std::size_t i = 0; i < x.size(); ++i)
+            acc += static_cast<i64>(w[o * x.size() + i]) * x[i];
+        out[o] = static_cast<i32>(acc);
+    }
+    return out;
+}
+
+i32
+binaryDotXnorPopcount(const std::vector<u8> &a_bits,
+                      const std::vector<u8> &w_bits)
+{
+    PLUTO_ASSERT(a_bits.size() == w_bits.size());
+    u32 mismatches = 0;
+    for (std::size_t i = 0; i < a_bits.size(); ++i)
+        mismatches += (a_bits[i] ^ w_bits[i]) & 1;
+    return static_cast<i32>(a_bits.size()) -
+           2 * static_cast<i32>(mismatches);
+}
+
+i32
+binaryDotDirect(const std::vector<i32> &a, const std::vector<i32> &w)
+{
+    PLUTO_ASSERT(a.size() == w.size());
+    i32 acc = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        acc += a[i] * w[i];
+    return acc;
+}
+
+} // namespace pluto::nn

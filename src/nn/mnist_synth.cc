@@ -1,0 +1,97 @@
+#include "nn/mnist_synth.hh"
+
+#include <algorithm>
+
+#include "common/random.hh"
+
+namespace pluto::nn
+{
+
+namespace
+{
+
+/** Coarse 7x7 stroke templates, one per digit class. */
+const char *const digitTemplates[10][7] = {
+    {" ### ", "#   #", "#   #", "#   #", "#   #", "#   #", " ### "},
+    {"  #  ", " ##  ", "  #  ", "  #  ", "  #  ", "  #  ", " ### "},
+    {" ### ", "#   #", "    #", "   # ", "  #  ", " #   ", "#####"},
+    {" ### ", "#   #", "    #", "  ## ", "    #", "#   #", " ### "},
+    {"#  # ", "#  # ", "#  # ", "#####", "   # ", "   # ", "   # "},
+    {"#####", "#    ", "#### ", "    #", "    #", "#   #", " ### "},
+    {" ### ", "#    ", "#    ", "#### ", "#   #", "#   #", " ### "},
+    {"#####", "    #", "   # ", "  #  ", "  #  ", " #   ", " #   "},
+    {" ### ", "#   #", "#   #", " ### ", "#   #", "#   #", " ### "},
+    {" ### ", "#   #", "#   #", " ####", "    #", "    #", " ### "},
+};
+
+} // namespace
+
+Tensor
+DigitImage::toTensor() const
+{
+    Tensor t(1, 28, 28);
+    for (u32 y = 0; y < 28; ++y)
+        for (u32 x = 0; x < 28; ++x)
+            t.at(0, y, x) = pixels[y * 28 + x];
+    return t;
+}
+
+MnistSynth::MnistSynth(u64 seed)
+    : seed_(seed)
+{
+}
+
+DigitImage
+MnistSynth::image(u32 label)
+{
+    label %= 10;
+    Rng rng(seed_ + label * 7919 + (counter_++) * 104729);
+
+    DigitImage img;
+    img.label = label;
+    img.pixels.assign(28 * 28, 0);
+
+    // Upscale the 7x5 template into the 28x28 canvas with jitter.
+    const int jx = static_cast<int>(rng.below(5)) - 2;
+    const int jy = static_cast<int>(rng.below(5)) - 2;
+    for (u32 ty = 0; ty < 7; ++ty) {
+        const char *row = digitTemplates[label][ty];
+        for (u32 tx = 0; row[tx] != '\0'; ++tx) {
+            if (row[tx] != '#')
+                continue;
+            // Each template cell covers ~3x3 pixels, centered.
+            const int cy = 4 + static_cast<int>(ty) * 3 + jy;
+            const int cx = 7 + static_cast<int>(tx) * 3 + jx;
+            for (int dy = -1; dy <= 2; ++dy)
+                for (int dx = -1; dx <= 2; ++dx) {
+                    const int y = cy + dy, x = cx + dx;
+                    if (y < 0 || y >= 28 || x < 0 || x >= 28)
+                        continue;
+                    const bool core = dy >= 0 && dy <= 1 && dx >= 0 &&
+                                      dx <= 1;
+                    const u32 v = core ? 200 + rng.below(56)
+                                       : 90 + rng.below(80);
+                    auto &px = img.pixels[y * 28 + x];
+                    px = static_cast<u8>(std::max<u32>(px, v));
+                }
+        }
+    }
+    // Background noise.
+    for (auto &px : img.pixels) {
+        if (px == 0 && rng.below(100) < 4)
+            px = static_cast<u8>(rng.below(40));
+    }
+    return img;
+}
+
+std::vector<DigitImage>
+MnistSynth::batch(u32 n)
+{
+    std::vector<DigitImage> out;
+    out.reserve(n);
+    for (u32 i = 0; i < n; ++i)
+        out.push_back(image(i % 10));
+    return out;
+}
+
+} // namespace pluto::nn

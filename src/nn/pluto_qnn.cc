@@ -1,0 +1,84 @@
+#include "nn/pluto_qnn.hh"
+
+#include "common/logging.hh"
+
+namespace pluto::nn
+{
+
+QnnCost
+plutoQnnCost(runtime::PlutoDevice &dev, const LeNet5 &net)
+{
+    const auto &geom = dev.geometry();
+    const u32 salp = dev.salp();
+    const u64 macs = net.totalMacs();
+
+    dev.resetStats();
+    if (net.bits() == 1) {
+        // XNOR phase: 2-bit slots, one lookup per binary MAC.
+        const auto xnor_lut = dev.loadLut("xnor1");
+        // Popcount phase: BC-8 over packed XNOR outputs (8 MACs per
+        // 8-bit slot).
+        const auto bc_lut = dev.loadLut("bc8");
+        dev.resetStats();
+        const u64 xnor_slots = geom.rowBits() / 2 * salp;
+        const u64 bc_slots = geom.rowBits() / 8 * salp;
+        const u64 xnor_waves = (macs + xnor_slots - 1) / xnor_slots;
+        const u64 bc_waves = (macs / 8 + bc_slots - 1) / bc_slots;
+        dev.lutOpTimedOnly(xnor_lut, xnor_waves, salp);
+        dev.lutOpTimedOnly(bc_lut, bc_waves, salp);
+        // Per-layer partial-sum reduction on the controller / host.
+        dev.hostWork(2000.0, units::energyFromPower(2.0, 2000.0));
+    } else {
+        // 4-bit MACs: one mul4 query per MAC plus one chunked add4
+        // query for the accumulation tree (partial sums stay in row
+        // buffers across MACs), 8-bit slots.
+        const auto mul_lut = dev.loadLut("mul4");
+        const auto add_lut = dev.loadLut("add4");
+        dev.resetStats();
+        const u64 slots = geom.rowBits() / 8 * salp;
+        const u64 waves = (macs + slots - 1) / slots;
+        dev.lutOpTimedOnly(mul_lut, waves, salp);
+        dev.lutOpTimedOnly(add_lut, waves, salp);
+        dev.hostWork(2000.0, units::energyFromPower(2.0, 2000.0));
+    }
+
+    const auto stats = dev.stats();
+    return {"pLUTo-BSA", stats.timeNs, stats.energyPj};
+}
+
+std::vector<QnnCost>
+hostQnnCosts(u32 bits, u64 macs)
+{
+    // Per-MAC rates calibrated to Table 7's inference times for
+    // LeNet-5's ~300k MACs: CPU 249/997 us, P100 56/224 us, FPGA
+    // 141/563 us (1-bit / 4-bit). Energies at the effective powers
+    // Table 7 implies (CPU ~8.8 W, P100 ~29 W, FPGA ~2.2 W).
+    struct Rate
+    {
+        const char *name;
+        double nsPerMac1, nsPerMac4;
+        PowerW power;
+    };
+    const Rate rates[] = {
+        {"CPU", 0.83, 3.32, 8.8},
+        {"GPU (P100)", 0.19, 0.75, 29.0},
+        {"FPGA", 0.47, 1.88, 2.2},
+    };
+    std::vector<QnnCost> out;
+    for (const auto &r : rates) {
+        const double ns =
+            (bits == 1 ? r.nsPerMac1 : r.nsPerMac4) *
+            static_cast<double>(macs);
+        out.push_back({r.name, ns, units::energyFromPower(r.power, ns)});
+    }
+    return out;
+}
+
+double
+paperAccuracy(u32 bits)
+{
+    PLUTO_ASSERT(bits == 1 || bits == 4);
+    return bits == 1 ? 0.974 : 0.991;
+}
+
+} // namespace pluto::nn

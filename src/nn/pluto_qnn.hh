@@ -1,0 +1,42 @@
+/**
+ * @file
+ * pLUTo mapping of quantized LeNet-5 inference (Table 7).
+ *
+ * 1-bit: every binary MAC is one XNOR (4-entry LUT query work) plus
+ * its share of a BC-8 popcount query; 4-bit: every MAC is one 4-bit
+ * multiply (256-entry query) plus ~2 chunked-add queries for the
+ * accumulation. Query waves run across all SALP lanes; the timing
+ * and energy are charged through the device's query engine, so they
+ * follow the active design's Table 1 formulas. Host baselines use
+ * per-MAC rates calibrated to Table 7's reported inference times.
+ */
+
+#ifndef PLUTO_NN_PLUTO_QNN_HH
+#define PLUTO_NN_PLUTO_QNN_HH
+
+#include "nn/lenet5.hh"
+#include "runtime/device.hh"
+
+namespace pluto::nn
+{
+
+/** One system's Table 7 row. */
+struct QnnCost
+{
+    std::string system;
+    TimeNs timeNs = 0.0;
+    EnergyPj energyPj = 0.0;
+};
+
+/** Simulated pLUTo inference cost for one image on `dev`. */
+QnnCost plutoQnnCost(runtime::PlutoDevice &dev, const LeNet5 &net);
+
+/** Host-baseline rows (CPU / GPU-P100 / FPGA) for `bits`-bit nets. */
+std::vector<QnnCost> hostQnnCosts(u32 bits, u64 macs);
+
+/** Paper-quoted accuracy for the quantized net ([138] via Table 7). */
+double paperAccuracy(u32 bits);
+
+} // namespace pluto::nn
+
+#endif // PLUTO_NN_PLUTO_QNN_HH

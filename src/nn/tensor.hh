@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Minimal integer tensor for the quantized-neural-network case study
+ * (Section 9). Values are stored as i32 regardless of the logical
+ * quantization width; quantization is enforced by the layer code.
+ */
+
+#ifndef PLUTO_NN_TENSOR_HH
+#define PLUTO_NN_TENSOR_HH
+
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace pluto::nn
+{
+
+/** A C x H x W integer tensor. */
+struct Tensor
+{
+    u32 c = 0, h = 0, w = 0;
+    std::vector<i32> data;
+
+    Tensor() = default;
+
+    Tensor(u32 c_, u32 h_, u32 w_)
+        : c(c_), h(h_), w(w_),
+          data(static_cast<std::size_t>(c_) * h_ * w_, 0)
+    {
+    }
+
+    i32 &
+    at(u32 ci, u32 y, u32 x)
+    {
+        PLUTO_ASSERT(ci < c && y < h && x < w);
+        return data[(static_cast<std::size_t>(ci) * h + y) * w + x];
+    }
+
+    i32
+    at(u32 ci, u32 y, u32 x) const
+    {
+        PLUTO_ASSERT(ci < c && y < h && x < w);
+        return data[(static_cast<std::size_t>(ci) * h + y) * w + x];
+    }
+
+    std::size_t size() const { return data.size(); }
+};
+
+} // namespace pluto::nn
+
+#endif // PLUTO_NN_TENSOR_HH

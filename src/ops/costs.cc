@@ -1,0 +1,76 @@
+#include "ops/costs.hh"
+
+#include "common/logging.hh"
+
+namespace pluto::ops
+{
+
+const char *
+bitwiseOpName(BitwiseOp op)
+{
+    switch (op) {
+      case BitwiseOp::Not:
+        return "NOT";
+      case BitwiseOp::And:
+        return "AND";
+      case BitwiseOp::Or:
+        return "OR";
+      case BitwiseOp::Xor:
+        return "XOR";
+      case BitwiseOp::Xnor:
+        return "XNOR";
+      case BitwiseOp::Maj:
+        return "MAJ";
+    }
+    panic("bad BitwiseOp");
+}
+
+OpCosts::OpCosts(const dram::TimingParams &t, const dram::EnergyParams &e)
+{
+    prim = t.tRAS + t.tRP;
+    primEnergy = 2.0 * e.eAct + e.ePre;
+
+    rowClone = 2.0 * t.tRAS + t.tRP;
+    rowCloneEnergy = 2.0 * e.eAct + e.ePre;
+
+    lisa = t.lisaRbm;
+    lisaEnergy = e.eLisa;
+
+    shiftOp = 2.0 * t.tRAS + t.tRP;
+    shiftOpEnergy = 2.0 * e.eAct + e.ePre;
+}
+
+u32
+OpCosts::ambitPrims(BitwiseOp op)
+{
+    // Operand-preserving command sequences (copies to the designated
+    // compute rows, the triple-row activation itself, and the result
+    // copy), consistent with the Ambit latencies of Table 6.
+    switch (op) {
+      case BitwiseOp::Not:
+        return 3;
+      case BitwiseOp::And:
+      case BitwiseOp::Or:
+        return 6;
+      case BitwiseOp::Xor:
+      case BitwiseOp::Xnor:
+        return 13;
+      case BitwiseOp::Maj:
+        return 4;
+    }
+    panic("bad BitwiseOp");
+}
+
+TimeNs
+OpCosts::ambitLatency(BitwiseOp op) const
+{
+    return prim * ambitPrims(op);
+}
+
+EnergyPj
+OpCosts::ambitEnergy(BitwiseOp op) const
+{
+    return primEnergy * ambitPrims(op);
+}
+
+} // namespace pluto::ops

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Latency/energy cost model for the enhanced-DRAM substrate operations
+ * pLUTo builds on (Section 2.2): RowClone-FPM, LISA-RBM, Ambit bulk
+ * bitwise operations, and DRISA shifting.
+ *
+ * Ambit costs are expressed in "prims" of (tRAS + tRP) — one
+ * activate-precharge pair — matching the per-op latencies the paper
+ * reports for Ambit in Table 6 (NOT = 3 prims ~ 135 ns, AND/OR = 6,
+ * XOR/XNOR = 13 at DDR4 timings). A bare triple-row activation
+ * (`traPrims`) costs a single prim; it is what pLUTo uses to merge
+ * already-copied operand rows (Section 6.1's pluto_or), which is why
+ * pLUTo's bitwise ops undercut Ambit's full operand-preserving
+ * sequences (Section 8.9).
+ */
+
+#ifndef PLUTO_OPS_COSTS_HH
+#define PLUTO_OPS_COSTS_HH
+
+#include "common/units.hh"
+#include "dram/timing.hh"
+
+namespace pluto::ops
+{
+
+/** Bulk bitwise operation kinds supported by the Ambit substrate. */
+enum class BitwiseOp
+{
+    Not,
+    And,
+    Or,
+    Xor,
+    Xnor,
+    Maj,
+};
+
+/** @return display name of a bitwise op. */
+const char *bitwiseOpName(BitwiseOp op);
+
+/** Derived substrate-operation costs for one timing/energy preset. */
+struct OpCosts
+{
+    OpCosts(const dram::TimingParams &t, const dram::EnergyParams &e);
+
+    /** One activate-precharge prim (tRAS + tRP). */
+    TimeNs prim;
+    /** Energy of one prim: two row activations + one precharge (AAP). */
+    EnergyPj primEnergy;
+
+    /** RowClone-FPM intra-subarray row copy (ACT-ACT-PRE). */
+    TimeNs rowClone;
+    EnergyPj rowCloneEnergy;
+
+    /** LISA-RBM inter-subarray row-buffer movement. */
+    TimeNs lisa;
+    EnergyPj lisaEnergy;
+
+    /** DRISA shift of 1 bit or 1 byte (one ACT-ACT-PRE sequence). */
+    TimeNs shiftOp;
+    EnergyPj shiftOpEnergy;
+
+    /** Number of prims of a full operand-preserving Ambit op. */
+    static u32 ambitPrims(BitwiseOp op);
+
+    /** Latency of a full Ambit bitwise op. */
+    TimeNs ambitLatency(BitwiseOp op) const;
+
+    /** Energy of a full Ambit bitwise op. */
+    EnergyPj ambitEnergy(BitwiseOp op) const;
+
+    /** Latency of a bare triple-row-activation merge (one prim). */
+    TimeNs traLatency() const { return prim; }
+
+    /** Energy of a bare triple-row-activation merge. */
+    EnergyPj traEnergy() const { return primEnergy; }
+
+    /**
+     * Cost of a DRISA-style shift by `bits` bits: byte-granular ops
+     * for whole bytes plus bit-granular ops for the remainder.
+     */
+    u32 shiftOpCount(u32 bits) const { return bits / 8 + bits % 8; }
+
+    /** Row activations embodied in one prim (for tFAW accounting). */
+    static constexpr u32 actsPerPrim = 2;
+};
+
+} // namespace pluto::ops
+
+#endif // PLUTO_OPS_COSTS_HH

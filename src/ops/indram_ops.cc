@@ -1,0 +1,155 @@
+#include "ops/indram_ops.hh"
+
+#include "common/logging.hh"
+#include "ops/rowmath.hh"
+
+namespace pluto::ops
+{
+
+InDramOps::InDramOps(dram::Module &mod, dram::CommandScheduler &sched)
+    : mod_(mod), sched_(sched),
+      costs_(sched.timing(), sched.energyParams())
+{
+}
+
+void
+InDramOps::rowClone(const std::vector<RowPair> &wave)
+{
+    if (wave.empty())
+        return;
+    for (const auto &[src, dst] : wave) {
+        if (src.bank != dst.bank || src.subarray != dst.subarray)
+            panic("RowClone-FPM requires same subarray: %s -> %s",
+                  src.str().c_str(), dst.str().c_str());
+        mod_.subarrayAt({src.bank, src.subarray}).copyRow(src.row, dst.row);
+    }
+    sched_.op("cmd.rowclone", costs_.rowClone, costs_.rowCloneEnergy,
+              OpCosts::actsPerPrim, static_cast<u32>(wave.size()));
+}
+
+void
+InDramOps::lisaCopy(const std::vector<RowPair> &wave)
+{
+    if (wave.empty())
+        return;
+    for (const auto &[src, dst] : wave) {
+        if (src.bank != dst.bank)
+            panic("LISA-RBM requires same bank: %s -> %s",
+                  src.str().c_str(), dst.str().c_str());
+        const auto data = mod_.readRow(src);
+        mod_.writeRow(dst, data);
+    }
+    sched_.op("cmd.lisa", costs_.lisa, costs_.lisaEnergy, 1,
+              static_cast<u32>(wave.size()));
+}
+
+void
+InDramOps::bitwiseNot(const std::vector<RowPair> &wave)
+{
+    if (wave.empty())
+        return;
+    for (const auto &[src, dst] : wave) {
+        const auto data = mod_.readRow(src);
+        auto out = mod_.rowAt(dst);
+        rowNot(data, out);
+    }
+    sched_.op("cmd.ambit_not", costs_.ambitLatency(BitwiseOp::Not),
+              costs_.ambitEnergy(BitwiseOp::Not),
+              OpCosts::actsPerPrim * OpCosts::ambitPrims(BitwiseOp::Not),
+              static_cast<u32>(wave.size()));
+}
+
+void
+InDramOps::bitwise(BitwiseOp op, const std::vector<RowTriple> &wave)
+{
+    if (wave.empty())
+        return;
+    if (op == BitwiseOp::Not)
+        panic("use bitwiseNot() for unary NOT");
+    for (const auto &t : wave) {
+        const auto a = mod_.readRow(t.a);
+        const auto b = mod_.readRow(t.b);
+        auto out = mod_.rowAt(t.dst);
+        switch (op) {
+          case BitwiseOp::And:
+            rowAnd(a, b, out);
+            break;
+          case BitwiseOp::Or:
+            rowOr(a, b, out);
+            break;
+          case BitwiseOp::Xor:
+            rowXor(a, b, out);
+            break;
+          case BitwiseOp::Xnor:
+            rowXnor(a, b, out);
+            break;
+          case BitwiseOp::Maj:
+            // Two-input wave reuses a as the third operand; callers
+            // needing true 3-input MAJ use rowMaj directly.
+            rowMaj(a, a, b, out);
+            break;
+          default:
+            panic("unhandled BitwiseOp");
+        }
+    }
+    const std::string stat =
+        std::string("cmd.ambit_") + bitwiseOpName(op);
+    sched_.op(stat.c_str(), costs_.ambitLatency(op), costs_.ambitEnergy(op),
+              OpCosts::actsPerPrim * OpCosts::ambitPrims(op),
+              static_cast<u32>(wave.size()));
+}
+
+void
+InDramOps::traOr(const std::vector<RowTriple> &wave)
+{
+    if (wave.empty())
+        return;
+    for (const auto &t : wave) {
+        const auto a = mod_.readRow(t.a);
+        const auto b = mod_.readRow(t.b);
+        auto out = mod_.rowAt(t.dst);
+        rowOr(a, b, out);
+    }
+    sched_.op("cmd.tra_or", costs_.traLatency(), costs_.traEnergy(),
+              OpCosts::actsPerPrim, static_cast<u32>(wave.size()));
+}
+
+void
+InDramOps::shiftLeft(const std::vector<dram::RowAddress> &wave, u32 bits)
+{
+    if (wave.empty() || bits == 0)
+        return;
+    for (const auto &addr : wave)
+        rowShiftLeft(mod_.rowAt(addr), bits);
+    const u32 ops = costs_.shiftOpCount(bits);
+    sched_.op("cmd.shift", costs_.shiftOp * ops,
+              costs_.shiftOpEnergy * ops, OpCosts::actsPerPrim * ops,
+              static_cast<u32>(wave.size()));
+}
+
+void
+InDramOps::shiftRight(const std::vector<dram::RowAddress> &wave, u32 bits)
+{
+    if (wave.empty() || bits == 0)
+        return;
+    for (const auto &addr : wave)
+        rowShiftRight(mod_.rowAt(addr), bits);
+    const u32 ops = costs_.shiftOpCount(bits);
+    sched_.op("cmd.shift", costs_.shiftOp * ops,
+              costs_.shiftOpEnergy * ops, OpCosts::actsPerPrim * ops,
+              static_cast<u32>(wave.size()));
+}
+
+void
+InDramOps::rowClone(const dram::RowAddress &src, const dram::RowAddress &dst)
+{
+    rowClone(std::vector<RowPair>{{src, dst}});
+}
+
+void
+InDramOps::lisaCopy(const dram::RowAddress &src, const dram::RowAddress &dst)
+{
+    lisaCopy(std::vector<RowPair>{{src, dst}});
+}
+
+} // namespace pluto::ops

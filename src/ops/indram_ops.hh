@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The enhanced-DRAM operation substrate: functional execution plus
+ * timing/energy accounting for RowClone-FPM, LISA-RBM, Ambit bulk
+ * bitwise ops and DRISA shifts (Section 2.2 of the paper).
+ *
+ * Each method operates on a *wave*: a batch of row tuples executed in
+ * lock-step across subarrays (MASA-style subarray-level parallelism,
+ * Section 5.5). A wave advances simulated time once; energy and tFAW
+ * activations scale with the wave size.
+ */
+
+#ifndef PLUTO_OPS_INDRAM_OPS_HH
+#define PLUTO_OPS_INDRAM_OPS_HH
+
+#include <utility>
+#include <vector>
+
+#include "dram/module.hh"
+#include "dram/scheduler.hh"
+#include "ops/costs.hh"
+
+namespace pluto::ops
+{
+
+/** (source row, destination row) pair of a copy-like wave element. */
+using RowPair = std::pair<dram::RowAddress, dram::RowAddress>;
+
+/** (operand A, operand B, destination) of a binary bitwise wave. */
+struct RowTriple
+{
+    dram::RowAddress a;
+    dram::RowAddress b;
+    dram::RowAddress dst;
+};
+
+/** Functional + timed in-DRAM operation engine. */
+class InDramOps
+{
+  public:
+    InDramOps(dram::Module &mod, dram::CommandScheduler &sched);
+
+    /** @return the cost model in use. */
+    const OpCosts &costs() const { return costs_; }
+
+    /**
+     * RowClone-FPM copies; every pair must stay within one subarray.
+     */
+    void rowClone(const std::vector<RowPair> &wave);
+
+    /** LISA-RBM copies between subarrays of the same bank. */
+    void lisaCopy(const std::vector<RowPair> &wave);
+
+    /** Ambit NOT: dst = ~src. */
+    void bitwiseNot(const std::vector<RowPair> &wave);
+
+    /** Full operand-preserving Ambit binary op. */
+    void bitwise(BitwiseOp op, const std::vector<RowTriple> &wave);
+
+    /**
+     * Bare triple-row-activation OR merge of two scratch rows (used
+     * for pLUTo operand packing; costs one prim instead of a full
+     * Ambit sequence, Section 8.9).
+     */
+    void traOr(const std::vector<RowTriple> &wave);
+
+    /** DRISA shift left by `bits`, in place. */
+    void shiftLeft(const std::vector<dram::RowAddress> &wave, u32 bits);
+
+    /** DRISA shift right by `bits`, in place. */
+    void shiftRight(const std::vector<dram::RowAddress> &wave, u32 bits);
+
+    /** Convenience single-element overloads. */
+    void rowClone(const dram::RowAddress &src, const dram::RowAddress &dst);
+    void lisaCopy(const dram::RowAddress &src, const dram::RowAddress &dst);
+
+  private:
+    dram::Module &mod_;
+    dram::CommandScheduler &sched_;
+    OpCosts costs_;
+};
+
+} // namespace pluto::ops
+
+#endif // PLUTO_OPS_INDRAM_OPS_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Pure functional row transformations (the "what" of the in-DRAM ops,
+ * separate from the "how long" in costs.hh). Rows are little-endian
+ * bit strings: bit k of the row is bit (k % 8) of byte (k / 8), so a
+ * left shift moves data toward higher bit positions and, given zeroed
+ * upper element bits, is equivalent to shifting every packed element
+ * left simultaneously (the operand-alignment trick of Section 6.3).
+ */
+
+#ifndef PLUTO_OPS_ROWMATH_HH
+#define PLUTO_OPS_ROWMATH_HH
+
+#include <span>
+
+#include "common/types.hh"
+
+namespace pluto::ops
+{
+
+/** dst = ~src (row-wide). Spans must have equal size. */
+void rowNot(std::span<const u8> src, std::span<u8> dst);
+
+/** dst = a & b. */
+void rowAnd(std::span<const u8> a, std::span<const u8> b, std::span<u8> dst);
+
+/** dst = a | b. */
+void rowOr(std::span<const u8> a, std::span<const u8> b, std::span<u8> dst);
+
+/** dst = a ^ b. */
+void rowXor(std::span<const u8> a, std::span<const u8> b, std::span<u8> dst);
+
+/** dst = ~(a ^ b). */
+void rowXnor(std::span<const u8> a, std::span<const u8> b, std::span<u8> dst);
+
+/** dst = bitwise majority of a, b, c. */
+void rowMaj(std::span<const u8> a, std::span<const u8> b,
+            std::span<const u8> c, std::span<u8> dst);
+
+/** In-place little-endian left shift by `bits` (zero fill). */
+void rowShiftLeft(std::span<u8> row, u32 bits);
+
+/** In-place little-endian right shift by `bits` (zero fill). */
+void rowShiftRight(std::span<u8> row, u32 bits);
+
+} // namespace pluto::ops
+
+#endif // PLUTO_OPS_ROWMATH_HH

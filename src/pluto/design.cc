@@ -1,0 +1,41 @@
+#include "pluto/design.hh"
+
+#include "common/logging.hh"
+
+namespace pluto::core
+{
+
+const char *
+designName(Design d)
+{
+    switch (d) {
+      case Design::Bsa:
+        return "pLUTo-BSA";
+      case Design::Gsa:
+        return "pLUTo-GSA";
+      case Design::Gmc:
+        return "pLUTo-GMC";
+    }
+    panic("bad Design");
+}
+
+DesignTraits
+DesignTraits::of(Design d)
+{
+    DesignTraits t;
+    switch (d) {
+      case Design::Bsa:
+        t.prePerStep = true;
+        break;
+      case Design::Gsa:
+        t.destructiveReads = true;
+        t.reloadPerQuery = true;
+        break;
+      case Design::Gmc:
+        t.gatedActivation = true;
+        break;
+    }
+    return t;
+}
+
+} // namespace pluto::core

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The three pLUTo hardware designs (Section 5) and their static
+ * attributes (Table 1).
+ *
+ *  - pLUTo-BSA (Buffered Sense Amplifier): an FF buffer latches
+ *    matched LUT elements; moderate area, throughput and energy.
+ *  - pLUTo-GSA (Gated Sense Amplifier): the sense amplifier itself
+ *    buffers matches; lowest area, but reads destroy the LUT rows, so
+ *    the LUT must be reloaded before every query.
+ *  - pLUTo-GMC (Gated Memory Cell): 2T1C cells gate charge sharing on
+ *    the matchline; highest area, highest throughput and energy
+ *    efficiency, non-destructive.
+ */
+
+#ifndef PLUTO_PLUTO_DESIGN_HH
+#define PLUTO_PLUTO_DESIGN_HH
+
+namespace pluto::core
+{
+
+/** pLUTo hardware design variant. */
+enum class Design
+{
+    Bsa,
+    Gsa,
+    Gmc,
+};
+
+/** All designs, in the paper's presentation order. */
+inline constexpr Design allDesigns[] = {Design::Gsa, Design::Bsa,
+                                        Design::Gmc};
+
+/** @return display name, e.g. "pLUTo-BSA". */
+const char *designName(Design d);
+
+/** Static per-design attributes (Table 1). */
+struct DesignTraits
+{
+    /** Row activations during a sweep destroy unmatched LUT cells. */
+    bool destructiveReads = false;
+    /** LUT data must be reloaded before every query. */
+    bool reloadPerQuery = false;
+    /** A PRE follows every sweep activation (vs one final PRE). */
+    bool prePerStep = false;
+    /** Activation energy is discounted (GMC gates unmatched cells). */
+    bool gatedActivation = false;
+
+    /** @return traits of design `d`. */
+    static DesignTraits of(Design d);
+};
+
+} // namespace pluto::core
+
+#endif // PLUTO_PLUTO_DESIGN_HH

@@ -1,0 +1,64 @@
+#include "pluto/lut.hh"
+
+#include "common/bitvec.hh"
+#include "common/logging.hh"
+
+namespace pluto::core
+{
+
+namespace
+{
+u64
+maskBits(u32 bits)
+{
+    return bits >= 64 ? ~0ULL : ((1ULL << bits) - 1);
+}
+} // namespace
+
+Lut::Lut(std::string name, u32 index_bits, u32 elem_bits,
+         std::vector<u64> values)
+    : name_(std::move(name)), indexBits_(index_bits), elemBits_(elem_bits),
+      values_(std::move(values))
+{
+    if (index_bits == 0 || index_bits > 16)
+        fatal("LUT '%s': index bits %u out of range [1,16]",
+              name_.c_str(), index_bits);
+    if (!isSupportedElementWidth(elem_bits))
+        fatal("LUT '%s': unsupported element width %u",
+              name_.c_str(), elem_bits);
+    if (elem_bits < index_bits)
+        fatal("LUT '%s': element width %u < index width %u "
+              "(lut_bitw must be >= N, paper footnote 5)",
+              name_.c_str(), elem_bits, index_bits);
+    const u64 expect = 1ULL << indexBits_;
+    if (values_.size() != expect)
+        fatal("LUT '%s': %zu values, expected 2^%u = %llu",
+              name_.c_str(), values_.size(), indexBits_,
+              static_cast<unsigned long long>(expect));
+    const u64 mask = maskBits(elemBits_);
+    for (auto &v : values_)
+        v &= mask;
+}
+
+Lut
+Lut::fromFunction(std::string name, u32 index_bits, u32 elem_bits,
+                  const std::function<u64(u64)> &f)
+{
+    const u64 n = 1ULL << index_bits;
+    std::vector<u64> values(n);
+    for (u64 i = 0; i < n; ++i)
+        values[i] = f(i);
+    return Lut(std::move(name), index_bits, elem_bits, std::move(values));
+}
+
+u64
+Lut::at(u64 idx) const
+{
+    if (idx >= values_.size())
+        panic("LUT '%s': index %llu out of range (%zu entries)",
+              name_.c_str(), static_cast<unsigned long long>(idx),
+              values_.size());
+    return values_[idx];
+}
+
+} // namespace pluto::core

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Lookup-table abstraction. A Lut maps an N-bit index to an M-bit
+ * element; in DRAM it occupies 2^N consecutive rows of a
+ * pLUTo-enabled subarray, each row holding the element replicated
+ * across all M-bit slots ("multiple vertical copies of the LUT",
+ * Figure 2). Indices are stored in the source row zero-padded to the
+ * element slot width (footnote 5 of the paper), so M >= N.
+ */
+
+#ifndef PLUTO_PLUTO_LUT_HH
+#define PLUTO_PLUTO_LUT_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace pluto::core
+{
+
+/** An immutable lookup table of 2^indexBits elements. */
+class Lut
+{
+  public:
+    /**
+     * @param name Diagnostic name ("add4", "crc8", ...).
+     * @param index_bits N: LUT query input bit width; the LUT holds
+     *        2^N elements (Section 6.1: lut_size = 2^N).
+     * @param elem_bits M: LUT element bit width and the slot width of
+     *        input/output rows; must be a supported packed width and
+     *        >= index_bits.
+     * @param values The 2^N elements; only the low M bits are kept.
+     */
+    Lut(std::string name, u32 index_bits, u32 elem_bits,
+        std::vector<u64> values);
+
+    /** Build from a function f: [0, 2^N) -> M-bit values. */
+    static Lut fromFunction(std::string name, u32 index_bits,
+                            u32 elem_bits,
+                            const std::function<u64(u64)> &f);
+
+    const std::string &name() const { return name_; }
+    u32 indexBits() const { return indexBits_; }
+    u32 elemBits() const { return elemBits_; }
+
+    /** @return number of elements (= DRAM rows occupied). */
+    u64 size() const { return values_.size(); }
+
+    /** @return element at `idx`. */
+    u64 at(u64 idx) const;
+
+    /** @return all elements. */
+    const std::vector<u64> &values() const { return values_; }
+
+  private:
+    std::string name_;
+    u32 indexBits_;
+    u32 elemBits_;
+    std::vector<u64> values_;
+};
+
+} // namespace pluto::core
+
+#endif // PLUTO_PLUTO_LUT_HH

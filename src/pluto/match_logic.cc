@@ -1,0 +1,35 @@
+#include "pluto/match_logic.hh"
+
+#include "common/logging.hh"
+
+namespace pluto::core
+{
+
+MatchLogic::MatchLogic(u32 slot_bits)
+    : slotBits_(slot_bits)
+{
+    if (!isSupportedElementWidth(slot_bits))
+        fatal("match logic: unsupported comparator width %u", slot_bits);
+}
+
+std::vector<bool>
+MatchLogic::matches(std::span<const u8> source_row, u64 row_index) const
+{
+    ConstElementView view(source_row, slotBits_);
+    std::vector<bool> out(view.size());
+    for (u64 i = 0; i < view.size(); ++i)
+        out[i] = view.get(i) == row_index;
+    return out;
+}
+
+u64
+MatchLogic::matchCount(std::span<const u8> source_row, u64 row_index) const
+{
+    ConstElementView view(source_row, slotBits_);
+    u64 count = 0;
+    for (u64 i = 0; i < view.size(); ++i)
+        count += view.get(i) == row_index;
+    return count;
+}
+
+} // namespace pluto::core

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * pLUTo Match Logic (Section 5.1.2): one comparator per source-row
+ * slot. Each comparator receives the row index of the currently
+ * activated LUT row and the slot's LUT index; on an exact match it
+ * drives the slot's matchlines high, closing the matchline-controlled
+ * switches of that slot.
+ */
+
+#ifndef PLUTO_PLUTO_MATCH_LOGIC_HH
+#define PLUTO_PLUTO_MATCH_LOGIC_HH
+
+#include <span>
+#include <vector>
+
+#include "common/bitvec.hh"
+#include "common/types.hh"
+
+namespace pluto::core
+{
+
+/** Comparator bank between the source row buffer and the LUT rows. */
+class MatchLogic
+{
+  public:
+    /**
+     * @param slot_bits Comparator width (the query's lut_bitw).
+     */
+    explicit MatchLogic(u32 slot_bits);
+
+    /** @return comparator width in bits. */
+    u32 slotBits() const { return slotBits_; }
+
+    /**
+     * Evaluate all comparators for one activated LUT row.
+     *
+     * @param source_row The source row buffer's contents.
+     * @param row_index Index of the currently activated LUT row
+     *        (relative to the LUT's first row).
+     * @return one bool per slot: true where the slot's LUT index
+     *         equals `row_index`.
+     */
+    std::vector<bool> matches(std::span<const u8> source_row,
+                              u64 row_index) const;
+
+    /** @return number of matching slots for one activated row. */
+    u64 matchCount(std::span<const u8> source_row, u64 row_index) const;
+
+  private:
+    u32 slotBits_;
+};
+
+} // namespace pluto::core
+
+#endif // PLUTO_PLUTO_MATCH_LOGIC_HH

@@ -1,0 +1,250 @@
+#include "pluto/query_engine.hh"
+
+#include "common/bitvec.hh"
+#include "common/logging.hh"
+
+namespace pluto::core
+{
+
+QueryEngine::QueryEngine(dram::Module &mod, dram::CommandScheduler &sched,
+                         ops::InDramOps &ops, LutStore &store, Design design)
+    : mod_(mod), sched_(sched), ops_(ops), store_(store), design_(design),
+      traits_(DesignTraits::of(design))
+{
+}
+
+void
+QueryEngine::chargeSweep(LutPlacement &p, u32 parallel)
+{
+    const auto &t = sched_.timing();
+    const auto &e = sched_.energyParams();
+    const u32 n = p.rowsPerPartition;
+    const u32 lanes = p.partitionCount() * parallel;
+
+    if (traits_.reloadPerQuery || !p.loaded) {
+        // GSA destroyed the resident LUT (or it was never loaded):
+        // restore it from the in-DRAM master copy, one LISA-RBM row
+        // copy per LUT row per lane (Table 1: LISA_RBM x N).
+        sched_.op("pluto.lut_reload", t.lisaRbm * n, e.eLisa * n, n,
+                  lanes);
+        if (p.materialized)
+            store_.materialize(p);
+        p.loaded = true;
+        ++p.loadCount;
+    }
+
+    switch (design_) {
+      case Design::Bsa:
+        // Full ACT + PRE per swept LUT row.
+        sched_.sweep("pluto.sweep", n, t.tRCD + t.tRP, e.eAct + e.ePre,
+                     lanes);
+        break;
+      case Design::Gsa:
+        // Charge-sharing-only activations; one final PRE. Unmatched
+        // cells are never restored: the sweep destroys the LUT.
+        sched_.sweep("pluto.sweep", n, t.tRCD, e.eAct, lanes, t.tRP,
+                     e.ePre);
+        p.loaded = false;
+        break;
+      case Design::Gmc:
+        // Back-to-back activations; gated cells keep unmatched
+        // bitlines precharged, discounting activation energy.
+        sched_.sweep("pluto.sweep", n, t.tRCD,
+                     e.eAct * e.gmcActDiscount, lanes, t.tRP, e.ePre);
+        break;
+    }
+
+    // Move the query result (FF buffer / gated row buffer) into the
+    // destination subarray's row buffer with one LISA-RBM operation.
+    sched_.op("pluto.result_move", t.lisaRbm, e.eLisa, 1, parallel);
+    sched_.stats().add("pluto.queries", parallel);
+}
+
+void
+QueryEngine::applyFunctional(LutPlacement &p, const dram::RowAddress &src,
+                             const dram::RowAddress &dst)
+{
+    const u32 width = p.lut.elemBits();
+    const auto in = mod_.readRow(src);
+    auto out = mod_.rowAt(dst);
+    ConstElementView iv(in, width);
+    ElementView ov(out, width);
+    const u64 size = p.lut.size();
+    for (u64 i = 0; i < iv.size(); ++i) {
+        const u64 idx = iv.get(i);
+        if (idx >= size)
+            panic("LUT '%s': source slot %llu holds index %llu >= %llu",
+                  p.lut.name().c_str(),
+                  static_cast<unsigned long long>(i),
+                  static_cast<unsigned long long>(idx),
+                  static_cast<unsigned long long>(size));
+        ov.set(i, p.lut.at(idx));
+    }
+    sched_.stats().add("pluto.lookups", static_cast<double>(iv.size()));
+}
+
+void
+QueryEngine::query(LutPlacement &p, const dram::RowAddress &src,
+                   const dram::RowAddress &dst)
+{
+    queryWave(p, {{src, dst}});
+}
+
+void
+QueryEngine::queryWave(LutPlacement &p, const std::vector<QueryPair> &pairs)
+{
+    if (pairs.empty())
+        return;
+    for (const auto &[src, dst] : pairs)
+        applyFunctional(p, src, dst);
+    chargeSweep(p, static_cast<u32>(pairs.size()));
+    if (traits_.destructiveReads) {
+        for (const auto &sa : p.partitions) {
+            auto &sub = mod_.subarrayAt(sa);
+            for (u32 r = 0; r < p.rowsPerPartition; ++r)
+                sub.destroyRow(p.baseRow + r);
+        }
+    }
+}
+
+void
+QueryEngine::queryTimedOnly(LutPlacement &p, u32 parallel)
+{
+    PLUTO_ASSERT(parallel >= 1);
+    chargeSweep(p, parallel);
+    if (traits_.destructiveReads)
+        p.loaded = false;
+}
+
+void
+QueryEngine::queryStacked(const std::vector<LutPlacement *> &luts,
+                          const dram::RowAddress &src,
+                          const dram::RowAddress &dst, u32 parallel)
+{
+    if (luts.empty())
+        return;
+    const u32 width = luts.front()->lut.elemBits();
+    const auto sa = luts.front()->partitions.at(0);
+    RowIndex first = luts.front()->baseRow;
+    RowIndex last = first;
+    for (const auto *p : luts) {
+        if (p->partitionCount() != 1)
+            fatal("queryStacked: LUT '%s' is partitioned",
+                  p->lut.name().c_str());
+        if (p->partitions[0] != sa)
+            fatal("queryStacked: LUT '%s' lives in a different "
+                  "subarray", p->lut.name().c_str());
+        if (p->lut.elemBits() != width)
+            fatal("queryStacked: LUT '%s' width %u != %u",
+                  p->lut.name().c_str(), p->lut.elemBits(), width);
+        first = std::min(first, p->baseRow);
+        last = std::max<RowIndex>(
+            last, p->baseRow + static_cast<RowIndex>(p->lut.size()));
+    }
+
+    if (last > (1ull << std::min<u32>(width, 63)))
+        fatal("queryStacked: stacked region ends at row %u, beyond "
+              "the %u-bit index range", last, width);
+
+    // Functional: a slot's index is an absolute row of the stacked
+    // region (i.e. already offset by its target LUT's base row); the
+    // owning LUT is the one whose [base, base+size) contains it.
+    const auto in = mod_.readRow(src);
+    auto out = mod_.rowAt(dst);
+    ConstElementView iv(in, width);
+    ElementView ov(out, width);
+    for (u64 s = 0; s < iv.size(); ++s) {
+        const u64 v = iv.get(s);
+        const LutPlacement *owner = nullptr;
+        for (const auto *p : luts) {
+            if (v >= p->baseRow && v < p->baseRow + p->lut.size()) {
+                owner = p;
+                break;
+            }
+        }
+        if (!owner)
+            panic("queryStacked: slot %llu index %llu hits no LUT",
+                  static_cast<unsigned long long>(s),
+                  static_cast<unsigned long long>(v));
+        ov.set(s, owner->lut.at(v - owner->baseRow));
+    }
+
+    // Timing: one sweep over the whole stacked region.
+    const u32 rows = last - first;
+    const auto &t = sched_.timing();
+    const auto &e = sched_.energyParams();
+    switch (design_) {
+      case Design::Bsa:
+        sched_.sweep("pluto.sweep_stacked", rows, t.tRCD + t.tRP,
+                     e.eAct + e.ePre, parallel);
+        break;
+      case Design::Gsa:
+        sched_.sweep("pluto.sweep_stacked", rows, t.tRCD, e.eAct,
+                     parallel, t.tRP, e.ePre);
+        break;
+      case Design::Gmc:
+        sched_.sweep("pluto.sweep_stacked", rows, t.tRCD,
+                     e.eAct * e.gmcActDiscount, parallel, t.tRP,
+                     e.ePre);
+        break;
+    }
+    sched_.op("pluto.result_move", t.lisaRbm, e.eLisa, 1, parallel);
+    sched_.stats().add("pluto.queries", parallel);
+    if (traits_.destructiveReads) {
+        auto &sub = mod_.subarrayAt(sa);
+        for (RowIndex r = first; r < last; ++r)
+            sub.destroyRow(r);
+        for (auto *p : luts)
+            p->loaded = false;
+    }
+}
+
+void
+QueryEngine::queryViaSweep(LutPlacement &p, const dram::RowAddress &src,
+                           const dram::RowAddress &dst)
+{
+    const auto &geom = mod_.geometry();
+    const u32 width = p.lut.elemBits();
+    MatchLogic match(width);
+
+    if (!p.loaded)
+        panic("LUT '%s': sweep over a destroyed LUT", p.lut.name().c_str());
+    if (!p.materialized)
+        panic("LUT '%s': sweep emulation needs a materialized row "
+              "image (LUT exceeds materializeLimitBytes)",
+              p.lut.name().c_str());
+
+    const auto in = mod_.readRow(src);
+    // The FF buffer (BSA) / gated row buffer (GSA, GMC) accumulates
+    // matched elements over the sweep, starting from all-zero
+    // (precharged) state.
+    std::vector<u8> ff(geom.rowBytes, 0);
+    ElementView ffv(ff, width);
+
+    for (u32 part = 0; part < p.partitionCount(); ++part) {
+        auto &sub = mod_.subarrayAt(p.partitions[part]);
+        for (u32 r = 0; r < p.rowsPerPartition; ++r) {
+            const u64 global =
+                static_cast<u64>(part) * p.rowsPerPartition + r;
+            // Activate LUT row `global`: its element appears,
+            // replicated, in the pLUTo-enabled row buffer.
+            const auto lut_row = sub.readRow(p.baseRow + r);
+            ConstElementView lv(lut_row, width);
+            // The Match Logic compares every source slot against the
+            // activated row's index and closes matching switches.
+            const auto m = match.matches(in, global);
+            for (u64 s = 0; s < m.size(); ++s) {
+                if (m[s])
+                    ffv.set(s, lv.get(s));
+            }
+            if (traits_.destructiveReads)
+                sub.destroyRow(p.baseRow + r);
+        }
+    }
+
+    mod_.writeRow(dst, ff);
+    if (traits_.destructiveReads)
+        p.loaded = false;
+}
+
+} // namespace pluto::core

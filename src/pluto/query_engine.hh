@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The pLUTo LUT Query engine (Section 4.1): bulk-queries a LUT with
+ * every slot of a source row, producing a destination row, under one
+ * of the three hardware designs.
+ *
+ * Two execution paths exist:
+ *  - query()/queryWave(): functional result computed directly
+ *    (out[i] = LUT[in[i]]) with timing/energy charged per the Table 1
+ *    design formulas — the fast path used by workloads and benches;
+ *  - queryViaSweep(): a microarchitectural emulation that walks the
+ *    LUT rows one activation at a time, evaluates the Match Logic per
+ *    slot, latches the FF buffer (BSA) or gates the sense amplifiers
+ *    (GSA/GMC), and destroys GSA rows. Tests assert both paths agree.
+ */
+
+#ifndef PLUTO_PLUTO_QUERY_ENGINE_HH
+#define PLUTO_PLUTO_QUERY_ENGINE_HH
+
+#include <utility>
+#include <vector>
+
+#include "dram/module.hh"
+#include "dram/scheduler.hh"
+#include "ops/indram_ops.hh"
+#include "pluto/design.hh"
+#include "pluto/lut_store.hh"
+#include "pluto/match_logic.hh"
+
+namespace pluto::core
+{
+
+/** One (source row, destination row) pair of a query wave. */
+using QueryPair = std::pair<dram::RowAddress, dram::RowAddress>;
+
+/** Executes pLUTo LUT Queries against a DRAM module. */
+class QueryEngine
+{
+  public:
+    QueryEngine(dram::Module &mod, dram::CommandScheduler &sched,
+                ops::InDramOps &ops, LutStore &store, Design design);
+
+    /** @return the hardware design this engine models. */
+    Design design() const { return design_; }
+
+    /**
+     * Bulk LUT query of one source row into one destination row.
+     * Equivalent to queryWave() with a single pair.
+     */
+    void query(LutPlacement &p, const dram::RowAddress &src,
+               const dram::RowAddress &dst);
+
+    /**
+     * A wave of LUT queries executed in lock-step across subarray-
+     * level-parallel lanes (Section 5.5): functional execution for
+     * every pair, timing advanced once with `pairs.size()`-way
+     * parallelism.
+     */
+    void queryWave(LutPlacement &p, const std::vector<QueryPair> &pairs);
+
+    /**
+     * Timing/energy-only query wave, used by model-scale benches
+     * where the parallelism exceeds the materialized module (e.g.
+     * the Figure 14 sweep up to 8192 subarrays).
+     */
+    void queryTimedOnly(LutPlacement &p, u32 parallel);
+
+    /**
+     * Microarchitectural sweep emulation (Figure 3's step-by-step
+     * walk). Produces the same destination row as query(); destroys
+     * the LUT rows under pLUTo-GSA.
+     */
+    void queryViaSweep(LutPlacement &p, const dram::RowAddress &src,
+                       const dram::RowAddress &dst);
+
+    /**
+     * Fused query over multiple LUTs stacked in one pLUTo-enabled
+     * subarray (Section 4: "the simultaneous querying of multiple
+     * LUTs stored in a single DRAM subarray"). Each source slot's
+     * index is pre-offset by its target LUT's base row; a single row
+     * sweep over the stacked region serves every LUT at once.
+     *
+     * All placements must be single-partition, share one subarray,
+     * and use the same element width.
+     */
+    void queryStacked(const std::vector<LutPlacement *> &luts,
+                      const dram::RowAddress &src,
+                      const dram::RowAddress &dst, u32 parallel = 1);
+
+  private:
+    /** Charge the Table 1 sweep timing/energy for one wave. */
+    void chargeSweep(LutPlacement &p, u32 parallel);
+
+    /** Functional out[i] = LUT[in[i]] for one row pair. */
+    void applyFunctional(LutPlacement &p, const dram::RowAddress &src,
+                         const dram::RowAddress &dst);
+
+    dram::Module &mod_;
+    dram::CommandScheduler &sched_;
+    ops::InDramOps &ops_;
+    LutStore &store_;
+    Design design_;
+    DesignTraits traits_;
+};
+
+} // namespace pluto::core
+
+#endif // PLUTO_PLUTO_QUERY_ENGINE_HH

@@ -1,0 +1,317 @@
+#include "runtime/controller.hh"
+
+#include "common/bitvec.hh"
+#include "common/logging.hh"
+
+namespace pluto::runtime
+{
+
+Controller::Controller(dram::Module &mod, dram::CommandScheduler &sched,
+                       ops::InDramOps &ops, core::LutStore &store,
+                       core::QueryEngine &engine, LutLibrary &library,
+                       RowAllocator &alloc, core::LutLoadMethod load_method)
+    : mod_(mod), sched_(sched), ops_(ops), store_(store), engine_(engine),
+      library_(library), alloc_(alloc), loadMethod_(load_method)
+{
+}
+
+void
+Controller::execute(const isa::Program &prog)
+{
+    const std::string err = prog.validate();
+    if (!err.empty())
+        fatal("invalid pLUTo program: %s", err.c_str());
+    for (const auto &i : prog.instructions())
+        execute(i);
+}
+
+void
+Controller::execute(const isa::Instruction &instr)
+{
+    using isa::Opcode;
+    switch (instr.op) {
+      case Opcode::RowAlloc:
+        execRowAlloc(instr);
+        break;
+      case Opcode::SubarrayAlloc:
+        execSubarrayAlloc(instr);
+        break;
+      case Opcode::LutOp:
+        execLutOp(instr);
+        break;
+      case Opcode::Not:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::MergeOr:
+        execBitwise(instr);
+        break;
+      case Opcode::BitShiftL:
+      case Opcode::BitShiftR:
+      case Opcode::ByteShiftL:
+      case Opcode::ByteShiftR:
+        execShift(instr);
+        break;
+      case Opcode::Move:
+        execMove(instr);
+        break;
+    }
+    sched_.stats().inc("isa.instructions");
+}
+
+void
+Controller::execRowAlloc(const isa::Instruction &i)
+{
+    if (rowRegs_.count(i.dst))
+        fatal("row register $prg%d reallocated", i.dst);
+    if (!isSupportedElementWidth(i.bitwidth))
+        fatal("pluto_row_alloc: unsupported bit width %u", i.bitwidth);
+    RowSet set;
+    set.elements = i.size;
+    set.width = i.bitwidth;
+    set.slotsPerRow =
+        elementsPerBytes(mod_.geometry().rowBytes, i.bitwidth);
+    const u64 rows =
+        (i.size + set.slotsPerRow - 1) / set.slotsPerRow;
+    set.rows = alloc_.allocRows(std::max<u64>(rows, 1));
+    rowRegs_.emplace(i.dst, std::move(set));
+}
+
+void
+Controller::execSubarrayAlloc(const isa::Instruction &i)
+{
+    if (saRegs_.count(i.dst))
+        fatal("subarray register $lut_rg%d reallocated", i.dst);
+    core::Lut lut = library_.get(i.lutName);
+    if (i.lutSize != 0 && i.lutSize != lut.size())
+        fatal("pluto_subarray_alloc: num_rows %u != LUT '%s' size %llu",
+              i.lutSize, i.lutName.c_str(),
+              static_cast<unsigned long long>(lut.size()));
+    const u32 parts =
+        core::LutStore::partitionsFor(lut, mod_.geometry());
+    const auto subs = alloc_.allocLutSubarrays(parts);
+    const u32 idx = store_.place(std::move(lut), subs, loadMethod_);
+    saRegs_.emplace(i.dst, idx);
+}
+
+void
+Controller::checkCompatible(const RowSet &a, const RowSet &b,
+                            const char *what) const
+{
+    if (a.rows.size() != b.rows.size() || a.width != b.width)
+        fatal("%s: incompatible row registers (%zu rows/%u bits vs "
+              "%zu rows/%u bits)",
+              what, a.rows.size(), a.width, b.rows.size(), b.width);
+}
+
+void
+Controller::execLutOp(const isa::Instruction &i)
+{
+    auto &src = rowRegs_.at(i.src1);
+    auto &dst = rowRegs_.at(i.dst);
+    auto &p = lutPlacement(i.lutReg);
+    if (src.rows.size() != dst.rows.size())
+        fatal("pluto_op: src has %zu rows, dst %zu", src.rows.size(),
+              dst.rows.size());
+    if (i.bitwidth != p.lut.elemBits())
+        fatal("pluto_op: lut_bitw %u != LUT '%s' element width %u",
+              i.bitwidth, p.lut.name().c_str(), p.lut.elemBits());
+    if (i.lutSize != p.lut.size())
+        fatal("pluto_op: lut_size %u != LUT '%s' size %llu", i.lutSize,
+              p.lut.name().c_str(),
+              static_cast<unsigned long long>(p.lut.size()));
+    if (src.width != p.lut.elemBits() || dst.width != p.lut.elemBits())
+        fatal("pluto_op: register width (%u/%u) != lut_bitw %u",
+              src.width, dst.width, p.lut.elemBits());
+
+    const u32 salp = alloc_.salp();
+    std::vector<core::QueryPair> wave;
+    wave.reserve(salp);
+    for (std::size_t r = 0; r < src.rows.size(); ++r) {
+        wave.emplace_back(src.rows[r], dst.rows[r]);
+        if (wave.size() == salp) {
+            engine_.queryWave(p, wave);
+            wave.clear();
+        }
+    }
+    if (!wave.empty())
+        engine_.queryWave(p, wave);
+    sched_.stats().add("isa.pluto_op_rows",
+                       static_cast<double>(src.rows.size()));
+}
+
+void
+Controller::execBitwise(const isa::Instruction &i)
+{
+    using isa::Opcode;
+    auto &dst = rowRegs_.at(i.dst);
+    auto &a = rowRegs_.at(i.src1);
+    checkCompatible(a, dst, "bitwise");
+
+    const u32 salp = alloc_.salp();
+    if (i.op == Opcode::Not) {
+        std::vector<ops::RowPair> wave;
+        for (std::size_t r = 0; r < a.rows.size(); ++r) {
+            wave.emplace_back(a.rows[r], dst.rows[r]);
+            if (wave.size() == salp) {
+                ops_.bitwiseNot(wave);
+                wave.clear();
+            }
+        }
+        ops_.bitwiseNot(wave);
+        return;
+    }
+
+    auto &b = rowRegs_.at(i.src2);
+    checkCompatible(b, dst, "bitwise");
+    std::vector<ops::RowTriple> wave;
+    auto flush = [&] {
+        if (wave.empty())
+            return;
+        switch (i.op) {
+          case Opcode::And:
+            ops_.bitwise(ops::BitwiseOp::And, wave);
+            break;
+          case Opcode::Or:
+            ops_.bitwise(ops::BitwiseOp::Or, wave);
+            break;
+          case Opcode::Xor:
+            ops_.bitwise(ops::BitwiseOp::Xor, wave);
+            break;
+          case Opcode::MergeOr:
+            ops_.traOr(wave);
+            break;
+          default:
+            panic("unexpected bitwise opcode");
+        }
+        wave.clear();
+    };
+    for (std::size_t r = 0; r < a.rows.size(); ++r) {
+        wave.push_back({a.rows[r], b.rows[r], dst.rows[r]});
+        if (wave.size() == salp)
+            flush();
+    }
+    flush();
+}
+
+void
+Controller::execShift(const isa::Instruction &i)
+{
+    using isa::Opcode;
+    auto &set = rowRegs_.at(i.dst);
+    const u32 bits =
+        (i.op == Opcode::ByteShiftL || i.op == Opcode::ByteShiftR)
+            ? i.amount * 8
+            : i.amount;
+    const bool left =
+        i.op == Opcode::BitShiftL || i.op == Opcode::ByteShiftL;
+    const u32 salp = alloc_.salp();
+    std::vector<dram::RowAddress> wave;
+    auto flush = [&] {
+        if (wave.empty())
+            return;
+        if (left)
+            ops_.shiftLeft(wave, bits);
+        else
+            ops_.shiftRight(wave, bits);
+        wave.clear();
+    };
+    for (const auto &row : set.rows) {
+        wave.push_back(row);
+        if (wave.size() == salp)
+            flush();
+    }
+    flush();
+}
+
+void
+Controller::execMove(const isa::Instruction &i)
+{
+    auto &src = rowRegs_.at(i.src1);
+    auto &dst = rowRegs_.at(i.dst);
+    checkCompatible(src, dst, "pluto_move");
+    const u32 salp = alloc_.salp();
+    std::vector<ops::RowPair> wave;
+    for (std::size_t r = 0; r < src.rows.size(); ++r) {
+        wave.emplace_back(src.rows[r], dst.rows[r]);
+        if (wave.size() == salp) {
+            ops_.lisaCopy(wave);
+            wave.clear();
+        }
+    }
+    ops_.lisaCopy(wave);
+}
+
+const RowSet &
+Controller::rowSet(i32 reg) const
+{
+    const auto it = rowRegs_.find(reg);
+    if (it == rowRegs_.end())
+        fatal("row register $prg%d not allocated", reg);
+    return it->second;
+}
+
+core::LutPlacement &
+Controller::lutPlacement(i32 reg)
+{
+    const auto it = saRegs_.find(reg);
+    if (it == saRegs_.end())
+        fatal("subarray register $lut_rg%d not allocated", reg);
+    return store_.placement(it->second);
+}
+
+void
+Controller::writeValues(i32 reg, std::span<const u64> values,
+                        bool charge_io)
+{
+    const auto it = rowRegs_.find(reg);
+    if (it == rowRegs_.end())
+        fatal("row register $prg%d not allocated", reg);
+    auto &set = it->second;
+    if (values.size() > set.elements)
+        fatal("writeValues: %zu values > %llu allocated", values.size(),
+              static_cast<unsigned long long>(set.elements));
+    for (std::size_t r = 0; r < set.rows.size(); ++r) {
+        auto row = mod_.rowAt(set.rows[r]);
+        ElementView view(row, set.width);
+        const u64 base = r * set.slotsPerRow;
+        for (u64 s = 0; s < set.slotsPerRow; ++s) {
+            const u64 idx = base + s;
+            view.set(s, idx < values.size() ? values[idx] : 0);
+        }
+    }
+    if (charge_io) {
+        const double bytes =
+            static_cast<double>(values.size()) * set.width / 8.0;
+        sched_.op("host.write", bytes / 19.2,
+                  bytes * sched_.energyParams().eIoPerByte);
+    }
+}
+
+std::vector<u64>
+Controller::readValues(i32 reg, bool charge_io)
+{
+    const auto it = rowRegs_.find(reg);
+    if (it == rowRegs_.end())
+        fatal("row register $prg%d not allocated", reg);
+    auto &set = it->second;
+    std::vector<u64> out;
+    out.reserve(set.elements);
+    for (std::size_t r = 0; r < set.rows.size() && out.size() <
+         set.elements; ++r) {
+        const auto row = mod_.readRow(set.rows[r]);
+        ConstElementView view(row, set.width);
+        for (u64 s = 0; s < set.slotsPerRow && out.size() < set.elements;
+             ++s)
+            out.push_back(view.get(s));
+    }
+    if (charge_io) {
+        const double bytes =
+            static_cast<double>(out.size()) * set.width / 8.0;
+        sched_.op("host.read", bytes / 19.2,
+                  bytes * sched_.energyParams().eIoPerByte);
+    }
+    return out;
+}
+
+} // namespace pluto::runtime

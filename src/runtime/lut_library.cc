@@ -1,0 +1,316 @@
+#include "runtime/lut_library.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace pluto::runtime
+{
+
+using core::Lut;
+
+namespace luts
+{
+
+namespace
+{
+u64
+mask(u32 bits)
+{
+    return bits >= 64 ? ~0ULL : ((1ULL << bits) - 1);
+}
+
+/** Sign-extend the low `bits` of v into an i64. */
+i64
+signExtend(u64 v, u32 bits)
+{
+    const u64 sign = 1ULL << (bits - 1);
+    const u64 m = mask(bits);
+    const u64 x = v & m;
+    return (x & sign) ? static_cast<i64>(x | ~m) : static_cast<i64>(x);
+}
+} // namespace
+
+Lut
+identity(u32 bits)
+{
+    return Lut::fromFunction("identity" + std::to_string(bits), bits,
+                             bits, [](u64 x) { return x; });
+}
+
+Lut
+addUnsigned(u32 n)
+{
+    return Lut::fromFunction(
+        "add" + std::to_string(n), 2 * n, 2 * n, [n](u64 idx) {
+            const u64 a = idx >> n;
+            const u64 b = idx & mask(n);
+            return a + b;
+        });
+}
+
+Lut
+mulUnsigned(u32 n)
+{
+    return Lut::fromFunction(
+        "mul" + std::to_string(n), 2 * n, 2 * n, [n](u64 idx) {
+            const u64 a = idx >> n;
+            const u64 b = idx & mask(n);
+            return a * b;
+        });
+}
+
+Lut
+mulQFormat(u32 n)
+{
+    return Lut::fromFunction(
+        "mulq" + std::to_string(n), 2 * n, 2 * n, [n](u64 idx) {
+            const i64 a = signExtend(idx >> n, n);
+            const i64 b = signExtend(idx & mask(n), n);
+            const i64 prod = (a * b) >> (n - 1);
+            return static_cast<u64>(prod) & mask(n);
+        });
+}
+
+Lut
+gate(const std::string &kind, u32 n)
+{
+    std::function<u64(u64, u64)> f;
+    if (kind == "and")
+        f = [](u64 a, u64 b) { return a & b; };
+    else if (kind == "or")
+        f = [](u64 a, u64 b) { return a | b; };
+    else if (kind == "xor")
+        f = [](u64 a, u64 b) { return a ^ b; };
+    else if (kind == "xnor")
+        f = [](u64 a, u64 b) { return ~(a ^ b); };
+    else if (kind == "nand")
+        f = [](u64 a, u64 b) { return ~(a & b); };
+    else if (kind == "nor")
+        f = [](u64 a, u64 b) { return ~(a | b); };
+    else if (kind == "not")
+        f = [](u64 a, u64 b) { (void)b; return ~a; };
+    else
+        fatal("unknown gate kind '%s'", kind.c_str());
+    return Lut::fromFunction(
+        kind + std::to_string(n), 2 * n, 2 * n, [f, n](u64 idx) {
+            const u64 a = idx >> n;
+            const u64 b = idx & mask(n);
+            return f(a, b) & mask(n);
+        });
+}
+
+Lut
+bitcount(u32 bits)
+{
+    return Lut::fromFunction(
+        "bc" + std::to_string(bits), bits, bits == 4 ? 4u : 8u,
+        [](u64 x) { return static_cast<u64>(__builtin_popcountll(x)); });
+}
+
+Lut
+crc8Table()
+{
+    // CRC-8 with polynomial x^8 + x^2 + x + 1 (0x07), MSB-first.
+    return Lut::fromFunction("crc8", 8, 8, [](u64 idx) {
+        u8 crc = static_cast<u8>(idx);
+        for (int k = 0; k < 8; ++k)
+            crc = static_cast<u8>((crc & 0x80) ? (crc << 1) ^ 0x07
+                                               : (crc << 1));
+        return static_cast<u64>(crc);
+    });
+}
+
+Lut
+crc16Table()
+{
+    // CRC-16/CCITT-FALSE, polynomial 0x1021, MSB-first.
+    return Lut::fromFunction("crc16", 8, 16, [](u64 idx) {
+        u16 crc = static_cast<u16>(idx << 8);
+        for (int k = 0; k < 8; ++k)
+            crc = static_cast<u16>((crc & 0x8000) ? (crc << 1) ^ 0x1021
+                                                  : (crc << 1));
+        return static_cast<u64>(crc);
+    });
+}
+
+Lut
+crc32Table()
+{
+    // CRC-32 (IEEE 802.3), reflected, polynomial 0xEDB88320.
+    return Lut::fromFunction("crc32", 8, 32, [](u64 idx) {
+        u32 crc = static_cast<u32>(idx);
+        for (int k = 0; k < 8; ++k)
+            crc = (crc & 1) ? (crc >> 1) ^ 0xEDB88320u : (crc >> 1);
+        return static_cast<u64>(crc);
+    });
+}
+
+Lut
+binarize(u32 threshold)
+{
+    return Lut::fromFunction(
+        "binarize" + std::to_string(threshold), 8, 8,
+        [threshold](u64 x) { return x >= threshold ? 255ULL : 0ULL; });
+}
+
+Lut
+colorGrade()
+{
+    // A smooth S-curve with mild warm lift, representative of the
+    // 8-bit-to-8-bit grading LUTs of [133].
+    return Lut::fromFunction("colorgrade", 8, 8, [](u64 x) {
+        const double v = static_cast<double>(x) / 255.0;
+        const double s = v * v * (3.0 - 2.0 * v); // smoothstep
+        const double graded = 0.85 * s + 0.15 * std::sqrt(v);
+        const long out = std::lround(graded * 255.0);
+        return static_cast<u64>(std::min(255L, std::max(0L, out)));
+    });
+}
+
+Lut
+exponentiation()
+{
+    return Lut::fromFunction("exp3mod256", 8, 8, [](u64 x) {
+        u64 acc = 1;
+        for (u64 k = 0; k < x; ++k)
+            acc = (acc * 3) & 0xff;
+        return acc;
+    });
+}
+
+namespace
+{
+/** Q1.7 two's-complement encoding of v in [-1, 1). */
+u64
+toQ17(double v)
+{
+    const long raw = std::lround(std::clamp(v, -1.0, 127.0 / 128.0) *
+                                 128.0);
+    return static_cast<u64>(static_cast<u8>(static_cast<i8>(raw)));
+}
+} // namespace
+
+Lut
+sinQ7()
+{
+    return Lut::fromFunction("sinq7", 8, 8, [](u64 phase) {
+        const double angle = 2.0 * M_PI * phase / 256.0;
+        return toQ17(std::sin(angle));
+    });
+}
+
+Lut
+cosQ7()
+{
+    return Lut::fromFunction("cosq7", 8, 8, [](u64 phase) {
+        const double angle = 2.0 * M_PI * phase / 256.0;
+        return toQ17(std::cos(angle));
+    });
+}
+
+Lut
+sqrt8()
+{
+    return Lut::fromFunction("sqrt8", 8, 8, [](u64 x) {
+        return static_cast<u64>(
+            std::lround(std::sqrt(x / 255.0) * 255.0));
+    });
+}
+
+Lut
+log2Q5()
+{
+    return Lut::fromFunction("log2q5", 8, 8, [](u64 x) {
+        if (x == 0)
+            return u64{0};
+        const long v = std::lround(std::log2(x) * 32.0);
+        return static_cast<u64>(std::min(255L, v));
+    });
+}
+
+Lut
+sigmoid8()
+{
+    return Lut::fromFunction("sigmoid8", 8, 8, [](u64 x) {
+        // Input is a Q4.4 two's-complement value in [-8, 8).
+        const double v = static_cast<i8>(x) / 16.0;
+        const double s = 1.0 / (1.0 + std::exp(-v));
+        return static_cast<u64>(std::lround(s * 255.0));
+    });
+}
+
+} // namespace luts
+
+LutLibrary::LutLibrary()
+{
+    for (u32 n : {1u, 2u, 4u, 8u}) {
+        registerLut("add" + std::to_string(n),
+                    [n] { return luts::addUnsigned(n); });
+        registerLut("mul" + std::to_string(n),
+                    [n] { return luts::mulUnsigned(n); });
+        registerLut("mulq" + std::to_string(n),
+                    [n] { return luts::mulQFormat(n); });
+    }
+    for (u32 b : {1u, 2u, 4u, 8u, 16u, 32u})
+        registerLut("identity" + std::to_string(b),
+                    [b] { return luts::identity(b); });
+    for (const char *kind : {"and", "or", "xor", "xnor", "nand", "nor",
+                             "not"}) {
+        const std::string k = kind;
+        registerLut(k + "1", [k] { return luts::gate(k, 1); });
+        registerLut(k + "2", [k] { return luts::gate(k, 2); });
+        registerLut(k + "4", [k] { return luts::gate(k, 4); });
+    }
+    registerLut("bc4", [] { return luts::bitcount(4); });
+    registerLut("bc8", [] { return luts::bitcount(8); });
+    registerLut("crc8", [] { return luts::crc8Table(); });
+    registerLut("crc16", [] { return luts::crc16Table(); });
+    registerLut("crc32", [] { return luts::crc32Table(); });
+    registerLut("binarize128", [] { return luts::binarize(128); });
+    registerLut("colorgrade", [] { return luts::colorGrade(); });
+    registerLut("exp3mod256", [] { return luts::exponentiation(); });
+    registerLut("sinq7", [] { return luts::sinQ7(); });
+    registerLut("cosq7", [] { return luts::cosQ7(); });
+    registerLut("sqrt8", [] { return luts::sqrt8(); });
+    registerLut("log2q5", [] { return luts::log2Q5(); });
+    registerLut("sigmoid8", [] { return luts::sigmoid8(); });
+}
+
+void
+LutLibrary::registerLut(const std::string &name,
+                        std::function<core::Lut()> factory)
+{
+    factories_[name] = std::move(factory);
+    cache_.erase(name);
+}
+
+void
+LutLibrary::registerLut(core::Lut lut)
+{
+    const std::string name = lut.name();
+    cache_.erase(name);
+    cache_.emplace(name, lut);
+    factories_[name] = [lut] { return lut; };
+}
+
+bool
+LutLibrary::contains(const std::string &name) const
+{
+    return factories_.count(name) > 0;
+}
+
+const core::Lut &
+LutLibrary::get(const std::string &name)
+{
+    auto it = cache_.find(name);
+    if (it != cache_.end())
+        return it->second;
+    const auto fit = factories_.find(name);
+    if (fit == factories_.end())
+        fatal("unknown LUT '%s'", name.c_str());
+    it = cache_.emplace(name, fit->second()).first;
+    return it->second;
+}
+
+} // namespace pluto::runtime

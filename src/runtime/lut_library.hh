@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Named LUT registry. pluto_subarray_alloc references LUT contents by
+ * name (the paper's "lut_file" operand, Section 6.1); this library
+ * resolves those names. A standard set covering the paper's workloads
+ * is pre-registered: identity, addN, mulN (including signed Q-format
+ * variants), bitwise gates, bit counting, CRC tables, binarization,
+ * color grading, and exponentiation.
+ */
+
+#ifndef PLUTO_RUNTIME_LUT_LIBRARY_HH
+#define PLUTO_RUNTIME_LUT_LIBRARY_HH
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "pluto/lut.hh"
+
+namespace pluto::runtime
+{
+
+/** Resolves LUT names to Lut contents. */
+class LutLibrary
+{
+  public:
+    /** Construct with all standard LUTs pre-registered. */
+    LutLibrary();
+
+    /** Register (or replace) a LUT builder under `name`. */
+    void registerLut(const std::string &name,
+                     std::function<core::Lut()> factory);
+
+    /** Register a concrete LUT under its own name. */
+    void registerLut(core::Lut lut);
+
+    /** @return true if `name` resolves. */
+    bool contains(const std::string &name) const;
+
+    /**
+     * Resolve `name`, building and caching the LUT on first use.
+     * Fatal error if unknown.
+     */
+    const core::Lut &get(const std::string &name);
+
+  private:
+    std::map<std::string, std::function<core::Lut()>> factories_;
+    std::map<std::string, core::Lut> cache_;
+};
+
+namespace luts
+{
+
+/** Identity LUT: f(x) = x over `bits`-bit values. */
+core::Lut identity(u32 bits);
+
+/**
+ * n-bit unsigned addition: index = (a << n) | b, element = a + b.
+ * Element slots are 2n bits wide, so the (n+1)-bit sum always fits.
+ */
+core::Lut addUnsigned(u32 n);
+
+/** n-bit unsigned multiplication: element = a * b (2n bits). */
+core::Lut mulUnsigned(u32 n);
+
+/**
+ * n-bit signed Q-format multiplication used by the vector point-wise
+ * multiplication workload: operands are Q1.(n-1) fixed point, the
+ * element is the Q1.(n-1) product (low n bits of slot).
+ */
+core::Lut mulQFormat(u32 n);
+
+/** Two-input bitwise gate over `n`-bit operands packed (a<<n)|b. */
+core::Lut gate(const std::string &kind, u32 n);
+
+/** Bit counting: index = value, element = popcount (BC-4 / BC-8). */
+core::Lut bitcount(u32 bits);
+
+/** CRC-8 table LUT (polynomial 0x07), 8-bit index, 8-bit element. */
+core::Lut crc8Table();
+
+/** CRC-16/CCITT table LUT, 8-bit index, 16-bit element. */
+core::Lut crc16Table();
+
+/** CRC-32 (IEEE, reflected) table LUT, 8-bit index, 32-bit element. */
+core::Lut crc32Table();
+
+/** Image binarization at `threshold` (8-bit in, 0/255 out). */
+core::Lut binarize(u32 threshold);
+
+/**
+ * Color-grading curve (8-bit to 8-bit): a smooth tone-mapping curve
+ * standing in for a Final-Cut-style grading LUT [133].
+ */
+core::Lut colorGrade();
+
+/** 8-bit modular exponentiation base 3: f(x) = 3^x mod 256. */
+core::Lut exponentiation();
+
+/**
+ * Math-function pack (Section 5.7 names trigonometric functions as
+ * pLUTo's flagship complex operations). All are 8-bit-in/8-bit-out:
+ *
+ *  - sinQ7/cosQ7: phase 0..255 covers one full turn; the element is
+ *    the Q1.7 two's-complement sine/cosine;
+ *  - sqrt8: f(x) = round(sqrt(x / 255) * 255);
+ *  - log2Q5: f(0) = 0, else round(log2(x) * 32) (Q3.5);
+ *  - sigmoid8: logistic over a Q4.4 input, output scaled to 0..255.
+ */
+core::Lut sinQ7();
+core::Lut cosQ7();
+core::Lut sqrt8();
+core::Lut log2Q5();
+core::Lut sigmoid8();
+
+} // namespace luts
+} // namespace pluto::runtime
+
+#endif // PLUTO_RUNTIME_LUT_LIBRARY_HH

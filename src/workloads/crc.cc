@@ -1,0 +1,217 @@
+/**
+ * @file
+ * CRC-8/16/32 workloads (Table 4; packet size 128 B).
+ *
+ * Mapping: packets are laid out "transposed" — one element slot per
+ * packet — so each of the 128 byte-steps advances *all* packet CRCs
+ * with one bulk LUT query plus a handful of in-DRAM bitwise/shift
+ * ops (the standard table-driven CRC recurrence). The final
+ * cross-packet combination is a serial reduction that stays on the
+ * CPU, which is why CRC shows the smallest pLUTo benefit
+ * (Section 8.2's observation).
+ */
+
+#include "workloads/workload.hh"
+
+#include "common/logging.hh"
+
+namespace pluto::workloads
+{
+
+namespace
+{
+
+constexpr u64 packetBytes = 128;
+
+/** Deterministic packet byte: packet `p`, position `j`. */
+u8
+packetByte(u64 p, u64 j)
+{
+    u64 x = (p * 131 + j) * 0x9e3779b97f4a7c15ULL;
+    x ^= x >> 29;
+    return static_cast<u8>(x);
+}
+
+/** Host reference CRC implementations (match the library LUTs). */
+u8
+refCrc8(u64 p)
+{
+    u8 crc = 0;
+    for (u64 j = 0; j < packetBytes; ++j) {
+        crc = static_cast<u8>(crc ^ packetByte(p, j));
+        for (int k = 0; k < 8; ++k)
+            crc = static_cast<u8>((crc & 0x80) ? (crc << 1) ^ 0x07
+                                               : (crc << 1));
+    }
+    return crc;
+}
+
+u16
+refCrc16(u64 p)
+{
+    u16 crc = 0xffff;
+    for (u64 j = 0; j < packetBytes; ++j) {
+        crc = static_cast<u16>(crc ^ (u16(packetByte(p, j)) << 8));
+        for (int k = 0; k < 8; ++k)
+            crc = static_cast<u16>((crc & 0x8000) ? (crc << 1) ^ 0x1021
+                                                  : (crc << 1));
+    }
+    return crc;
+}
+
+u32
+refCrc32(u64 p)
+{
+    u32 crc = 0xffffffffu;
+    for (u64 j = 0; j < packetBytes; ++j) {
+        crc ^= packetByte(p, j);
+        for (int k = 0; k < 8; ++k)
+            crc = (crc & 1) ? (crc >> 1) ^ 0xEDB88320u : (crc >> 1);
+    }
+    return crc;
+}
+
+class CrcWorkload : public Workload
+{
+  public:
+    explicit CrcWorkload(u32 width)
+        : width_(width)
+    {
+        PLUTO_ASSERT(width == 8 || width == 16 || width == 32);
+    }
+
+    std::string
+    name() const override
+    {
+        return "CRC-" + std::to_string(width_);
+    }
+
+    u64
+    defaultElements(dram::MemoryKind kind) const override
+    {
+        // One packet per element slot, all SALP lanes full.
+        const auto g = dram::Geometry::forKind(kind);
+        const u64 slots = g.rowBits() / width_;
+        return slots * g.defaultSalp * packetBytes;
+    }
+
+    BaselineRates
+    rates() const override
+    {
+        // CPU: single-thread table-driven CRC over a >LLC stream
+        // (~14/18/23 cycles per byte incl. load stalls). GPU:
+        // packet-parallel but launch/transfer bound. FPGA: HLS
+        // packet engines at a few ns/byte. PnM: Ambit XOR + logic-
+        // layer table walk.
+        switch (width_) {
+          case 8:
+            return {6.0, 0.18, 2.0, 1.5};
+          case 16:
+            return {8.0, 0.34, 2.5, 2.5};
+          default:
+            return {10.0, 0.48, 3.0, 4.0};
+        }
+    }
+
+    WorkloadResult
+    run(runtime::PlutoDevice &dev, u64 elements) const override
+    {
+        WorkloadResult res;
+        const u64 packets = elements / packetBytes;
+        PLUTO_ASSERT(packets > 0);
+        res.elements = packets * packetBytes;
+
+        const auto lut = dev.loadLut("crc" + std::to_string(width_));
+        const auto state = dev.alloc(packets, width_);
+        const auto bytes = dev.alloc(packets, width_);
+        const auto t1 = dev.alloc(packets, width_);
+        const auto t2 = dev.alloc(packets, width_);
+        const auto t3 = dev.alloc(packets, width_);
+        const auto maskLow = dev.alloc(packets, width_);
+        const auto maskRest = dev.alloc(packets, width_);
+
+        // Constant rows (loaded once, outside the kernel timing).
+        dev.write(maskLow, std::vector<u64>(packets, 0xff));
+        dev.write(maskRest,
+                  std::vector<u64>(packets,
+                                   width_ == 32 ? 0x00ffffffull
+                                                : 0x00ffull));
+        const u64 init = width_ == 8 ? 0 : width_ == 16 ? 0xffff
+                                                        : 0xffffffffull;
+        dev.write(state, std::vector<u64>(packets, init));
+
+        std::vector<u64> step(packets);
+        dev.resetStats();
+        for (u64 j = 0; j < packetBytes; ++j) {
+            for (u64 p = 0; p < packets; ++p)
+                step[p] = packetByte(p, j);
+            // Input bytes are already DRAM-resident in a PuM system;
+            // the host write below is data staging, not kernel work.
+            dev.write(bytes, step);
+            switch (width_) {
+              case 8:
+                // crc = T[crc ^ byte]
+                dev.bitwiseXor(t1, state, bytes);
+                dev.lutOp(state, t1, lut);
+                break;
+              case 16:
+                // crc = (crc << 8) ^ T[(crc >> 8) ^ byte]
+                dev.move(t1, state);
+                dev.shiftRightBits(t1, 8);
+                dev.bitwiseAnd(t1, t1, maskLow);
+                dev.bitwiseXor(t1, t1, bytes);
+                dev.lutOp(t2, t1, lut);
+                dev.bitwiseAnd(t3, state, maskLow);
+                dev.shiftLeftBits(t3, 8);
+                dev.bitwiseXor(state, t3, t2);
+                break;
+              default:
+                // crc = (crc >> 8) ^ T[(crc ^ byte) & 0xff]
+                dev.bitwiseXor(t1, state, bytes);
+                dev.bitwiseAnd(t1, t1, maskLow);
+                dev.lutOp(t2, t1, lut);
+                dev.move(t3, state);
+                dev.shiftRightBits(t3, 8);
+                dev.bitwiseAnd(t3, t3, maskRest);
+                dev.bitwiseXor(state, t3, t2);
+                break;
+            }
+        }
+
+        // Serial CPU-side combination of per-packet CRCs
+        // (Section 8.2): ~8 ns per packet at 30 W.
+        dev.hostWork(8.0 * packets,
+                     units::energyFromPower(30.0, 8.0 * packets));
+
+        const auto stats = dev.stats();
+        res.timeNs = stats.timeNs;
+        res.energyPj = stats.energyPj;
+        res.hostNs = stats.counters.get("host.ns");
+
+        const auto got = dev.read(state);
+        res.verified = true;
+        for (u64 p = 0; p < packets; ++p) {
+            const u64 expect = width_ == 8 ? refCrc8(p)
+                               : width_ == 16 ? refCrc16(p)
+                                              : refCrc32(p);
+            if (got[p] != expect) {
+                res.verified = false;
+                break;
+            }
+        }
+        return res;
+    }
+
+  private:
+    u32 width_;
+};
+
+} // namespace
+
+WorkloadPtr
+makeCrc(u32 width)
+{
+    return std::make_unique<CrcWorkload>(width);
+}
+
+} // namespace pluto::workloads

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Workload registry: the named sets used by the evaluation figures.
+ */
+
+#include "workloads/workload.hh"
+
+#include "common/logging.hh"
+
+namespace pluto::workloads
+{
+
+std::vector<WorkloadPtr>
+figure7Workloads()
+{
+    std::vector<WorkloadPtr> out;
+    out.push_back(makeCrc(8));
+    out.push_back(makeCrc(16));
+    out.push_back(makeCrc(32));
+    out.push_back(makeSalsa20());
+    out.push_back(makeVmpc());
+    out.push_back(makeImageBinarization());
+    out.push_back(makeColorGrade());
+    return out;
+}
+
+std::vector<WorkloadPtr>
+figure9Workloads()
+{
+    std::vector<WorkloadPtr> out;
+    out.push_back(makeVectorAdd(4));
+    out.push_back(makeVectorAdd(8));
+    out.push_back(makeVectorMul(8));
+    out.push_back(makeVectorMul(16));
+    out.push_back(makeBitCount(4));
+    out.push_back(makeBitCount(8));
+    out.push_back(makeCrc(8));
+    out.push_back(makeCrc(16));
+    out.push_back(makeCrc(32));
+    out.push_back(makeImageBinarization());
+    return out;
+}
+
+WorkloadPtr
+makeWorkload(const std::string &name)
+{
+    if (name == "CRC-8")
+        return makeCrc(8);
+    if (name == "CRC-16")
+        return makeCrc(16);
+    if (name == "CRC-32")
+        return makeCrc(32);
+    if (name == "Salsa20")
+        return makeSalsa20();
+    if (name == "VMPC")
+        return makeVmpc();
+    if (name == "ImgBin")
+        return makeImageBinarization();
+    if (name == "ColorGrade")
+        return makeColorGrade();
+    if (name == "ADD4")
+        return makeVectorAdd(4);
+    if (name == "ADD8")
+        return makeVectorAdd(8);
+    if (name == "MUL4")
+        return makeVectorMul(4);
+    if (name == "MUL8")
+        return makeVectorMul(8);
+    if (name == "MUL16")
+        return makeVectorMul(16);
+    if (name == "MULQ1.7")
+        return makeVectorMulQ(8);
+    if (name == "MULQ1.15")
+        return makeVectorMulQ(16);
+    if (name == "BC4")
+        return makeBitCount(4);
+    if (name == "BC8")
+        return makeBitCount(8);
+    if (name == "Bitwise-AND")
+        return makeBitwise("and");
+    if (name == "Bitwise-OR")
+        return makeBitwise("or");
+    if (name == "Bitwise-XOR")
+        return makeBitwise("xor");
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+std::vector<std::string>
+workloadNames()
+{
+    return {"CRC-8",    "CRC-16",  "CRC-32",   "Salsa20",
+            "VMPC",     "ImgBin",  "ColorGrade", "ADD4",
+            "ADD8",     "MUL4",    "MUL8",     "MUL16",
+            "MULQ1.7",  "MULQ1.15", "BC4",     "BC8",
+            "Bitwise-AND", "Bitwise-OR", "Bitwise-XOR"};
+}
+
+} // namespace pluto::workloads

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Workload interface for the paper's evaluation (Table 4): every
+ * workload runs end-to-end on a PlutoDevice (through the ISA and the
+ * query engine), verifies its result against a host reference
+ * implementation, and carries the analytic baseline rates used for
+ * Figures 7-10 comparisons.
+ *
+ * Baseline rates are ns per element on each host system. They are the
+ * substitution for the paper's measured CPU/GPU/FPGA and simulated
+ * PnM baselines; each workload documents its rates' derivation. Our
+ * CPU model is charitable to the CPU relative to the paper's measured
+ * baselines (see EXPERIMENTS.md), which compresses absolute speedups
+ * while preserving orderings.
+ */
+
+#ifndef PLUTO_WORKLOADS_WORKLOAD_HH
+#define PLUTO_WORKLOADS_WORKLOAD_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/systems.hh"
+#include "runtime/device.hh"
+
+namespace pluto::workloads
+{
+
+/** ns-per-element rates of the four host baselines. */
+struct BaselineRates
+{
+    double cpu = 0.0;
+    double gpu = 0.0;
+    double fpga = 0.0;
+    double pnm = 0.0;
+};
+
+/** Outcome of one workload execution. */
+struct WorkloadResult
+{
+    /** Elements (usually bytes) processed. */
+    u64 elements = 0;
+    /** Simulated pLUTo execution time. */
+    TimeNs timeNs = 0.0;
+    /** Simulated pLUTo energy (incl. background power). */
+    EnergyPj energyPj = 0.0;
+    /**
+     * Host-side serial portion of timeNs (e.g. the CRC combine);
+     * this part does not scale with subarray-level parallelism.
+     */
+    TimeNs hostNs = 0.0;
+    /** Functional verification against the reference passed. */
+    bool verified = false;
+
+    /** ns per element. */
+    double nsPerElem() const
+    {
+        return elements ? timeNs / static_cast<double>(elements) : 0.0;
+    }
+
+    /** pJ per element. */
+    double pjPerElem() const
+    {
+        return elements ? energyPj / static_cast<double>(elements) : 0.0;
+    }
+};
+
+/** One evaluated workload. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Display name ("CRC-8", "Salsa20", ...). */
+    virtual std::string name() const = 0;
+
+    /** Default element count for device `kind` (paper-scale input). */
+    virtual u64 defaultElements(dram::MemoryKind kind) const = 0;
+
+    /** Host baseline rates (ns/element) with documented derivations. */
+    virtual BaselineRates rates() const = 0;
+
+    /**
+     * Execute on `dev` over `elements` elements. Implementations
+     * must: load LUTs before resetting stats (kernel time excludes
+     * LUT loading; Figure 11 studies it separately), execute through
+     * the device API, and verify functionally where the bulk-query
+     * model permits.
+     */
+    virtual WorkloadResult run(runtime::PlutoDevice &dev,
+                               u64 elements) const = 0;
+
+    /** Run at the default scale for the device's memory kind. */
+    WorkloadResult
+    runDefault(runtime::PlutoDevice &dev) const
+    {
+        return run(dev, defaultElements(dev.config().memory));
+    }
+};
+
+using WorkloadPtr = std::unique_ptr<Workload>;
+
+/** The Figure 7 / 8 / 10 / 13 workload set. */
+std::vector<WorkloadPtr> figure7Workloads();
+
+/** The Figure 9 (FPGA comparison) workload set. */
+std::vector<WorkloadPtr> figure9Workloads();
+
+/** Build one workload by name; fatal on unknown names. */
+WorkloadPtr makeWorkload(const std::string &name);
+
+/** All registered workload names. */
+std::vector<std::string> workloadNames();
+
+// Factories (one per Table 4 row).
+WorkloadPtr makeImageBinarization();
+WorkloadPtr makeColorGrade();
+WorkloadPtr makeCrc(u32 width);
+WorkloadPtr makeSalsa20();
+WorkloadPtr makeVmpc();
+WorkloadPtr makeVectorAdd(u32 operand_bits);
+WorkloadPtr makeVectorMul(u32 operand_bits);
+WorkloadPtr makeVectorMulQ(u32 operand_bits);
+WorkloadPtr makeBitCount(u32 bits);
+WorkloadPtr makeBitwise(const std::string &kind);
+
+} // namespace pluto::workloads
+
+#endif // PLUTO_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Unit tests for the common utilities: packed element views, fixed
+ * point, RNG determinism, stats, and table formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitvec.hh"
+#include "common/fixed_point.hh"
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "common/units.hh"
+
+namespace pluto
+{
+namespace
+{
+
+TEST(BitVec, SupportedWidths)
+{
+    EXPECT_TRUE(isSupportedElementWidth(1));
+    EXPECT_TRUE(isSupportedElementWidth(2));
+    EXPECT_TRUE(isSupportedElementWidth(4));
+    EXPECT_TRUE(isSupportedElementWidth(8));
+    EXPECT_TRUE(isSupportedElementWidth(16));
+    EXPECT_TRUE(isSupportedElementWidth(32));
+    EXPECT_FALSE(isSupportedElementWidth(0));
+    EXPECT_FALSE(isSupportedElementWidth(3));
+    EXPECT_FALSE(isSupportedElementWidth(64));
+}
+
+TEST(BitVec, ElementsPerBytes)
+{
+    EXPECT_EQ(elementsPerBytes(8192, 8), 8192u);
+    EXPECT_EQ(elementsPerBytes(8192, 4), 16384u);
+    EXPECT_EQ(elementsPerBytes(8192, 16), 4096u);
+    EXPECT_EQ(elementsPerBytes(1, 1), 8u);
+}
+
+class ElementViewWidths : public ::testing::TestWithParam<u32>
+{
+};
+
+TEST_P(ElementViewWidths, RoundTrip)
+{
+    const u32 width = GetParam();
+    std::vector<u8> buf(64, 0);
+    ElementView view(buf, width);
+    Rng rng(width);
+    std::vector<u64> expect(view.size());
+    for (u64 i = 0; i < view.size(); ++i) {
+        expect[i] = rng.below(1ULL << std::min<u32>(width, 63));
+        view.set(i, expect[i]);
+    }
+    for (u64 i = 0; i < view.size(); ++i)
+        EXPECT_EQ(view.get(i), expect[i]) << "width " << width
+                                          << " slot " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, ElementViewWidths,
+                         ::testing::Values(1, 2, 4, 8, 16, 32));
+
+TEST(BitVec, SetDoesNotDisturbNeighbors)
+{
+    std::vector<u8> buf(4, 0);
+    ElementView view(buf, 2);
+    for (u64 i = 0; i < view.size(); ++i)
+        view.set(i, 3);
+    view.set(5, 0);
+    for (u64 i = 0; i < view.size(); ++i)
+        EXPECT_EQ(view.get(i), i == 5 ? 0u : 3u);
+}
+
+TEST(BitVec, PackUnpackRoundTrip)
+{
+    const std::vector<u64> values = {1, 2, 3, 15, 0, 7, 9, 12};
+    const auto packed = packElements(values, 4);
+    EXPECT_EQ(packed.size(), 4u);
+    EXPECT_EQ(unpackElements(packed, 4), values);
+}
+
+TEST(FixedPoint, Q17Basics)
+{
+    const auto half = Q1_7::fromDouble(0.5);
+    EXPECT_EQ(half.raw, 64);
+    const auto quarter = half * half;
+    EXPECT_NEAR(quarter.toDouble(), 0.25, 1.0 / 128);
+}
+
+TEST(FixedPoint, Q115Saturation)
+{
+    const auto big = Q1_15::fromDouble(5.0);
+    EXPECT_NEAR(big.toDouble(), (32768.0 - 1) / 32768.0, 1e-4);
+    const auto neg = Q1_15::fromDouble(-5.0);
+    EXPECT_NEAR(neg.toDouble(), -1.0, 1e-6);
+}
+
+TEST(FixedPoint, MulMatchesDouble)
+{
+    Rng rng(7);
+    for (int k = 0; k < 200; ++k) {
+        const double a = rng.uniform(-1.0, 0.99);
+        const double b = rng.uniform(-1.0, 0.99);
+        const auto fa = Q1_7::fromDouble(a);
+        const auto fb = Q1_7::fromDouble(b);
+        const auto fp = fa * fb;
+        EXPECT_NEAR(fp.toDouble(), fa.toDouble() * fb.toDouble(),
+                    1.0 / 128 + 1e-9);
+    }
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int k = 0; k < 100; ++k)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, BelowInRange)
+{
+    Rng rng(1);
+    for (int k = 0; k < 1000; ++k)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng rng(2);
+    for (int k = 0; k < 1000; ++k) {
+        const double v = rng.uniform();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(3);
+    double sum = 0, sq = 0;
+    const int n = 20000;
+    for (int k = 0; k < n; ++k) {
+        const double g = rng.gaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.05);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Stats, AddAndMerge)
+{
+    StatSet a, b;
+    a.add("x", 2.0);
+    a.inc("x");
+    b.add("x", 1.0);
+    b.add("y", 4.0);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.get("x"), 4.0);
+    EXPECT_DOUBLE_EQ(a.get("y"), 4.0);
+    EXPECT_DOUBLE_EQ(a.get("absent"), 0.0);
+}
+
+TEST(Stats, Geomean)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0, 1.0}), 2.0);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+}
+
+TEST(Table, RendersAligned)
+{
+    AsciiTable t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "23456"});
+    const auto out = t.render();
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("23456"), std::string::npos);
+    EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(Table, Formatters)
+{
+    EXPECT_EQ(fmtX(713.4), "713x");
+    EXPECT_EQ(fmtX(39.52), "39.5x");
+    EXPECT_EQ(fmtX(1.234), "1.23x");
+    EXPECT_EQ(fmtPct(0.167), "16.7%");
+}
+
+TEST(Units, Conversions)
+{
+    EXPECT_DOUBLE_EQ(units::usToNs(1.5), 1500.0);
+    EXPECT_DOUBLE_EQ(units::mJToPj(1.0), 1e9);
+    EXPECT_DOUBLE_EQ(units::pJToMj(1e9), 1.0);
+    // 10 W for 1 us = 10 uJ = 1e7 pJ.
+    EXPECT_DOUBLE_EQ(units::energyFromPower(10.0, 1000.0), 1e7);
+}
+
+} // namespace
+} // namespace pluto

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Tests for the math-function LUT pack (Section 5.7's trigonometric
+ * and related complex operations) and cross-design functional
+ * equivalence: every pLUTo design must produce bit-identical results
+ * for the same program.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.hh"
+#include "runtime/device.hh"
+
+namespace pluto::runtime
+{
+namespace
+{
+
+using core::Design;
+
+TEST(MathLuts, AllRegistered)
+{
+    LutLibrary lib;
+    for (const char *name :
+         {"sinq7", "cosq7", "sqrt8", "log2q5", "sigmoid8"})
+        EXPECT_TRUE(lib.contains(name)) << name;
+}
+
+TEST(MathLuts, SineAccuracyWithinHalfLsb)
+{
+    LutLibrary lib;
+    const auto &lut = lib.get("sinq7");
+    for (u64 phase = 0; phase < 256; ++phase) {
+        const double expect =
+            std::sin(2.0 * M_PI * phase / 256.0);
+        const double got =
+            static_cast<i8>(lut.at(phase)) / 128.0;
+        EXPECT_NEAR(got, expect, 1.0 / 128.0 + 1e-9)
+            << "phase " << phase;
+    }
+}
+
+TEST(MathLuts, SineCosineQuadratureIdentity)
+{
+    // sin^2 + cos^2 == 1 within quantization error at every phase.
+    LutLibrary lib;
+    const auto &sin_lut = lib.get("sinq7");
+    const auto &cos_lut = lib.get("cosq7");
+    for (u64 phase = 0; phase < 256; ++phase) {
+        const double s = static_cast<i8>(sin_lut.at(phase)) / 128.0;
+        const double c = static_cast<i8>(cos_lut.at(phase)) / 128.0;
+        EXPECT_NEAR(s * s + c * c, 1.0, 0.03) << "phase " << phase;
+    }
+}
+
+TEST(MathLuts, CosineIsShiftedSine)
+{
+    // cos(x) == sin(x + 64/256 turn) exactly in the quantized domain.
+    LutLibrary lib;
+    const auto &sin_lut = lib.get("sinq7");
+    const auto &cos_lut = lib.get("cosq7");
+    for (u64 phase = 0; phase < 256; ++phase)
+        EXPECT_EQ(cos_lut.at(phase), sin_lut.at((phase + 64) & 0xff))
+            << "phase " << phase;
+}
+
+TEST(MathLuts, SqrtMonotoneAndExactAtEnds)
+{
+    LutLibrary lib;
+    const auto &lut = lib.get("sqrt8");
+    EXPECT_EQ(lut.at(0), 0u);
+    EXPECT_EQ(lut.at(255), 255u);
+    for (u64 x = 1; x < 256; ++x)
+        EXPECT_GE(lut.at(x), lut.at(x - 1));
+}
+
+TEST(MathLuts, Log2Values)
+{
+    LutLibrary lib;
+    const auto &lut = lib.get("log2q5");
+    EXPECT_EQ(lut.at(1), 0u);           // log2(1) = 0
+    EXPECT_EQ(lut.at(2), 32u);          // log2(2) = 1.0 in Q3.5
+    EXPECT_EQ(lut.at(4), 64u);
+    EXPECT_EQ(lut.at(128), 224u);       // 7.0 in Q3.5
+}
+
+TEST(MathLuts, SigmoidSaturatesAndCentered)
+{
+    LutLibrary lib;
+    const auto &lut = lib.get("sigmoid8");
+    // Input 0 (Q4.4 zero) -> 0.5.
+    EXPECT_NEAR(lut.at(0) / 255.0, 0.5, 0.01);
+    // Most negative input (-8.0) -> ~0; most positive (~+7.9) -> ~1.
+    EXPECT_LT(lut.at(0x80) / 255.0, 0.01);
+    EXPECT_GT(lut.at(0x7f) / 255.0, 0.99);
+    // Monotone over the signed input order.
+    for (int v = -127; v < 127; ++v) {
+        const u64 lo = static_cast<u8>(static_cast<i8>(v));
+        const u64 hi = static_cast<u8>(static_cast<i8>(v + 1));
+        EXPECT_LE(lut.at(lo), lut.at(hi)) << v;
+    }
+}
+
+TEST(MathLuts, TrigQueryEndToEnd)
+{
+    DeviceConfig cfg;
+    cfg.geometry = dram::Geometry::tiny();
+    cfg.salp = 2;
+    PlutoDevice dev(cfg);
+    const auto lut = dev.loadLut("sinq7");
+    const auto in = dev.alloc(64, 8);
+    const auto out = dev.alloc(64, 8);
+    std::vector<u64> phases(64);
+    for (u64 i = 0; i < 64; ++i)
+        phases[i] = i * 4;
+    dev.write(in, phases);
+    dev.lutOp(out, in, lut);
+    const auto got = dev.read(out);
+    for (u64 i = 0; i < 64; ++i) {
+        const double expect =
+            std::sin(2.0 * M_PI * phases[i] / 256.0);
+        EXPECT_NEAR(static_cast<i8>(got[i]) / 128.0, expect,
+                    1.0 / 128.0 + 1e-9);
+    }
+}
+
+/** Cross-design determinism: identical results from every design. */
+class CrossDesign : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(CrossDesign, AllDesignsProduceIdenticalResults)
+{
+    const std::string lut_name = GetParam();
+    Rng rng(lut_name.size());
+    std::vector<u64> inputs = rng.values(300, 256);
+    std::vector<std::vector<u64>> results;
+    for (const Design d : {Design::Gsa, Design::Bsa, Design::Gmc}) {
+        DeviceConfig cfg;
+        cfg.design = d;
+        cfg.geometry = dram::Geometry::tiny();
+        cfg.salp = 2;
+        PlutoDevice dev(cfg);
+        const auto lut = dev.loadLut(lut_name);
+        const auto in = dev.alloc(300, 8);
+        const auto out = dev.alloc(300, 8);
+        dev.write(in, inputs);
+        dev.lutOp(out, in, lut);
+        dev.lutOp(out, out, lut); // chained query (GSA must reload)
+        results.push_back(dev.read(out));
+    }
+    EXPECT_EQ(results[0], results[1]);
+    EXPECT_EQ(results[1], results[2]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Luts, CrossDesign,
+                         ::testing::Values("sinq7", "sqrt8",
+                                           "sigmoid8", "colorgrade",
+                                           "exp3mod256", "crc8"),
+                         [](const auto &info) {
+                             return std::string(info.param);
+                         });
+
+} // namespace
+} // namespace pluto::runtime

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Tests for the quantized-NN case study: layer primitives, the
+ * XNOR-popcount identity, quantizers, synthetic MNIST, LeNet-5
+ * inference determinism, and the pLUTo QNN cost model (Table 7).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "nn/pluto_qnn.hh"
+
+namespace pluto::nn
+{
+namespace
+{
+
+TEST(Layers, Conv2dValidShapeAndValues)
+{
+    Tensor in(1, 4, 4);
+    for (u32 y = 0; y < 4; ++y)
+        for (u32 x = 0; x < 4; ++x)
+            in.at(0, y, x) = static_cast<i32>(y * 4 + x);
+    // 2x2 all-ones kernel, one output channel.
+    const std::vector<i32> k = {1, 1, 1, 1};
+    const Tensor out = conv2dValid(in, k, 1, 2);
+    EXPECT_EQ(out.h, 3u);
+    EXPECT_EQ(out.w, 3u);
+    EXPECT_EQ(out.at(0, 0, 0), 0 + 1 + 4 + 5);
+    EXPECT_EQ(out.at(0, 2, 2), 10 + 11 + 14 + 15);
+}
+
+TEST(Layers, ConvMultiChannelAccumulates)
+{
+    Tensor in(2, 2, 2);
+    for (auto &v : in.data)
+        v = 1;
+    const std::vector<i32> k(2 * 2 * 2, 2); // 1 out-ch, 2 in-ch, 2x2
+    const Tensor out = conv2dValid(in, k, 1, 2);
+    EXPECT_EQ(out.at(0, 0, 0), 16); // 8 taps x 1 x 2
+}
+
+TEST(Layers, AvgPoolFloorsTowardNegInfinity)
+{
+    Tensor in(1, 2, 2);
+    in.at(0, 0, 0) = -1;
+    in.at(0, 0, 1) = -1;
+    in.at(0, 1, 0) = -1;
+    in.at(0, 1, 1) = -1;
+    EXPECT_EQ(avgPool2x2(in).at(0, 0, 0), -1);
+}
+
+TEST(Layers, FullyConnected)
+{
+    const std::vector<i32> x = {1, 2, 3};
+    const std::vector<i32> w = {1, 0, 0, 0, 1, 1};
+    const auto out = fullyConnected(x, w, 2);
+    EXPECT_EQ(out[0], 1);
+    EXPECT_EQ(out[1], 5);
+}
+
+TEST(Layers, Quantizers)
+{
+    EXPECT_EQ(binarize(5), 1);
+    EXPECT_EQ(binarize(-5), -1);
+    EXPECT_EQ(binarize(0), 1);
+    EXPECT_EQ(quantize4(100, 3), 7);  // clamps at +7
+    EXPECT_EQ(quantize4(-100, 3), -8);
+    EXPECT_EQ(quantize4(16, 2), 4);
+}
+
+TEST(Layers, XnorPopcountIdentityRandom)
+{
+    // The 1-bit in-DRAM mapping's core identity, over random vectors.
+    Rng rng(99);
+    for (int trial = 0; trial < 200; ++trial) {
+        const u64 n = 1 + rng.below(64);
+        std::vector<i32> a(n), w(n);
+        std::vector<u8> ab(n), wb(n);
+        for (u64 i = 0; i < n; ++i) {
+            ab[i] = static_cast<u8>(rng.below(2));
+            wb[i] = static_cast<u8>(rng.below(2));
+            a[i] = ab[i] ? 1 : -1;
+            w[i] = wb[i] ? 1 : -1;
+        }
+        EXPECT_EQ(binaryDotDirect(a, w),
+                  binaryDotXnorPopcount(ab, wb));
+    }
+}
+
+TEST(MnistSynthTest, ImagesAreWellFormed)
+{
+    MnistSynth synth;
+    for (u32 label = 0; label < 10; ++label) {
+        const auto img = synth.image(label);
+        EXPECT_EQ(img.label, label);
+        EXPECT_EQ(img.pixels.size(), 784u);
+        u32 lit = 0;
+        for (const u8 p : img.pixels)
+            lit += p > 100;
+        // A digit stroke lights a meaningful fraction of the canvas.
+        EXPECT_GT(lit, 20u) << "label " << label;
+        EXPECT_LT(lit, 500u) << "label " << label;
+    }
+}
+
+TEST(MnistSynthTest, DifferentClassesDiffer)
+{
+    MnistSynth a(123), b(123);
+    const auto i0 = a.image(0);
+    const auto i1 = b.image(1);
+    EXPECT_NE(i0.pixels, i1.pixels);
+}
+
+class LenetBits : public ::testing::TestWithParam<u32>
+{
+};
+
+TEST_P(LenetBits, InferenceDeterministic)
+{
+    const LeNet5 n1(GetParam()), n2(GetParam());
+    MnistSynth synth;
+    const auto img = synth.image(3);
+    EXPECT_EQ(n1.infer(img), n2.infer(img));
+}
+
+TEST_P(LenetBits, MacCountMatchesTopology)
+{
+    const LeNet5 net(GetParam());
+    // conv1 86400 + conv2 153600 + fc 58920 = 298920.
+    EXPECT_EQ(net.totalMacs(), 298920u);
+}
+
+TEST_P(LenetBits, LogitsWithinQuantizedRange)
+{
+    const LeNet5 net(GetParam());
+    MnistSynth synth;
+    for (u32 k = 0; k < 10; ++k) {
+        const auto logits = net.infer(synth.image(k));
+        for (const i32 v : logits) {
+            // fc3: 84 inputs of magnitude <= 8 x weights <= 8.
+            EXPECT_LE(std::abs(v), 84 * 8 * 8);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, LenetBits, ::testing::Values(1u, 4u),
+                         [](const auto &info) {
+                             return std::to_string(info.param) + "bit";
+                         });
+
+TEST(PlutoQnn, CostsOrderAsTable7)
+{
+    // pLUTo-BSA beats CPU, GPU and FPGA in time and energy for both
+    // bit widths; 1-bit is cheaper than 4-bit.
+    std::map<u32, QnnCost> pluto;
+    for (const u32 bits : {1u, 4u}) {
+        const LeNet5 net(bits);
+        runtime::PlutoDevice dev;
+        pluto[bits] = plutoQnnCost(dev, net);
+        for (const auto &h : hostQnnCosts(bits, net.totalMacs())) {
+            EXPECT_GT(h.timeNs, pluto[bits].timeNs) << h.system;
+            EXPECT_GT(h.energyPj, pluto[bits].energyPj) << h.system;
+        }
+    }
+    EXPECT_LT(pluto[1].timeNs, pluto[4].timeNs);
+    EXPECT_LT(pluto[1].energyPj, pluto[4].energyPj);
+}
+
+TEST(PlutoQnn, HostCostsMatchTable7Times)
+{
+    const LeNet5 net(1);
+    const auto hosts = hostQnnCosts(1, net.totalMacs());
+    // CPU 249 us, P100 56 us, FPGA 141 us for 1-bit inference.
+    EXPECT_NEAR(hosts[0].timeNs * 1e-3, 249.0, 15.0);
+    EXPECT_NEAR(hosts[1].timeNs * 1e-3, 56.0, 5.0);
+    EXPECT_NEAR(hosts[2].timeNs * 1e-3, 141.0, 10.0);
+}
+
+TEST(PlutoQnn, PaperAccuracies)
+{
+    EXPECT_DOUBLE_EQ(paperAccuracy(1), 0.974);
+    EXPECT_DOUBLE_EQ(paperAccuracy(4), 0.991);
+}
+
+} // namespace
+} // namespace pluto::nn

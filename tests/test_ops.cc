@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Unit tests for the enhanced-DRAM operation substrate: row math,
+ * cost model, and the functional+timed InDramOps engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "dram/module.hh"
+#include "dram/scheduler.hh"
+#include "ops/indram_ops.hh"
+#include "ops/rowmath.hh"
+
+namespace pluto::ops
+{
+namespace
+{
+
+using dram::Geometry;
+using dram::Module;
+using dram::RowAddress;
+
+TEST(RowMath, BitwiseOps)
+{
+    const std::vector<u8> a = {0b1100, 0xff, 0x00, 0x55};
+    const std::vector<u8> b = {0b1010, 0x0f, 0xf0, 0xaa};
+    std::vector<u8> out(4);
+    rowAnd(a, b, out);
+    EXPECT_EQ(out, (std::vector<u8>{0b1000, 0x0f, 0x00, 0x00}));
+    rowOr(a, b, out);
+    EXPECT_EQ(out, (std::vector<u8>{0b1110, 0xff, 0xf0, 0xff}));
+    rowXor(a, b, out);
+    EXPECT_EQ(out, (std::vector<u8>{0b0110, 0xf0, 0xf0, 0xff}));
+    rowXnor(a, b, out);
+    EXPECT_EQ(out, (std::vector<u8>{u8(~0b0110), 0x0f, 0x0f, 0x00}));
+    rowNot(a, out);
+    EXPECT_EQ(out, (std::vector<u8>{u8(~0b1100), 0x00, 0xff, 0xaa}));
+}
+
+TEST(RowMath, Majority)
+{
+    const std::vector<u8> a = {0b1100};
+    const std::vector<u8> b = {0b1010};
+    const std::vector<u8> c = {0b0110};
+    std::vector<u8> out(1);
+    rowMaj(a, b, c, out);
+    EXPECT_EQ(out[0], 0b1110);
+}
+
+TEST(RowMath, ShiftLeftSmall)
+{
+    std::vector<u8> row = {0x01, 0x80, 0x00};
+    rowShiftLeft(row, 1);
+    EXPECT_EQ(row, (std::vector<u8>{0x02, 0x00, 0x01}));
+}
+
+TEST(RowMath, ShiftLeftByBytes)
+{
+    std::vector<u8> row = {0xaa, 0xbb, 0xcc};
+    rowShiftLeft(row, 8);
+    EXPECT_EQ(row, (std::vector<u8>{0x00, 0xaa, 0xbb}));
+}
+
+TEST(RowMath, ShiftRight)
+{
+    std::vector<u8> row = {0x02, 0x00, 0x01};
+    rowShiftRight(row, 1);
+    EXPECT_EQ(row, (std::vector<u8>{0x01, 0x80, 0x00}));
+}
+
+TEST(RowMath, ShiftBeyondRowClears)
+{
+    std::vector<u8> row = {0xff, 0xff};
+    rowShiftLeft(row, 99);
+    EXPECT_EQ(row, (std::vector<u8>{0, 0}));
+    row = {0xff, 0xff};
+    rowShiftRight(row, 99);
+    EXPECT_EQ(row, (std::vector<u8>{0, 0}));
+}
+
+class ShiftInverse : public ::testing::TestWithParam<u32>
+{
+};
+
+TEST_P(ShiftInverse, LeftThenRightClearsOnlyTopBits)
+{
+    const u32 bits = GetParam();
+    Rng rng(bits);
+    std::vector<u8> row = rng.bytes(32);
+    std::vector<u8> shifted = row;
+    rowShiftLeft(shifted, bits);
+    rowShiftRight(shifted, bits);
+    // Expected: the original row with its top `bits` bits zeroed
+    // (they fell off the end during the left shift).
+    std::vector<u8> expect = row;
+    const u32 total = 32 * 8;
+    for (u32 p = total - bits; p < total; ++p)
+        expect[p / 8] &= static_cast<u8>(~(1u << (p % 8)));
+    EXPECT_EQ(shifted, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Amounts, ShiftInverse,
+                         ::testing::Values(1, 3, 7, 8, 9, 16, 31));
+
+TEST(OpCosts, AmbitLatenciesMatchPaperShape)
+{
+    const auto t = dram::TimingParams::ddr4_2400();
+    const OpCosts c(t, dram::EnergyParams::ddr4());
+    // Table 6 reports Ambit NOT/AND/XOR at 135/270/585 ns with the
+    // prim at ~45 ns; our prim is tRAS + tRP = 46.16 ns.
+    EXPECT_NEAR(c.prim, 46.16, 0.01);
+    EXPECT_NEAR(c.ambitLatency(BitwiseOp::Not), 135.0, 10.0);
+    EXPECT_NEAR(c.ambitLatency(BitwiseOp::And), 270.0, 15.0);
+    EXPECT_NEAR(c.ambitLatency(BitwiseOp::Xor), 585.0, 20.0);
+    EXPECT_EQ(c.ambitLatency(BitwiseOp::And), c.ambitLatency(BitwiseOp::Or));
+    EXPECT_EQ(c.ambitLatency(BitwiseOp::Xor),
+              c.ambitLatency(BitwiseOp::Xnor));
+}
+
+TEST(OpCosts, ShiftCount)
+{
+    const OpCosts c(dram::TimingParams::ddr4_2400(),
+                    dram::EnergyParams::ddr4());
+    EXPECT_EQ(c.shiftOpCount(1), 1u);
+    EXPECT_EQ(c.shiftOpCount(8), 1u);
+    EXPECT_EQ(c.shiftOpCount(9), 2u);
+    EXPECT_EQ(c.shiftOpCount(20), 6u); // 2 byte ops + 4 bit ops
+}
+
+class InDramOpsTest : public ::testing::Test
+{
+  protected:
+    InDramOpsTest()
+        : mod(Geometry::tiny()),
+          sched(dram::TimingParams::ddr4_2400(),
+                dram::EnergyParams::ddr4()),
+          ops(mod, sched)
+    {
+    }
+
+    std::vector<u8>
+    randomRow(u64 seed)
+    {
+        Rng rng(seed);
+        return rng.bytes(mod.geometry().rowBytes);
+    }
+
+    Module mod;
+    dram::CommandScheduler sched;
+    InDramOps ops;
+};
+
+TEST_F(InDramOpsTest, RowCloneFunctionalAndTimed)
+{
+    const RowAddress src{0, 0, 1}, dst{0, 0, 2};
+    const auto data = randomRow(1);
+    mod.writeRow(src, data);
+    ops.rowClone(src, dst);
+    EXPECT_EQ(mod.readRow(dst), data);
+    EXPECT_GT(sched.elapsed(), 0.0);
+    EXPECT_DOUBLE_EQ(sched.stats().get("cmd.rowclone"), 1.0);
+}
+
+TEST_F(InDramOpsTest, RowCloneRejectsCrossSubarray)
+{
+    EXPECT_DEATH(ops.rowClone({0, 0, 1}, {0, 1, 1}), "same subarray");
+}
+
+TEST_F(InDramOpsTest, LisaCopyAcrossSubarrays)
+{
+    const RowAddress src{1, 0, 3}, dst{1, 2, 7};
+    const auto data = randomRow(2);
+    mod.writeRow(src, data);
+    ops.lisaCopy(src, dst);
+    EXPECT_EQ(mod.readRow(dst), data);
+    EXPECT_DOUBLE_EQ(sched.stats().get("cmd.lisa"), 1.0);
+}
+
+TEST_F(InDramOpsTest, LisaRejectsCrossBank)
+{
+    EXPECT_DEATH(ops.lisaCopy({0, 0, 0}, {1, 0, 0}), "same bank");
+}
+
+TEST_F(InDramOpsTest, BitwiseWave)
+{
+    const auto a = randomRow(3), b = randomRow(4);
+    mod.writeRow({0, 0, 0}, a);
+    mod.writeRow({0, 0, 1}, b);
+    mod.writeRow({1, 0, 0}, a);
+    mod.writeRow({1, 0, 1}, b);
+    const TimeNs t0 = sched.elapsed();
+    ops.bitwise(BitwiseOp::Xor,
+                {{{0, 0, 0}, {0, 0, 1}, {0, 0, 2}},
+                 {{1, 0, 0}, {1, 0, 1}, {1, 0, 2}}});
+    // One wave: time advances once regardless of lane count.
+    const OpCosts c(sched.timing(), sched.energyParams());
+    EXPECT_DOUBLE_EQ(sched.elapsed() - t0,
+                     c.ambitLatency(BitwiseOp::Xor));
+    std::vector<u8> expect(a.size());
+    rowXor(a, b, expect);
+    EXPECT_EQ(mod.readRow({0, 0, 2}), expect);
+    EXPECT_EQ(mod.readRow({1, 0, 2}), expect);
+}
+
+TEST_F(InDramOpsTest, TraOrCheaperThanAmbitOr)
+{
+    const auto a = randomRow(5), b = randomRow(6);
+    mod.writeRow({0, 0, 0}, a);
+    mod.writeRow({0, 0, 1}, b);
+    ops.traOr({{{0, 0, 0}, {0, 0, 1}, {0, 0, 2}}});
+    const TimeNs tra = sched.elapsed();
+    ops.bitwise(BitwiseOp::Or, {{{0, 0, 0}, {0, 0, 1}, {0, 0, 3}}});
+    const TimeNs ambit = sched.elapsed() - tra;
+    EXPECT_LT(tra, ambit);
+    EXPECT_EQ(mod.readRow({0, 0, 2}), mod.readRow({0, 0, 3}));
+}
+
+TEST_F(InDramOpsTest, ShiftTiming)
+{
+    mod.writeRow({0, 0, 0}, randomRow(7));
+    ops.shiftLeft({RowAddress{0, 0, 0}}, 4);
+    const OpCosts c(sched.timing(), sched.energyParams());
+    EXPECT_DOUBLE_EQ(sched.elapsed(), 4 * c.shiftOp);
+}
+
+TEST_F(InDramOpsTest, EmptyWavesAreFree)
+{
+    ops.rowClone(std::vector<RowPair>{});
+    ops.lisaCopy(std::vector<RowPair>{});
+    ops.bitwise(BitwiseOp::And, {});
+    ops.shiftLeft({}, 3);
+    EXPECT_DOUBLE_EQ(sched.elapsed(), 0.0);
+    EXPECT_DOUBLE_EQ(sched.energyTotal(), 0.0);
+}
+
+} // namespace
+} // namespace pluto::ops

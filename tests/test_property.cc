@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Property-based tests over wide parameter sweeps: query-engine
+ * correctness across every (element width x design) combination
+ * against both the sweep emulation and a scalar reference; tFAW
+ * window invariants under random loads; packed-element views against
+ * a naive bit-by-bit model; scheduler time/energy accounting
+ * linearity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "pluto/query_engine.hh"
+
+namespace pluto
+{
+namespace
+{
+
+using core::Design;
+using core::Lut;
+
+// ---- Query engine: width x design sweep ----
+
+using WidthDesign = std::tuple<u32, Design>;
+
+class QueryProperty : public ::testing::TestWithParam<WidthDesign>
+{
+};
+
+TEST_P(QueryProperty, FastPathSweepPathAndScalarAgree)
+{
+    const auto [width, design] = GetParam();
+    dram::Module mod(dram::Geometry::tiny());
+    dram::CommandScheduler sched(dram::TimingParams::ddr4_2400(),
+                                 dram::EnergyParams::ddr4());
+    ops::InDramOps dops(mod, sched);
+    core::LutStore store(mod, sched);
+    core::QueryEngine engine(mod, sched, dops, store, design);
+
+    // Index width <= min(width, 6): tiny subarrays hold 64 rows.
+    const u32 index_bits = std::min(width, 6u);
+    Rng rng(width * 100 + static_cast<u32>(design));
+    const u64 mask = width >= 64 ? ~0ull : (1ull << width) - 1;
+    std::vector<u64> values(1ull << index_bits);
+    for (auto &v : values)
+        v = rng.next() & mask;
+    const Lut lut("prop", index_bits, width, values);
+    auto &p = store.placement(store.place(lut, {{0, 2}}));
+
+    // Random input row.
+    auto row = mod.rowAt({0, 0, 0});
+    ElementView iv(row, width);
+    std::vector<u64> inputs(iv.size());
+    for (u64 s = 0; s < iv.size(); ++s) {
+        inputs[s] = rng.below(lut.size());
+        iv.set(s, inputs[s]);
+    }
+
+    engine.query(p, {0, 0, 0}, {0, 1, 0});
+    if (design == Design::Gsa)
+        store.load(p, core::LutLoadMethod::FromMemory);
+    engine.queryViaSweep(p, {0, 0, 0}, {0, 1, 1});
+
+    const auto fast = mod.readRow({0, 1, 0});
+    const auto emu = mod.readRow({0, 1, 1});
+    EXPECT_EQ(fast, emu);
+
+    ConstElementView ov(fast, width);
+    for (u64 s = 0; s < ov.size(); ++s)
+        EXPECT_EQ(ov.get(s), lut.at(inputs[s]))
+            << "width " << width << " slot " << s;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, QueryProperty,
+    ::testing::Combine(::testing::Values(1u, 2u, 4u, 8u, 16u, 32u),
+                       ::testing::Values(Design::Bsa, Design::Gsa,
+                                         Design::Gmc)),
+    [](const auto &info) {
+        return "w" + std::to_string(std::get<0>(info.param)) + "_" +
+               std::string(core::designName(std::get<1>(info.param)))
+                   .substr(6);
+    });
+
+// ---- tFAW window invariant under random loads ----
+
+class FawProperty : public ::testing::TestWithParam<u64>
+{
+};
+
+TEST_P(FawProperty, NeverMoreThanFourActsPerWindow)
+{
+    const TimeNs window = 13.328;
+    dram::FawTracker faw(window);
+    Rng rng(GetParam());
+    std::vector<TimeNs> issued;
+    TimeNs t = 0.0;
+    for (int k = 0; k < 500; ++k) {
+        t += rng.uniform(0.0, 6.0); // random arrival pressure
+        issued.push_back(faw.reserve(t));
+    }
+    // Issue times are monotone, never earlier than requested, and at
+    // most 4 fall in any window.
+    for (std::size_t i = 1; i < issued.size(); ++i)
+        EXPECT_GE(issued[i], issued[i - 1]);
+    for (std::size_t i = 0; i + 4 < issued.size(); ++i)
+        EXPECT_GE(issued[i + 4] - issued[i], window - 1e-9)
+            << "window violated at " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FawProperty,
+                         ::testing::Range<u64>(0, 10));
+
+// ---- Packed views vs naive bit model ----
+
+class ViewProperty : public ::testing::TestWithParam<u32>
+{
+};
+
+TEST_P(ViewProperty, MatchesNaiveBitModel)
+{
+    const u32 width = GetParam();
+    Rng rng(width * 7);
+    std::vector<u8> buf(48, 0);
+    ElementView view(buf, width);
+    const u64 n = view.size();
+
+    // Reference: explicit bit array.
+    std::vector<u8> bits(48 * 8, 0);
+    auto ref_set = [&](u64 idx, u64 v) {
+        for (u32 b = 0; b < width; ++b)
+            bits[idx * width + b] = (v >> b) & 1;
+    };
+    auto ref_get = [&](u64 idx) {
+        u64 v = 0;
+        for (u32 b = 0; b < width; ++b)
+            v |= static_cast<u64>(bits[idx * width + b]) << b;
+        return v;
+    };
+
+    for (int step = 0; step < 500; ++step) {
+        const u64 idx = rng.below(n);
+        const u64 v = rng.next();
+        view.set(idx, v);
+        ref_set(idx, v & (width >= 64 ? ~0ull : (1ull << width) - 1));
+        const u64 probe = rng.below(n);
+        EXPECT_EQ(view.get(probe), ref_get(probe))
+            << "width " << width << " step " << step;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ViewProperty,
+                         ::testing::Values(1, 2, 4, 8, 16, 32));
+
+// ---- Scheduler accounting linearity ----
+
+TEST(SchedulerProperty, TimeAndEnergyAreAdditive)
+{
+    const auto t = dram::TimingParams::ddr4_2400();
+    const auto e = dram::EnergyParams::ddr4();
+    Rng rng(77);
+    dram::CommandScheduler once(t, e), twice(t, e);
+    double total_ns = 0, total_pj = 0;
+    for (int k = 0; k < 100; ++k) {
+        const double ns = rng.uniform(1.0, 100.0);
+        const double pj = rng.uniform(1.0, 1000.0);
+        const u32 par = 1 + static_cast<u32>(rng.below(16));
+        once.op("cmd.x", ns, pj, 0, par);
+        total_ns += ns;
+        total_pj += pj * par;
+    }
+    EXPECT_NEAR(once.elapsed(), total_ns, 1e-6);
+    EXPECT_NEAR(once.energyTotal(), total_pj, 1e-6);
+    (void)twice;
+}
+
+TEST(SchedulerProperty, ThrottledSweepNeverFasterThanUnthrottled)
+{
+    const auto t = dram::TimingParams::ddr4_2400();
+    const auto e = dram::EnergyParams::ddr4();
+    Rng rng(78);
+    for (int trial = 0; trial < 50; ++trial) {
+        const u32 rows = 1 + static_cast<u32>(rng.below(64));
+        const u32 par = 1 + static_cast<u32>(rng.below(32));
+        dram::CommandScheduler free(t, e, 0.0);
+        dram::CommandScheduler throttled(
+            t, e, rng.uniform(0.1, 1.0));
+        free.sweep("pluto.sweep", rows, t.tRCD, 1.0, par);
+        throttled.sweep("pluto.sweep", rows, t.tRCD, 1.0, par);
+        EXPECT_GE(throttled.elapsed() + 1e-9, free.elapsed());
+        EXPECT_DOUBLE_EQ(throttled.energyTotal(), free.energyTotal());
+    }
+}
+
+} // namespace
+} // namespace pluto
