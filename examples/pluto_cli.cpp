@@ -1,8 +1,9 @@
 /**
  * @file
- * Command-line workload runner: execute any evaluated workload on any
- * pLUTo configuration and print time / energy / verification — the
- * tool a downstream user reaches for first.
+ * Command-line workload runner: execute ONE workload on ONE pLUTo
+ * configuration and print time / energy / verification. For batch
+ * campaigns (many variants x workloads x repeats from a config file)
+ * use pluto_sim, the scenario engine CLI.
  *
  * Usage:
  *   pluto_cli [--workload NAME] [--design bsa|gsa|gmc]
@@ -99,7 +100,13 @@ main(int argc, char **argv)
         }
     }
 
-    const auto w = workloads::makeWorkload(workload);
+    const auto w = workloads::createWorkload(workload);
+    if (!w) {
+        std::fprintf(stderr,
+                     "unknown workload '%s' (try --list)\n",
+                     workload.c_str());
+        return 1;
+    }
     runtime::PlutoDevice dev(cfg);
     if (elements == 0)
         elements = w->defaultElements(cfg.memory);

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * pluto_sim: the scenario engine CLI. Takes a scenario file (see
+ * examples/scenarios/), runs the full variant x workload x repeat
+ * cross product across a thread pool, prints a per-cell summary
+ * table, and writes per-run CSV plus a JSON summary.
+ *
+ * Usage:
+ *   pluto_sim [options] SCENARIO.ini
+ *     --threads N   worker threads (default: hardware concurrency)
+ *     --out DIR     override the scenario's out_dir
+ *     --quiet       suppress per-run progress lines
+ *     --list        list registered workloads and exit
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/table.hh"
+#include "sim/metrics.hh"
+#include "sim/runner.hh"
+#include "workloads/workload.hh"
+
+using namespace pluto;
+
+namespace
+{
+
+void
+usage()
+{
+    std::printf(
+        "usage: pluto_sim [options] SCENARIO.ini\n"
+        "  --threads N   worker threads (default: hardware "
+        "concurrency)\n"
+        "  --out DIR     override the scenario's out_dir\n"
+        "  --quiet       suppress per-run progress lines\n"
+        "  --list        list registered workloads and exit\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string scenarioPath;
+    std::string outDir;
+    u32 threads = 0;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage();
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "--list") {
+            for (const auto &name : workloads::workloadNames())
+                std::printf("%s\n", name.c_str());
+            return 0;
+        } else if (arg == "--threads") {
+            threads = static_cast<u32>(std::atoi(next()));
+        } else if (arg == "--out") {
+            outDir = next();
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--help") {
+            usage();
+            return 0;
+        } else if (!arg.empty() && arg.front() == '-') {
+            usage();
+            return 1;
+        } else if (scenarioPath.empty()) {
+            scenarioPath = arg;
+        } else {
+            usage();
+            return 1;
+        }
+    }
+    if (scenarioPath.empty()) {
+        usage();
+        return 1;
+    }
+
+    std::string err;
+    auto cfg = sim::SimConfig::load(scenarioPath, err);
+    if (!cfg) {
+        std::fprintf(stderr, "%s: %s\n", scenarioPath.c_str(),
+                     err.c_str());
+        return 1;
+    }
+    if (!outDir.empty())
+        cfg->outDir = outDir;
+
+    std::printf("scenario   %s (%s)\n", cfg->name.c_str(),
+                scenarioPath.c_str());
+    std::printf("runs       %llu  (%zu variants x %zu workloads)\n",
+                static_cast<unsigned long long>(cfg->totalRuns()),
+                cfg->devices.size(), cfg->workloads.size());
+
+    const sim::ScenarioRunner runner(*cfg);
+    const auto progress = [&](const sim::RunRecord &r, u64 done,
+                              u64 total) {
+        std::fprintf(stderr,
+                     "[%llu/%llu] %s / %s #%u: %.2f us, %.3f "
+                     "pJ/elem, %s (%.0f ms)\n",
+                     static_cast<unsigned long long>(done),
+                     static_cast<unsigned long long>(total),
+                     r.variant.c_str(), r.workload.c_str(), r.repeat,
+                     r.result.timeNs * 1e-3, r.result.pjPerElem(),
+                     r.result.verified ? "ok" : "VERIFY FAILED",
+                     r.wallMs);
+    };
+    const auto report = runner.run(
+        threads, quiet ? sim::ScenarioRunner::Progress() : progress);
+
+    // Per-cell mean table (repeats folded together).
+    AsciiTable table({"variant", "workload", "runs", "elements",
+                      "ns/elem", "pJ/elem", "vs CPU", "ok"});
+    for (const auto &c : sim::MetricsSink::aggregate(report)) {
+        table.addRow({c.variant, c.workload, std::to_string(c.runs),
+                      std::to_string(c.elements),
+                      fmtSig(c.nsPerElem), fmtSig(c.pjPerElem),
+                      c.nsPerElem > 0.0
+                          ? fmtX(c.rates.cpu / c.nsPerElem)
+                          : "-",
+                      c.verified ? "yes" : "NO"});
+    }
+    std::printf("\n%s\n", table.render().c_str());
+    std::printf("wall       %.0f ms total\n", report.wallMs);
+
+    std::vector<std::string> written;
+    const std::string werr =
+        sim::MetricsSink::write(*cfg, report, written);
+    if (!werr.empty()) {
+        std::fprintf(stderr, "output error: %s\n", werr.c_str());
+        return 1;
+    }
+    for (const auto &p : written)
+        std::printf("wrote      %s\n", p.c_str());
+
+    return report.allVerified() ? 0 : 2;
+}

@@ -1,0 +1,114 @@
+#!/usr/bin/env bash
+#
+# Repeat-runner for pluto_sim scenario files: run each scenario N
+# times, keep every invocation's outputs, and aggregate all per-run
+# CSVs into one all_runs.csv.
+#
+# Examples:
+#   ./scripts/run_scenarios.sh --scenario examples/scenarios/quickstart.ini --repeats 3
+#   ./scripts/run_scenarios.sh --scenario a.ini --scenario b.ini --repeats 5 --threads 8
+#
+
+set -euo pipefail
+
+SCENARIOS=()
+REPEATS=1
+THREADS=""
+BIN=""
+OUT_DIR=""
+
+usage() {
+  cat <<'EOF'
+Usage:
+  run_scenarios.sh --scenario PATH [--scenario PATH ...] [options]
+
+Options:
+  --scenario PATH   Scenario file passed to pluto_sim (repeatable; required)
+  --repeats N       Invocations per scenario (default: 1)
+  --threads N       Worker threads per invocation (default: pluto_sim's default)
+  --pluto-sim PATH  pluto_sim binary (default: auto-detect in build/)
+  --out-dir DIR     Output root (default: scenario-runs-<timestamp>)
+  -h, --help        Show this help
+
+Each invocation i writes into <out-dir>/<scenario-stem>/run_i/; after
+all runs, every *_runs.csv is concatenated (single header) into
+<out-dir>/all_runs.csv with scenario stem and run index columns.
+EOF
+}
+
+is_pos_int() { [[ "${1:-}" =~ ^[0-9]+$ ]] && [[ "$1" -ge 1 ]]; }
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --scenario) SCENARIOS+=("${2:?--scenario needs a path}"); shift 2 ;;
+    --repeats) REPEATS="${2:?--repeats needs a value}"; shift 2 ;;
+    --threads) THREADS="${2:?--threads needs a value}"; shift 2 ;;
+    --pluto-sim) BIN="${2:?--pluto-sim needs a path}"; shift 2 ;;
+    --out-dir) OUT_DIR="${2:?--out-dir needs a path}"; shift 2 ;;
+    -h|--help) usage; exit 0 ;;
+    *) echo "Error: unknown argument: $1" >&2; usage; exit 2 ;;
+  esac
+done
+
+[[ ${#SCENARIOS[@]} -gt 0 ]] || { echo "Error: at least one --scenario is required" >&2; usage; exit 2; }
+is_pos_int "$REPEATS" || { echo "Error: --repeats must be a positive integer" >&2; exit 2; }
+if [[ -n "$THREADS" ]]; then
+  is_pos_int "$THREADS" || { echo "Error: --threads must be a positive integer" >&2; exit 2; }
+fi
+
+if [[ -z "$BIN" ]]; then
+  for cand in build/pluto_sim ./pluto_sim; do
+    if [[ -x "$cand" ]]; then BIN="$cand"; break; fi
+  done
+fi
+[[ -n "$BIN" && -x "$BIN" ]] || { echo "Error: pluto_sim binary not found (build first or pass --pluto-sim)" >&2; exit 2; }
+
+for s in "${SCENARIOS[@]}"; do
+  [[ -f "$s" ]] || { echo "Error: scenario file not found: $s" >&2; exit 2; }
+done
+
+OUT_DIR="${OUT_DIR:-scenario-runs-$(date +%Y%m%d_%H%M%S)}"
+mkdir -p "$OUT_DIR"
+echo "Output root: $OUT_DIR"
+
+FAILED=0
+for s in "${SCENARIOS[@]}"; do
+  stem="$(basename "$s")"
+  stem="${stem%.*}"
+  for ((i = 1; i <= REPEATS; i++)); do
+    run_dir="$OUT_DIR/$stem/run_$i"
+    mkdir -p "$run_dir"
+    echo "== $stem run $i/$REPEATS =="
+    cmd=("$BIN" "$s" --out "$run_dir" --quiet)
+    [[ -n "$THREADS" ]] && cmd+=(--threads "$THREADS")
+    if ! "${cmd[@]}" > "$run_dir/stdout.log" 2> "$run_dir/stderr.log"; then
+      echo "   FAILED (see $run_dir/stderr.log)" >&2
+      FAILED=1
+    fi
+  done
+done
+
+# Aggregate all per-run CSVs: one header, plus scenario/run columns.
+AGG="$OUT_DIR/all_runs.csv"
+header_written=0
+for s in "${SCENARIOS[@]}"; do
+  stem="$(basename "$s")"
+  stem="${stem%.*}"
+  for ((i = 1; i <= REPEATS; i++)); do
+    for csv in "$OUT_DIR/$stem/run_$i"/*_runs.csv; do
+      [[ -f "$csv" ]] || continue
+      if [[ "$header_written" -eq 0 ]]; then
+        head -n 1 "$csv" | sed 's/^/scenario_file,run,/' > "$AGG"
+        header_written=1
+      fi
+      tail -n +2 "$csv" | sed "s|^|$stem,$i,|" >> "$AGG"
+    done
+  done
+done
+
+if [[ "$header_written" -eq 1 ]]; then
+  echo "Aggregated $(($(wc -l < "$AGG") - 1)) rows into $AGG"
+else
+  echo "Warning: no CSV outputs found to aggregate" >&2
+fi
+exit "$FAILED"

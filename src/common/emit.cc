@@ -1,0 +1,243 @@
+/**
+ * @file
+ * CSV and JSON emitters (see emit.hh).
+ */
+
+#include "common/emit.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/logging.hh"
+
+namespace pluto
+{
+
+std::string
+csvEscape(const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n\r") == std::string::npos)
+        return cell;
+    std::string out = "\"";
+    for (const char c : cell) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : columns_(header.size())
+{
+    PLUTO_ASSERT(columns_ > 0);
+    emitLine(header);
+}
+
+void
+CsvWriter::addRow(const std::vector<std::string> &cells)
+{
+    PLUTO_ASSERT(cells.size() == columns_);
+    emitLine(cells);
+    ++rows_;
+}
+
+void
+CsvWriter::emitLine(const std::vector<std::string> &cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            text_ += ',';
+        text_ += csvEscape(cells[i]);
+    }
+    text_ += '\n';
+}
+
+JsonValue
+JsonValue::array()
+{
+    JsonValue v;
+    v.kind_ = Kind::Array;
+    return v;
+}
+
+JsonValue
+JsonValue::object()
+{
+    JsonValue v;
+    v.kind_ = Kind::Object;
+    return v;
+}
+
+JsonValue &
+JsonValue::push(JsonValue v)
+{
+    PLUTO_ASSERT(kind_ == Kind::Array);
+    items_.push_back(std::move(v));
+    return items_.back();
+}
+
+JsonValue &
+JsonValue::set(const std::string &k, JsonValue v)
+{
+    PLUTO_ASSERT(kind_ == Kind::Object);
+    members_.emplace_back(k, std::move(v));
+    return members_.back().second;
+}
+
+namespace
+{
+
+void
+renderString(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+renderNumber(std::string &out, double n)
+{
+    if (!std::isfinite(n)) {
+        out += "null"; // JSON has no Inf/NaN
+        return;
+    }
+    // The integer fast path must stay within long long: the cast is
+    // undefined beyond +/-2^63.
+    if (n >= -9.2e18 && n <= 9.2e18 &&
+        n == static_cast<double>(static_cast<long long>(n))) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(n));
+        out += buf;
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.12g", n);
+    out += buf;
+}
+
+void
+indent(std::string &out, int depth)
+{
+    out.append(static_cast<std::size_t>(depth) * 2, ' ');
+}
+
+} // namespace
+
+void
+JsonValue::render(std::string &out, int depth) const
+{
+    switch (kind_) {
+      case Kind::Null:
+        out += "null";
+        break;
+      case Kind::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Kind::Number:
+        renderNumber(out, num_);
+        break;
+      case Kind::String:
+        renderString(out, str_);
+        break;
+      case Kind::Array:
+        if (items_.empty()) {
+            out += "[]";
+            break;
+        }
+        out += "[\n";
+        for (std::size_t i = 0; i < items_.size(); ++i) {
+            indent(out, depth + 1);
+            items_[i].render(out, depth + 1);
+            if (i + 1 < items_.size())
+                out += ',';
+            out += '\n';
+        }
+        indent(out, depth);
+        out += ']';
+        break;
+      case Kind::Object:
+        if (members_.empty()) {
+            out += "{}";
+            break;
+        }
+        out += "{\n";
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+            indent(out, depth + 1);
+            renderString(out, members_[i].first);
+            out += ": ";
+            members_[i].second.render(out, depth + 1);
+            if (i + 1 < members_.size())
+                out += ',';
+            out += '\n';
+        }
+        indent(out, depth);
+        out += '}';
+        break;
+    }
+}
+
+std::string
+JsonValue::dump() const
+{
+    std::string out;
+    render(out, 0);
+    out += '\n';
+    return out;
+}
+
+std::string
+writeTextFile(const std::string &path, const std::string &text)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    const fs::path p(path);
+    if (p.has_parent_path()) {
+        fs::create_directories(p.parent_path(), ec);
+        if (ec)
+            return "cannot create directory '" +
+                   p.parent_path().string() + "': " + ec.message();
+    }
+    std::ofstream out(p, std::ios::binary | std::ios::trunc);
+    if (!out)
+        return "cannot open '" + path + "' for writing";
+    out.write(text.data(),
+              static_cast<std::streamsize>(text.size()));
+    out.flush();
+    if (!out)
+        return "write to '" + path + "' failed";
+    return {};
+}
+
+} // namespace pluto

@@ -338,8 +338,20 @@ PlutoDevice::module()
     return impl_->module;
 }
 
+const dram::Module &
+PlutoDevice::module() const
+{
+    return impl_->module;
+}
+
 dram::CommandScheduler &
 PlutoDevice::scheduler()
+{
+    return impl_->sched;
+}
+
+const dram::CommandScheduler &
+PlutoDevice::scheduler() const
 {
     return impl_->sched;
 }
@@ -350,8 +362,20 @@ PlutoDevice::engine()
     return impl_->engine;
 }
 
+const core::QueryEngine &
+PlutoDevice::engine() const
+{
+    return impl_->engine;
+}
+
 core::LutStore &
 PlutoDevice::lutStore()
+{
+    return impl_->store;
+}
+
+const core::LutStore &
+PlutoDevice::lutStore() const
 {
     return impl_->store;
 }
@@ -362,8 +386,20 @@ PlutoDevice::library()
     return impl_->library;
 }
 
+const LutLibrary &
+PlutoDevice::library() const
+{
+    return impl_->library;
+}
+
 Controller &
 PlutoDevice::controller()
+{
+    return impl_->controller;
+}
+
+const Controller &
+PlutoDevice::controller() const
 {
     return impl_->controller;
 }

@@ -198,14 +198,20 @@ class PlutoDevice
     /** Reset time/energy/counters (allocations are kept). */
     void resetStats();
 
-    // ---- Component access (tests, benches) ----
+    // ---- Component access (tests, benches, scenario runner) ----
 
     dram::Module &module();
+    const dram::Module &module() const;
     dram::CommandScheduler &scheduler();
+    const dram::CommandScheduler &scheduler() const;
     core::QueryEngine &engine();
+    const core::QueryEngine &engine() const;
     core::LutStore &lutStore();
+    const core::LutStore &lutStore() const;
     LutLibrary &library();
+    const LutLibrary &library() const;
     Controller &controller();
+    const Controller &controller() const;
     const dram::Geometry &geometry() const;
 
   private:

@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Scenario-file parser (see config.hh).
+ */
+
+#include "sim/config.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "workloads/workload.hh"
+
+namespace pluto::sim
+{
+
+namespace
+{
+
+/** Strip comments and surrounding whitespace. */
+std::string
+cleanLine(const std::string &raw)
+{
+    std::string s = raw;
+    const auto hash = s.find_first_of("#;");
+    if (hash != std::string::npos)
+        s.erase(hash);
+    const auto b = s.find_first_not_of(" \t\r");
+    if (b == std::string::npos)
+        return {};
+    const auto e = s.find_last_not_of(" \t\r");
+    return s.substr(b, e - b + 1);
+}
+
+bool
+parseU64(const std::string &s, u64 &out)
+{
+    // Digits only: strtoull would silently wrap "-1" to ULLONG_MAX.
+    if (s.empty() ||
+        s.find_first_not_of("0123456789") != std::string::npos)
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+    if (end != s.c_str() + s.size() || errno == ERANGE)
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+parseU32(const std::string &s, u32 &out)
+{
+    u64 v = 0;
+    if (!parseU64(s, v) || v > 0xffffffffull)
+        return false;
+    out = static_cast<u32>(v);
+    return true;
+}
+
+bool
+parseDouble(const std::string &s, double &out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    if (end != s.c_str() + s.size())
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+parseBool(const std::string &s, bool &out)
+{
+    if (s == "on" || s == "true" || s == "1") {
+        out = true;
+        return true;
+    }
+    if (s == "off" || s == "false" || s == "0") {
+        out = false;
+        return true;
+    }
+    return false;
+}
+
+/** Apply one [device]/[variant] key. @return error text or empty. */
+std::string
+applyDeviceKey(runtime::DeviceConfig &cfg, const std::string &key,
+               const std::string &value)
+{
+    if (key == "memory") {
+        if (value == "ddr4")
+            cfg.memory = dram::MemoryKind::Ddr4;
+        else if (value == "3ds" || value == "hmc3ds")
+            cfg.memory = dram::MemoryKind::Hmc3ds;
+        else
+            return "bad memory '" + value + "' (ddr4 | 3ds)";
+    } else if (key == "design") {
+        if (value == "bsa")
+            cfg.design = core::Design::Bsa;
+        else if (value == "gsa")
+            cfg.design = core::Design::Gsa;
+        else if (value == "gmc")
+            cfg.design = core::Design::Gmc;
+        else
+            return "bad design '" + value + "' (bsa | gsa | gmc)";
+    } else if (key == "salp") {
+        if (!parseU32(value, cfg.salp))
+            return "bad salp '" + value + "' (unsigned integer)";
+    } else if (key == "faw") {
+        // The negated form also rejects NaN, which strtod accepts.
+        if (!parseDouble(value, cfg.fawScale) ||
+            !(cfg.fawScale >= 0.0 && cfg.fawScale <= 1.0))
+            return "bad faw '" + value + "' (0..1)";
+    } else if (key == "refresh") {
+        if (!parseBool(value, cfg.modelRefresh))
+            return "bad refresh '" + value + "' (on | off)";
+    } else if (key == "load_method") {
+        if (value == "generate")
+            cfg.loadMethod = core::LutLoadMethod::FirstTimeGeneration;
+        else if (value == "memory")
+            cfg.loadMethod = core::LutLoadMethod::FromMemory;
+        else if (value == "storage")
+            cfg.loadMethod = core::LutLoadMethod::FromStorage;
+        else
+            return "bad load_method '" + value +
+                   "' (generate | memory | storage)";
+    } else {
+        return "unknown device key '" + key + "'";
+    }
+    return {};
+}
+
+} // namespace
+
+u64
+SimConfig::totalRuns() const
+{
+    u64 per_variant = 0;
+    for (const auto &w : workloads)
+        per_variant += static_cast<u64>(w.repeats) * repeats;
+    return per_variant * devices.size();
+}
+
+std::optional<SimConfig>
+SimConfig::parse(const std::string &text, std::string &error)
+{
+    enum class Section
+    {
+        None,
+        Scenario,
+        Device,
+        Variant,
+        Workload,
+    };
+
+    SimConfig cfg;
+    runtime::DeviceConfig defaults;
+    Section section = Section::None;
+    int lineno = 0;
+
+    const auto fail = [&](const std::string &msg) {
+        error = "line " + std::to_string(lineno) + ": " + msg;
+        return std::nullopt;
+    };
+
+    std::istringstream in(text);
+    std::string raw;
+    while (std::getline(in, raw)) {
+        ++lineno;
+        const std::string line = cleanLine(raw);
+        if (line.empty())
+            continue;
+
+        if (line.front() == '[') {
+            if (line.back() != ']')
+                return fail("unterminated section header");
+            const std::string inner = line.substr(1, line.size() - 2);
+            const auto sp = inner.find_first_of(" \t");
+            const std::string head =
+                sp == std::string::npos ? inner : inner.substr(0, sp);
+            std::string arg;
+            if (sp != std::string::npos) {
+                const auto b = inner.find_first_not_of(" \t", sp);
+                if (b != std::string::npos)
+                    arg = inner.substr(b);
+            }
+            if (head == "scenario") {
+                if (!arg.empty())
+                    return fail("[scenario] takes no argument");
+                section = Section::Scenario;
+            } else if (head == "device") {
+                if (!arg.empty())
+                    return fail("[device] takes no argument");
+                if (!cfg.devices.empty())
+                    return fail(
+                        "[device] must precede [variant] sections");
+                section = Section::Device;
+            } else if (head == "variant") {
+                if (arg.empty())
+                    return fail("[variant] needs a name");
+                for (const auto &d : cfg.devices)
+                    if (d.name == arg)
+                        return fail("duplicate variant '" + arg + "'");
+                cfg.devices.push_back({arg, defaults});
+                section = Section::Variant;
+            } else if (head == "workload") {
+                if (arg.empty())
+                    return fail("[workload] needs a name");
+                if (!workloads::createWorkload(arg))
+                    return fail("unknown workload '" + arg +
+                                "' (see pluto_sim --list)");
+                cfg.workloads.push_back({arg, 0, 1});
+                section = Section::Workload;
+            } else {
+                return fail("unknown section [" + head + "]");
+            }
+            continue;
+        }
+
+        const auto eq = line.find('=');
+        if (eq == std::string::npos)
+            return fail("expected 'key = value'");
+        const std::string key = cleanLine(line.substr(0, eq));
+        const std::string value = cleanLine(line.substr(eq + 1));
+        if (key.empty())
+            return fail("empty key");
+        if (value.empty())
+            return fail("empty value for '" + key + "'");
+
+        switch (section) {
+          case Section::None:
+            return fail("'" + key + "' outside any section");
+          case Section::Scenario:
+            if (key == "name") {
+                cfg.name = value;
+            } else if (key == "out_dir") {
+                cfg.outDir = value;
+            } else if (key == "repeats") {
+                if (!parseU32(value, cfg.repeats) || cfg.repeats == 0)
+                    return fail("bad repeats '" + value +
+                                "' (integer >= 1)");
+            } else {
+                return fail("unknown scenario key '" + key + "'");
+            }
+            break;
+          case Section::Device: {
+            const std::string err =
+                applyDeviceKey(defaults, key, value);
+            if (!err.empty())
+                return fail(err);
+            break;
+          }
+          case Section::Variant: {
+            const std::string err = applyDeviceKey(
+                cfg.devices.back().config, key, value);
+            if (!err.empty())
+                return fail(err);
+            break;
+          }
+          case Section::Workload: {
+            auto &w = cfg.workloads.back();
+            if (key == "elements") {
+                if (!parseU64(value, w.elements) || w.elements == 0)
+                    return fail("bad elements '" + value +
+                                "' (integer >= 1)");
+            } else if (key == "repeats") {
+                if (!parseU32(value, w.repeats) || w.repeats == 0)
+                    return fail("bad repeats '" + value +
+                                "' (integer >= 1)");
+            } else {
+                return fail("unknown workload key '" + key + "'");
+            }
+            break;
+          }
+        }
+    }
+
+    if (cfg.workloads.empty()) {
+        error = "scenario declares no [workload] sections";
+        return std::nullopt;
+    }
+    if (cfg.devices.empty())
+        cfg.devices.push_back({"default", defaults});
+    error.clear();
+    return cfg;
+}
+
+std::optional<SimConfig>
+SimConfig::load(const std::string &path, std::string &error)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        error = "cannot open scenario file '" + path + "'";
+        return std::nullopt;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return parse(buf.str(), error);
+}
+
+} // namespace pluto::sim

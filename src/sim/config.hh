@@ -1,0 +1,87 @@
+/**
+ * @file
+ * SimConfig: the scenario-file model of the batch simulation engine.
+ *
+ * A scenario file is a small INI document describing one experiment
+ * campaign: global settings, one or more device *variants* (each a
+ * full pLUTo configuration: memory kind, design, SALP width, tFAW
+ * scale, refresh modeling, LUT load method), and a list of workloads
+ * with input sizes and repeat counts. The engine runs the cross
+ * product variants x workloads x repeats.
+ *
+ * Grammar (line oriented; '#' and ';' start comments):
+ *
+ *   [scenario]            global settings (name, out_dir, repeats)
+ *   [device]              defaults inherited by every variant
+ *   [variant NAME]        one device configuration (overrides [device])
+ *   [workload NAME]       one workload entry (NAME is a registry name)
+ *
+ * Parsing is total and non-fatal: malformed input yields an error
+ * message with a line number, never an exit, so config mistakes in
+ * batch campaigns surface as clean diagnostics.
+ */
+
+#ifndef PLUTO_SIM_CONFIG_HH
+#define PLUTO_SIM_CONFIG_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runtime/device.hh"
+
+namespace pluto::sim
+{
+
+/** One named device configuration (a scenario variant). */
+struct DeviceSpec
+{
+    /** Variant label used in reports ("bsa-ddr4", ...). */
+    std::string name;
+    /** Full device construction parameters. */
+    runtime::DeviceConfig config;
+};
+
+/** One workload entry of a scenario. */
+struct WorkloadSpec
+{
+    /** Registry name ("CRC-8", "ColorGrade", ...). */
+    std::string name;
+    /** Input size; 0 = the workload's paper-scale default. */
+    u64 elements = 0;
+    /** Runs of this workload per variant. */
+    u32 repeats = 1;
+};
+
+/** A parsed scenario. */
+struct SimConfig
+{
+    /** Campaign name; prefixes every output file. */
+    std::string name = "scenario";
+    /** Directory receiving CSV/JSON outputs. */
+    std::string outDir = "results";
+    /** Global repeat multiplier applied to every workload. */
+    u32 repeats = 1;
+    /** Device variants (at least one after a successful parse). */
+    std::vector<DeviceSpec> devices;
+    /** Workload list (at least one after a successful parse). */
+    std::vector<WorkloadSpec> workloads;
+
+    /** @return total number of runs the scenario describes. */
+    u64 totalRuns() const;
+
+    /**
+     * Parse scenario `text`. On failure @return std::nullopt and set
+     * `error` to a "line N: ..." diagnostic.
+     */
+    static std::optional<SimConfig> parse(const std::string &text,
+                                          std::string &error);
+
+    /** Load and parse the file at `path`. */
+    static std::optional<SimConfig> load(const std::string &path,
+                                         std::string &error);
+};
+
+} // namespace pluto::sim
+
+#endif // PLUTO_SIM_CONFIG_HH

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Scenario execution across a worker pool (see runner.hh).
+ */
+
+#include "sim/runner.hh"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "common/logging.hh"
+
+namespace pluto::sim
+{
+
+namespace
+{
+
+/** Static description of one run, expanded from the config. */
+struct RunTask
+{
+    u32 device = 0;
+    u32 workload = 0;
+    u32 repeat = 0;
+};
+
+double
+msSince(const std::chrono::steady_clock::time_point &t0)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
+
+bool
+ScenarioReport::allVerified() const
+{
+    for (const auto &r : runs)
+        if (!r.result.verified)
+            return false;
+    return !runs.empty();
+}
+
+ScenarioRunner::ScenarioRunner(SimConfig cfg) : cfg_(std::move(cfg)) {}
+
+ScenarioReport
+ScenarioRunner::run(u32 threads, const Progress &progress) const
+{
+    // Expand the cross product up front so every run has a stable
+    // index: report order never depends on scheduling.
+    std::vector<RunTask> tasks;
+    for (u32 d = 0; d < cfg_.devices.size(); ++d)
+        for (u32 w = 0; w < cfg_.workloads.size(); ++w) {
+            const u32 reps = cfg_.workloads[w].repeats * cfg_.repeats;
+            for (u32 r = 0; r < reps; ++r)
+                tasks.push_back({d, w, r});
+        }
+
+    ScenarioReport report;
+    report.runs.resize(tasks.size());
+
+    if (threads == 0)
+        threads = std::max(1u, std::thread::hardware_concurrency());
+    threads = std::min<u32>(threads,
+                            std::max<std::size_t>(tasks.size(), 1));
+
+    const auto campaign_t0 = std::chrono::steady_clock::now();
+    std::atomic<std::size_t> next{0};
+    std::atomic<u64> done{0};
+    std::mutex progress_mu;
+
+    const auto worker = [&]() {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= tasks.size())
+                return;
+            const RunTask &t = tasks[i];
+            const DeviceSpec &ds = cfg_.devices[t.device];
+            const WorkloadSpec &ws = cfg_.workloads[t.workload];
+
+            const auto t0 = std::chrono::steady_clock::now();
+            // Per-run device and workload: nothing is shared between
+            // runs, so simulated results cannot depend on threading.
+            const auto w = workloads::makeWorkload(ws.name);
+            runtime::PlutoDevice dev(ds.config);
+            const u64 elements =
+                ws.elements ? ws.elements
+                            : w->defaultElements(ds.config.memory);
+
+            RunRecord &rec = report.runs[i];
+            rec.variant = ds.name;
+            rec.workload = ws.name;
+            rec.repeat = t.repeat;
+            rec.rates = w->rates();
+            rec.result = w->run(dev, elements);
+            rec.wallMs = msSince(t0);
+
+            const u64 n = done.fetch_add(1) + 1;
+            if (progress) {
+                std::lock_guard<std::mutex> lock(progress_mu);
+                progress(rec, n, tasks.size());
+            }
+        }
+    };
+
+    if (threads == 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (u32 i = 0; i < threads; ++i)
+            pool.emplace_back(worker);
+        for (auto &th : pool)
+            th.join();
+    }
+
+    report.wallMs = msSince(campaign_t0);
+    return report;
+}
+
+} // namespace pluto::sim

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * ScenarioRunner: executes every run of a SimConfig across a thread
+ * pool and aggregates results.
+ *
+ * Each run is fully independent: it owns a freshly constructed
+ * PlutoDevice (and therefore its own Module, CommandScheduler and
+ * Controller) and a freshly constructed workload, and all stochastic
+ * input generation is seeded per workload — so runs are embarrassingly
+ * parallel, wall-clock drops near-linearly with cores, and the
+ * *simulated* timing/energy of every run is bit-identical regardless
+ * of thread count or completion order. Results are stored by
+ * precomputed run index, keeping report order deterministic too.
+ */
+
+#ifndef PLUTO_SIM_RUNNER_HH
+#define PLUTO_SIM_RUNNER_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+#include "workloads/workload.hh"
+
+namespace pluto::sim
+{
+
+/** Result of one (variant, workload, repeat) run. */
+struct RunRecord
+{
+    /** Variant label from the scenario file. */
+    std::string variant;
+    /** Workload registry name. */
+    std::string workload;
+    /** Repeat index within (variant, workload), 0-based. */
+    u32 repeat = 0;
+    /** Simulated outcome. */
+    workloads::WorkloadResult result;
+    /** Host baseline rates of the workload (for speedup columns). */
+    workloads::BaselineRates rates;
+    /** Host wall-clock spent simulating this run, milliseconds. */
+    double wallMs = 0.0;
+};
+
+/** Aggregated outcome of a whole scenario. */
+struct ScenarioReport
+{
+    /** All runs, variant-major then workload then repeat. */
+    std::vector<RunRecord> runs;
+    /** Host wall-clock of the whole campaign, milliseconds. */
+    double wallMs = 0.0;
+    /** @return true when every run passed functional verification. */
+    bool allVerified() const;
+};
+
+/** Batch executor for one scenario. */
+class ScenarioRunner
+{
+  public:
+    /** Called after each finished run (serialized; for progress). */
+    using Progress = std::function<void(const RunRecord &, u64 done,
+                                        u64 total)>;
+
+    explicit ScenarioRunner(SimConfig cfg);
+
+    /** @return the scenario being run. */
+    const SimConfig &config() const { return cfg_; }
+
+    /**
+     * Execute every run on `threads` worker threads (0 = hardware
+     * concurrency). @return the aggregated report.
+     */
+    ScenarioReport run(u32 threads = 0,
+                       const Progress &progress = nullptr) const;
+
+  private:
+    SimConfig cfg_;
+};
+
+} // namespace pluto::sim
+
+#endif // PLUTO_SIM_RUNNER_HH

@@ -1,6 +1,9 @@
 /**
  * @file
- * Workload registry: the named sets used by the evaluation figures.
+ * Workload registry: a single name -> factory table backing the named
+ * evaluation sets, the fatal lookup used by the figure benches, and
+ * the non-fatal lookup used by the scenario engine (which must turn
+ * an unknown name in a config file into a clear error, not an abort).
  */
 
 #include "workloads/workload.hh"
@@ -9,6 +12,41 @@
 
 namespace pluto::workloads
 {
+
+namespace
+{
+
+/** One registry row. */
+struct Entry
+{
+    const char *name;
+    WorkloadPtr (*make)();
+};
+
+/** Every evaluated workload, in Table 4 presentation order. */
+const Entry kRegistry[] = {
+    {"CRC-8", [] { return makeCrc(8); }},
+    {"CRC-16", [] { return makeCrc(16); }},
+    {"CRC-32", [] { return makeCrc(32); }},
+    {"Salsa20", [] { return makeSalsa20(); }},
+    {"VMPC", [] { return makeVmpc(); }},
+    {"ImgBin", [] { return makeImageBinarization(); }},
+    {"ColorGrade", [] { return makeColorGrade(); }},
+    {"ADD4", [] { return makeVectorAdd(4); }},
+    {"ADD8", [] { return makeVectorAdd(8); }},
+    {"MUL4", [] { return makeVectorMul(4); }},
+    {"MUL8", [] { return makeVectorMul(8); }},
+    {"MUL16", [] { return makeVectorMul(16); }},
+    {"MULQ1.7", [] { return makeVectorMulQ(8); }},
+    {"MULQ1.15", [] { return makeVectorMulQ(16); }},
+    {"BC4", [] { return makeBitCount(4); }},
+    {"BC8", [] { return makeBitCount(8); }},
+    {"Bitwise-AND", [] { return makeBitwise("and"); }},
+    {"Bitwise-OR", [] { return makeBitwise("or"); }},
+    {"Bitwise-XOR", [] { return makeBitwise("xor"); }},
+};
+
+} // namespace
 
 std::vector<WorkloadPtr>
 figure7Workloads()
@@ -42,57 +80,30 @@ figure9Workloads()
 }
 
 WorkloadPtr
+createWorkload(const std::string &name)
+{
+    for (const auto &e : kRegistry)
+        if (name == e.name)
+            return e.make();
+    return nullptr;
+}
+
+WorkloadPtr
 makeWorkload(const std::string &name)
 {
-    if (name == "CRC-8")
-        return makeCrc(8);
-    if (name == "CRC-16")
-        return makeCrc(16);
-    if (name == "CRC-32")
-        return makeCrc(32);
-    if (name == "Salsa20")
-        return makeSalsa20();
-    if (name == "VMPC")
-        return makeVmpc();
-    if (name == "ImgBin")
-        return makeImageBinarization();
-    if (name == "ColorGrade")
-        return makeColorGrade();
-    if (name == "ADD4")
-        return makeVectorAdd(4);
-    if (name == "ADD8")
-        return makeVectorAdd(8);
-    if (name == "MUL4")
-        return makeVectorMul(4);
-    if (name == "MUL8")
-        return makeVectorMul(8);
-    if (name == "MUL16")
-        return makeVectorMul(16);
-    if (name == "MULQ1.7")
-        return makeVectorMulQ(8);
-    if (name == "MULQ1.15")
-        return makeVectorMulQ(16);
-    if (name == "BC4")
-        return makeBitCount(4);
-    if (name == "BC8")
-        return makeBitCount(8);
-    if (name == "Bitwise-AND")
-        return makeBitwise("and");
-    if (name == "Bitwise-OR")
-        return makeBitwise("or");
-    if (name == "Bitwise-XOR")
-        return makeBitwise("xor");
-    fatal("unknown workload '%s'", name.c_str());
+    auto w = createWorkload(name);
+    if (!w)
+        fatal("unknown workload '%s'", name.c_str());
+    return w;
 }
 
 std::vector<std::string>
 workloadNames()
 {
-    return {"CRC-8",    "CRC-16",  "CRC-32",   "Salsa20",
-            "VMPC",     "ImgBin",  "ColorGrade", "ADD4",
-            "ADD8",     "MUL4",    "MUL8",     "MUL16",
-            "MULQ1.7",  "MULQ1.15", "BC4",     "BC8",
-            "Bitwise-AND", "Bitwise-OR", "Bitwise-XOR"};
+    std::vector<std::string> out;
+    for (const auto &e : kRegistry)
+        out.emplace_back(e.name);
+    return out;
 }
 
 } // namespace pluto::workloads

@@ -107,10 +107,16 @@ std::vector<WorkloadPtr> figure7Workloads();
 /** The Figure 9 (FPGA comparison) workload set. */
 std::vector<WorkloadPtr> figure9Workloads();
 
+/**
+ * Build one workload by name; @return nullptr for unknown names (the
+ * scenario engine reports these as configuration errors).
+ */
+WorkloadPtr createWorkload(const std::string &name);
+
 /** Build one workload by name; fatal on unknown names. */
 WorkloadPtr makeWorkload(const std::string &name);
 
-/** All registered workload names. */
+/** All registered workload names, in registry order. */
 std::vector<std::string> workloadNames();
 
 // Factories (one per Table 4 row).

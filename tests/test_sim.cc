@@ -1,0 +1,328 @@
+/**
+ * @file
+ * Scenario engine tests: config parse round-trip and malformed-input
+ * rejection, deterministic batch execution across repeats and thread
+ * counts, CSV/JSON output schema, and the registry lookup API.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <sstream>
+
+#include "common/emit.hh"
+#include "sim/metrics.hh"
+#include "sim/runner.hh"
+#include "workloads/workload.hh"
+
+namespace pluto::sim
+{
+namespace
+{
+
+const char *kFullScenario = R"(
+# full-feature scenario
+[scenario]
+name = unit        ; trailing comment
+out_dir = /tmp/pluto_sim_unit
+repeats = 2
+
+[device]
+memory = 3ds
+design = gsa
+salp = 8
+faw = 0.5
+refresh = on
+load_method = storage
+
+[variant fast]
+design = gmc
+memory = ddr4
+
+[variant slow]
+
+[workload ADD4]
+elements = 65536
+
+[workload Bitwise-AND]
+elements = 131072
+repeats = 3
+)";
+
+TEST(SimConfig, ParsesFullScenario)
+{
+    std::string err;
+    const auto cfg = SimConfig::parse(kFullScenario, err);
+    ASSERT_TRUE(cfg) << err;
+    EXPECT_EQ(cfg->name, "unit");
+    EXPECT_EQ(cfg->outDir, "/tmp/pluto_sim_unit");
+    EXPECT_EQ(cfg->repeats, 2u);
+
+    ASSERT_EQ(cfg->devices.size(), 2u);
+    // "fast" overrides design/memory but inherits the rest.
+    EXPECT_EQ(cfg->devices[0].name, "fast");
+    EXPECT_EQ(cfg->devices[0].config.design, core::Design::Gmc);
+    EXPECT_EQ(cfg->devices[0].config.memory, dram::MemoryKind::Ddr4);
+    EXPECT_EQ(cfg->devices[0].config.salp, 8u);
+    EXPECT_DOUBLE_EQ(cfg->devices[0].config.fawScale, 0.5);
+    EXPECT_TRUE(cfg->devices[0].config.modelRefresh);
+    EXPECT_EQ(cfg->devices[0].config.loadMethod,
+              core::LutLoadMethod::FromStorage);
+    // "slow" is the pure [device] defaults.
+    EXPECT_EQ(cfg->devices[1].name, "slow");
+    EXPECT_EQ(cfg->devices[1].config.design, core::Design::Gsa);
+    EXPECT_EQ(cfg->devices[1].config.memory,
+              dram::MemoryKind::Hmc3ds);
+
+    ASSERT_EQ(cfg->workloads.size(), 2u);
+    EXPECT_EQ(cfg->workloads[0].name, "ADD4");
+    EXPECT_EQ(cfg->workloads[0].elements, 65536u);
+    EXPECT_EQ(cfg->workloads[0].repeats, 1u);
+    EXPECT_EQ(cfg->workloads[1].name, "Bitwise-AND");
+    EXPECT_EQ(cfg->workloads[1].repeats, 3u);
+
+    // 2 variants x (1 + 3 repeats) x 2 global repeats.
+    EXPECT_EQ(cfg->totalRuns(), 16u);
+}
+
+TEST(SimConfig, DefaultVariantWhenNoneDeclared)
+{
+    std::string err;
+    const auto cfg = SimConfig::parse(
+        "[device]\ndesign = gmc\n[workload ADD4]\n", err);
+    ASSERT_TRUE(cfg) << err;
+    ASSERT_EQ(cfg->devices.size(), 1u);
+    EXPECT_EQ(cfg->devices[0].name, "default");
+    EXPECT_EQ(cfg->devices[0].config.design, core::Design::Gmc);
+}
+
+struct BadCase
+{
+    const char *text;
+    const char *expect; // substring of the diagnostic
+};
+
+class SimConfigRejects : public ::testing::TestWithParam<BadCase>
+{
+};
+
+TEST_P(SimConfigRejects, WithDiagnostic)
+{
+    std::string err;
+    const auto cfg = SimConfig::parse(GetParam().text, err);
+    EXPECT_FALSE(cfg);
+    EXPECT_NE(err.find(GetParam().expect), std::string::npos)
+        << "got: " << err;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SimConfigRejects,
+    ::testing::Values(
+        BadCase{"[workload NoSuchThing]\n", "unknown workload"},
+        BadCase{"[bogus]\n[workload ADD4]\n", "unknown section"},
+        BadCase{"[scenario]\nflavor = mint\n[workload ADD4]\n",
+                "unknown scenario key"},
+        BadCase{"[device]\ndesign = tpu\n[workload ADD4]\n",
+                "bad design"},
+        BadCase{"[device]\nfaw = 1.5\n[workload ADD4]\n", "bad faw"},
+        BadCase{"[device]\nsalp = many\n[workload ADD4]\n",
+                "bad salp"},
+        BadCase{"[workload ADD4]\nelements = 0\n", "bad elements"},
+        BadCase{"[workload ADD4]\nelements = -1\n", "bad elements"},
+        BadCase{"[workload ADD4]\nelements = 99999999999999999999\n",
+                "bad elements"},
+        BadCase{"[device]\nfaw = nan\n[workload ADD4]\n", "bad faw"},
+        BadCase{"stray = value\n[workload ADD4]\n",
+                "outside any section"},
+        BadCase{"[scenario\n[workload ADD4]\n", "unterminated"},
+        BadCase{"[variant]\n[workload ADD4]\n", "needs a name"},
+        BadCase{"[variant a]\n[variant a]\n[workload ADD4]\n",
+                "duplicate variant"},
+        BadCase{"[variant a]\n[device]\n[workload ADD4]\n",
+                "must precede"},
+        BadCase{"[scenario]\nname\n[workload ADD4]\n",
+                "expected 'key = value'"},
+        BadCase{"", "no [workload]"}));
+
+TEST(SimConfig, LoadReportsMissingFile)
+{
+    std::string err;
+    EXPECT_FALSE(SimConfig::load("/nonexistent/path.ini", err));
+    EXPECT_NE(err.find("cannot open"), std::string::npos);
+}
+
+/** Small 2-variant x 2-workload scenario used by the run tests. */
+SimConfig
+smallScenario()
+{
+    std::string err;
+    const auto cfg = SimConfig::parse(R"(
+[scenario]
+name = small
+out_dir = /tmp/pluto_test_sim_out
+[variant bsa]
+design = bsa
+[variant gmc]
+design = gmc
+[workload ADD4]
+elements = 16384
+repeats = 2
+[workload Bitwise-AND]
+elements = 65536
+)",
+                                      err);
+    EXPECT_TRUE(cfg) << err;
+    return *cfg;
+}
+
+TEST(ScenarioRunner, DeterministicAcrossRepeatsAndThreads)
+{
+    const ScenarioRunner runner(smallScenario());
+    const auto serial = runner.run(1);
+    const auto parallel = runner.run(4);
+
+    ASSERT_EQ(serial.runs.size(), 6u);
+    ASSERT_EQ(parallel.runs.size(), serial.runs.size());
+    for (std::size_t i = 0; i < serial.runs.size(); ++i) {
+        const auto &a = serial.runs[i];
+        const auto &b = parallel.runs[i];
+        // Report order and simulated results are bit-identical
+        // regardless of thread count.
+        EXPECT_EQ(a.variant, b.variant);
+        EXPECT_EQ(a.workload, b.workload);
+        EXPECT_EQ(a.repeat, b.repeat);
+        EXPECT_EQ(a.result.elements, b.result.elements);
+        EXPECT_EQ(a.result.timeNs, b.result.timeNs) << i;
+        EXPECT_EQ(a.result.energyPj, b.result.energyPj) << i;
+        EXPECT_TRUE(a.result.verified) << a.workload;
+    }
+    EXPECT_TRUE(serial.allVerified());
+
+    // Repeats of the same cell are identical too (seeded inputs).
+    EXPECT_EQ(serial.runs[0].result.timeNs,
+              serial.runs[1].result.timeNs);
+
+    // Variant-major order: bsa block then gmc block.
+    EXPECT_EQ(serial.runs[0].variant, "bsa");
+    EXPECT_EQ(serial.runs[2].workload, "Bitwise-AND");
+    EXPECT_EQ(serial.runs[3].variant, "gmc");
+
+    // The two designs actually differ (distinct devices ran).
+    EXPECT_NE(serial.runs[0].result.timeNs,
+              serial.runs[3].result.timeNs);
+}
+
+TEST(MetricsSink, CsvSchema)
+{
+    const auto cfg = smallScenario();
+    const auto report = ScenarioRunner(cfg).run(1);
+    const std::string csv = MetricsSink::renderCsv(cfg, report);
+
+    std::istringstream in(csv);
+    std::string header;
+    ASSERT_TRUE(std::getline(in, header));
+    std::string expect;
+    for (const auto &c : MetricsSink::csvColumns())
+        expect += (expect.empty() ? "" : ",") + c;
+    EXPECT_EQ(header, expect);
+
+    std::size_t rows = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+        ++rows;
+        const auto commas =
+            std::count(line.begin(), line.end(), ',');
+        EXPECT_EQ(static_cast<std::size_t>(commas) + 1,
+                  MetricsSink::csvColumns().size())
+            << line;
+        EXPECT_NE(line.find("small,"), std::string::npos);
+    }
+    EXPECT_EQ(rows, report.runs.size());
+}
+
+TEST(MetricsSink, JsonSchemaAndFiles)
+{
+    auto cfg = smallScenario();
+    const auto report = ScenarioRunner(cfg).run(1);
+
+    const std::string json = MetricsSink::renderJson(cfg, report);
+    for (const char *key :
+         {"\"scenario\"", "\"total_runs\"", "\"all_verified\"",
+          "\"results\"", "\"variants\"", "\"ns_per_elem\"",
+          "\"speedup\"", "\"geomean_speedup_cpu\"", "\"cpu\"",
+          "\"fpga\""})
+        EXPECT_NE(json.find(key), std::string::npos) << key;
+    EXPECT_NE(json.find("\"scenario\": \"small\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"all_verified\": true"),
+              std::string::npos);
+
+    namespace fs = std::filesystem;
+    cfg.outDir = (fs::temp_directory_path() / "pluto_sim_gtest")
+                     .string();
+    fs::remove_all(cfg.outDir);
+    std::vector<std::string> written;
+    const std::string err = MetricsSink::write(cfg, report, written);
+    EXPECT_TRUE(err.empty()) << err;
+    ASSERT_EQ(written.size(), 2u);
+    EXPECT_TRUE(fs::exists(written[0]));
+    EXPECT_TRUE(fs::exists(written[1]));
+    EXPECT_NE(written[0].find("small_runs.csv"), std::string::npos);
+    EXPECT_NE(written[1].find("small_summary.json"),
+              std::string::npos);
+    fs::remove_all(cfg.outDir);
+}
+
+TEST(Emit, CsvEscaping)
+{
+    EXPECT_EQ(csvEscape("plain"), "plain");
+    EXPECT_EQ(csvEscape("a,b"), "\"a,b\"");
+    EXPECT_EQ(csvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+
+    CsvWriter w({"a", "b"});
+    w.addRow({"1", "x,y"});
+    EXPECT_EQ(w.render(), "a,b\n1,\"x,y\"\n");
+    EXPECT_EQ(w.rows(), 1u);
+}
+
+TEST(Emit, JsonRendering)
+{
+    auto root = JsonValue::object();
+    root.set("s", "he\"llo\n");
+    root.set("i", 42);
+    root.set("f", 1.5);
+    root.set("b", true);
+    auto &arr = root.set("a", JsonValue::array());
+    arr.push(1);
+    arr.push("two");
+    const std::string out = root.dump();
+    EXPECT_NE(out.find("\"s\": \"he\\\"llo\\n\""),
+              std::string::npos);
+    EXPECT_NE(out.find("\"i\": 42"), std::string::npos);
+    EXPECT_NE(out.find("\"f\": 1.5"), std::string::npos);
+    EXPECT_NE(out.find("\"b\": true"), std::string::npos);
+    EXPECT_NE(out.find("\"two\""), std::string::npos);
+}
+
+TEST(Registry, CreateIsNonFatalOnUnknown)
+{
+    EXPECT_EQ(workloads::createWorkload("NoSuchWorkload"), nullptr);
+    const auto w = workloads::createWorkload("CRC-8");
+    ASSERT_NE(w, nullptr);
+    EXPECT_EQ(w->name(), "CRC-8");
+}
+
+TEST(Registry, EveryListedNameCreates)
+{
+    const auto names = workloads::workloadNames();
+    EXPECT_GE(names.size(), 19u);
+    for (const auto &n : names) {
+        const auto w = workloads::createWorkload(n);
+        ASSERT_NE(w, nullptr) << n;
+        EXPECT_EQ(w->name(), n);
+    }
+}
+
+} // namespace
+} // namespace pluto::sim
