@@ -7,10 +7,16 @@
  *
  * Usage:
  *   pluto_sim [options] SCENARIO.ini
- *     --threads N   worker threads (default: hardware concurrency)
- *     --out DIR     override the scenario's out_dir
- *     --quiet       suppress per-run progress lines
- *     --list        list registered workloads and exit
+ *     --threads N     worker threads (default: hardware concurrency)
+ *     --out DIR       override the scenario's out_dir
+ *     --shard I/N     run only shard I of N (outputs suffixed
+ *                     ".shardIofN"; combine shards via --cache-dir
+ *                     and a final unsharded pass)
+ *     --cache-dir DIR replay finished runs from / append them to a
+ *                     JSONL result cache
+ *     --deterministic zero wall-clock fields (byte-comparable output)
+ *     --quiet         suppress per-run progress lines
+ *     --list          list registered workloads and exit
  */
 
 #include <cstdio>
@@ -32,11 +38,14 @@ usage()
 {
     std::printf(
         "usage: pluto_sim [options] SCENARIO.ini\n"
-        "  --threads N   worker threads (default: hardware "
+        "  --threads N     worker threads (default: hardware "
         "concurrency)\n"
-        "  --out DIR     override the scenario's out_dir\n"
-        "  --quiet       suppress per-run progress lines\n"
-        "  --list        list registered workloads and exit\n");
+        "  --out DIR       override the scenario's out_dir\n"
+        "  --shard I/N     run only shard I of N (0-based)\n"
+        "  --cache-dir DIR replay/append a JSONL result cache\n"
+        "  --deterministic zero wall-clock fields in outputs\n"
+        "  --quiet         suppress per-run progress lines\n"
+        "  --list          list registered workloads and exit\n");
 }
 
 } // namespace
@@ -46,7 +55,8 @@ main(int argc, char **argv)
 {
     std::string scenarioPath;
     std::string outDir;
-    u32 threads = 0;
+    sim::RunOptions opt;
+    bool sharded = false;
     bool quiet = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -63,9 +73,28 @@ main(int argc, char **argv)
                 std::printf("%s\n", name.c_str());
             return 0;
         } else if (arg == "--threads") {
-            threads = static_cast<u32>(std::atoi(next()));
+            opt.threads = static_cast<u32>(std::atoi(next()));
         } else if (arg == "--out") {
             outDir = next();
+        } else if (arg == "--shard") {
+            const std::string spec = next();
+            unsigned idx = 0, cnt = 0;
+            char trail = 0;
+            if (std::sscanf(spec.c_str(), "%u/%u%c", &idx, &cnt,
+                            &trail) != 2) {
+                std::fprintf(stderr,
+                             "--shard wants I/N (e.g. 0/3), got "
+                             "'%s'\n",
+                             spec.c_str());
+                return 1;
+            }
+            opt.shardIndex = idx;
+            opt.shardCount = cnt;
+            sharded = true;
+        } else if (arg == "--cache-dir") {
+            opt.cacheDir = next();
+        } else if (arg == "--deterministic") {
+            opt.deterministic = true;
         } else if (arg == "--quiet") {
             quiet = true;
         } else if (arg == "--help") {
@@ -85,6 +114,11 @@ main(int argc, char **argv)
         usage();
         return 1;
     }
+    const std::string opterr = opt.validate();
+    if (!opterr.empty()) {
+        std::fprintf(stderr, "--shard: %s\n", opterr.c_str());
+        return 1;
+    }
 
     std::string err;
     auto cfg = sim::SimConfig::load(scenarioPath, err);
@@ -101,6 +135,9 @@ main(int argc, char **argv)
     std::printf("runs       %llu  (%zu variants x %zu workloads)\n",
                 static_cast<unsigned long long>(cfg->totalRuns()),
                 cfg->devices.size(), cfg->workloads.size());
+    if (sharded)
+        std::printf("shard      %u/%u\n", opt.shardIndex,
+                    opt.shardCount);
 
     const sim::ScenarioRunner runner(*cfg);
     const auto progress = [&](const sim::RunRecord &r, u64 done,
@@ -116,14 +153,21 @@ main(int argc, char **argv)
                      r.wallMs);
     };
     const auto report = runner.run(
-        threads, quiet ? sim::ScenarioRunner::Progress() : progress);
+        opt, quiet ? sim::ScenarioRunner::Progress() : progress);
+    if (report.runs.empty()) {
+        std::printf("shard %u/%u holds no runs; nothing to do\n",
+                    opt.shardIndex, opt.shardCount);
+        return 0;
+    }
 
     // Per-cell mean table (repeats folded together).
     AsciiTable table({"variant", "workload", "runs", "elements",
-                      "ns/elem", "pJ/elem", "vs CPU", "ok"});
+                      "seed", "ns/elem", "pJ/elem", "vs CPU",
+                      "ok"});
     for (const auto &c : sim::MetricsSink::aggregate(report)) {
         table.addRow({c.variant, c.workload, std::to_string(c.runs),
                       std::to_string(c.elements),
+                      std::to_string(c.seed),
                       fmtSig(c.nsPerElem), fmtSig(c.pjPerElem),
                       c.nsPerElem > 0.0
                           ? fmtX(c.rates.cpu / c.nsPerElem)
@@ -132,10 +176,23 @@ main(int argc, char **argv)
     }
     std::printf("\n%s\n", table.render().c_str());
     std::printf("wall       %.0f ms total\n", report.wallMs);
+    if (!opt.cacheDir.empty()) {
+        const u64 total = report.cacheHits + report.cacheMisses;
+        std::printf("cache_hits=%llu cache_misses=%llu "
+                    "hit_rate=%.1f%%\n",
+                    static_cast<unsigned long long>(report.cacheHits),
+                    static_cast<unsigned long long>(
+                        report.cacheMisses),
+                    total ? 100.0 * report.cacheHits / total : 0.0);
+    }
 
+    std::string suffix;
+    if (sharded)
+        suffix = ".shard" + std::to_string(opt.shardIndex) + "of" +
+                 std::to_string(opt.shardCount);
     std::vector<std::string> written;
     const std::string werr =
-        sim::MetricsSink::write(*cfg, report, written);
+        sim::MetricsSink::write(*cfg, report, written, suffix);
     if (!werr.empty()) {
         std::fprintf(stderr, "output error: %s\n", werr.c_str());
         return 1;

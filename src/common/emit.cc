@@ -7,6 +7,8 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 
@@ -215,6 +217,270 @@ JsonValue::dump() const
     render(out, 0);
     out += '\n';
     return out;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    for (const auto &[k, v] : members_)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+namespace
+{
+
+/** Recursive-descent JSON reader over a string. */
+class JsonReader
+{
+  public:
+    JsonReader(const std::string &text, std::string &error)
+        : text_(text), error_(error)
+    {
+    }
+
+    std::optional<JsonValue>
+    run()
+    {
+        JsonValue v;
+        if (!value(v, 0))
+            return std::nullopt;
+        skipWs();
+        if (pos_ != text_.size()) {
+            fail("trailing characters after document");
+            return std::nullopt;
+        }
+        return v;
+    }
+
+  private:
+    bool
+    fail(const std::string &msg)
+    {
+        error_ = "offset " + std::to_string(pos_) + ": " + msg;
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    literal(const char *word, JsonValue v, JsonValue &out)
+    {
+        const std::size_t n = std::strlen(word);
+        if (text_.compare(pos_, n, word) != 0)
+            return fail(std::string("expected '") + word + "'");
+        pos_ += n;
+        out = std::move(v);
+        return true;
+    }
+
+    bool
+    string(std::string &out)
+    {
+        ++pos_; // opening quote
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (c == '\\') {
+                if (pos_ + 1 >= text_.size())
+                    break;
+                const char e = text_[++pos_];
+                ++pos_;
+                switch (e) {
+                  case '"':
+                    out += '"';
+                    break;
+                  case '\\':
+                    out += '\\';
+                    break;
+                  case '/':
+                    out += '/';
+                    break;
+                  case 'b':
+                    out += '\b';
+                    break;
+                  case 'f':
+                    out += '\f';
+                    break;
+                  case 'n':
+                    out += '\n';
+                    break;
+                  case 'r':
+                    out += '\r';
+                    break;
+                  case 't':
+                    out += '\t';
+                    break;
+                  case 'u': {
+                    if (pos_ + 4 > text_.size())
+                        return fail("truncated \\u escape");
+                    unsigned cp = 0;
+                    for (int k = 0; k < 4; ++k) {
+                        const char h = text_[pos_ + k];
+                        cp <<= 4;
+                        if (h >= '0' && h <= '9')
+                            cp |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            cp |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            cp |= static_cast<unsigned>(h - 'A' + 10);
+                        else
+                            return fail("bad \\u escape digit");
+                    }
+                    pos_ += 4;
+                    // Emitted documents only escape control chars;
+                    // encode the code point as UTF-8 (no surrogate
+                    // pairing — sufficient for our own output).
+                    if (cp < 0x80) {
+                        out += static_cast<char>(cp);
+                    } else if (cp < 0x800) {
+                        out += static_cast<char>(0xc0 | (cp >> 6));
+                        out +=
+                            static_cast<char>(0x80 | (cp & 0x3f));
+                    } else {
+                        out += static_cast<char>(0xe0 | (cp >> 12));
+                        out += static_cast<char>(
+                            0x80 | ((cp >> 6) & 0x3f));
+                        out +=
+                            static_cast<char>(0x80 | (cp & 0x3f));
+                    }
+                    break;
+                  }
+                  default:
+                    return fail("unknown escape sequence");
+                }
+                continue;
+            }
+            out += c;
+            ++pos_;
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    value(JsonValue &out, int depth)
+    {
+        if (depth > 64)
+            return fail("nesting too deep");
+        skipWs();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of document");
+        const char c = text_[pos_];
+        if (c == 'n')
+            return literal("null", JsonValue(), out);
+        if (c == 't')
+            return literal("true", JsonValue(true), out);
+        if (c == 'f')
+            return literal("false", JsonValue(false), out);
+        if (c == '"') {
+            std::string s;
+            if (!string(s))
+                return false;
+            out = JsonValue(std::move(s));
+            return true;
+        }
+        if (c == '[') {
+            ++pos_;
+            out = JsonValue::array();
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            while (true) {
+                JsonValue item;
+                if (!value(item, depth + 1))
+                    return false;
+                out.push(std::move(item));
+                skipWs();
+                if (pos_ >= text_.size())
+                    return fail("unterminated array");
+                if (text_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                if (text_[pos_] == ']') {
+                    ++pos_;
+                    return true;
+                }
+                return fail("expected ',' or ']'");
+            }
+        }
+        if (c == '{') {
+            ++pos_;
+            out = JsonValue::object();
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            while (true) {
+                skipWs();
+                if (pos_ >= text_.size() || text_[pos_] != '"')
+                    return fail("expected member name");
+                std::string k;
+                if (!string(k))
+                    return false;
+                skipWs();
+                if (pos_ >= text_.size() || text_[pos_] != ':')
+                    return fail("expected ':'");
+                ++pos_;
+                JsonValue v;
+                if (!value(v, depth + 1))
+                    return false;
+                out.set(k, std::move(v));
+                skipWs();
+                if (pos_ >= text_.size())
+                    return fail("unterminated object");
+                if (text_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                if (text_[pos_] == '}') {
+                    ++pos_;
+                    return true;
+                }
+                return fail("expected ',' or '}'");
+            }
+        }
+        // Number: delegate syntax to strtod, then bound-check the
+        // consumed span to this token.
+        char *end = nullptr;
+        const double n = std::strtod(text_.c_str() + pos_, &end);
+        if (end == text_.c_str() + pos_)
+            return fail("unexpected character");
+        // Overflowed literals (1e999 in a torn cache line) come back
+        // as +-inf; JSON has no such value, so reject rather than
+        // letting infinities replay into results.
+        if (!std::isfinite(n))
+            return fail("number out of range");
+        pos_ = static_cast<std::size_t>(end - text_.c_str());
+        out = JsonValue(n);
+        return true;
+    }
+
+    const std::string &text_;
+    std::string &error_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+std::optional<JsonValue>
+JsonValue::parse(const std::string &text, std::string &error)
+{
+    return JsonReader(text, error).run();
 }
 
 std::string

@@ -10,6 +10,7 @@
 #define PLUTO_COMMON_EMIT_HH
 
 #include <deque>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -83,6 +84,44 @@ class JsonValue
 
     /** Render with 2-space indentation and a trailing newline. */
     std::string dump() const;
+
+    /**
+     * Parse a JSON document (the emitter's own output and standard
+     * JSON). On failure @return std::nullopt and set `error` to an
+     * "offset N: ..." diagnostic.
+     */
+    static std::optional<JsonValue> parse(const std::string &text,
+                                          std::string &error);
+
+    // ---- Accessors (for parsed documents) ----
+
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    /** @return bool payload (false unless isBool()). */
+    bool asBool() const { return bool_; }
+
+    /** @return numeric payload (0 unless isNumber()). */
+    double asNumber() const { return num_; }
+
+    /** @return string payload (empty unless isString()). */
+    const std::string &asString() const { return str_; }
+
+    /** @return array element count (0 for non-arrays). */
+    std::size_t size() const { return items_.size(); }
+
+    /** @return array element `i` (arrays only). */
+    const JsonValue &at(std::size_t i) const { return items_.at(i); }
+
+    /**
+     * @return first member named `key`, or nullptr when absent or
+     * not an object.
+     */
+    const JsonValue *find(const std::string &key) const;
 
   private:
     enum class Kind

@@ -18,31 +18,38 @@ FawTracker::reserve(TimeNs candidate)
     if (tFaw_ <= 0.0)
         return candidate;
     TimeNs t = candidate;
-    if (acts_.size() >= 4)
-        t = std::max(t, acts_[acts_.size() - 4] + tFaw_);
-    acts_.push_back(t);
-    if (acts_.size() > 4)
-        acts_.pop_front();
+    if (count_ == 4) {
+        // Full window: delay behind the oldest tracked ACT, then
+        // overwrite it in place (it becomes the newest slot).
+        t = std::max(t, acts_[head_] + tFaw_);
+        acts_[head_] = t;
+        head_ = (head_ + 1) & 3;
+    } else {
+        acts_[(head_ + count_) & 3] = t;
+        ++count_;
+    }
     return t;
 }
 
 TimeNs
 FawTracker::reserveBatch(TimeNs candidate, u64 count)
 {
-    if (count == 0)
+    if (count == 0 || tFaw_ <= 0.0)
         return candidate;
-    if (tFaw_ <= 0.0)
-        return candidate;
-    TimeNs last = candidate;
-    for (u64 i = 0; i < count; ++i)
-        last = reserve(i == 0 ? candidate : last);
+    // Chained candidates: ACT i may issue at ACT i-1's slot unless
+    // the window forces a delay. The ring makes each step one
+    // compare, one max and one store.
+    TimeNs last = reserve(candidate);
+    for (u64 i = 1; i < count; ++i)
+        last = reserve(last);
     return last;
 }
 
 void
 FawTracker::reset()
 {
-    acts_.clear();
+    head_ = 0;
+    count_ = 0;
 }
 
 CommandScheduler::CommandScheduler(const TimingParams &timing,
@@ -120,6 +127,85 @@ CommandScheduler::sweep(const char *stat, u32 num_rows, TimeNs step_latency,
     stats_.add(std::string(stat) + ".rows",
                static_cast<double>(num_rows));
     record(stat, begin, now_);
+}
+
+void
+CommandScheduler::burst(std::span<const BurstStep> steps, u64 reps)
+{
+    if (steps.empty() || reps == 0)
+        return;
+    const TimeNs begin = now_;
+
+    // Per-step constants, computed once. Each is the same expression
+    // op()/sweep() evaluates per call on identical operands, so the
+    // per-repetition loop below reproduces the per-command arithmetic
+    // bit for bit.
+    struct Prep
+    {
+        TimeNs lat = 0.0;    // stretched op latency / sweep step
+        TimeNs tail = 0.0;   // stretched sweep tail latency
+        EnergyPj e = 0.0;    // energy added per repetition
+        u64 acts = 0;        // op: total ACTs per repetition
+    };
+    std::vector<Prep> prep(steps.size());
+    for (std::size_t s = 0; s < steps.size(); ++s) {
+        const BurstStep &st = steps[s];
+        PLUTO_ASSERT(st.parallel >= 1);
+        Prep &p = prep[s];
+        p.lat = stretched(st.latency);
+        if (st.isSweep) {
+            p.tail = stretched(st.tailLatency);
+            p.e = (st.energy * st.rows + st.tailEnergy) * st.parallel;
+        } else {
+            p.e = st.energy * st.parallel;
+            p.acts = static_cast<u64>(st.numActs) *
+                     static_cast<u64>(st.parallel);
+        }
+    }
+
+    for (u64 k = 0; k < reps; ++k) {
+        for (std::size_t s = 0; s < steps.size(); ++s) {
+            const BurstStep &st = steps[s];
+            const Prep &p = prep[s];
+            if (st.isSweep) {
+                for (u32 r = 0; r < st.rows; ++r) {
+                    const TimeNs last =
+                        faw_.reserveBatch(now_, st.parallel);
+                    now_ = last + p.lat;
+                }
+                now_ += p.tail;
+            } else {
+                TimeNs start = now_;
+                if (st.numActs > 0)
+                    start = faw_.reserveBatch(now_, p.acts);
+                now_ = start + p.lat;
+            }
+            energy_ += p.e;
+        }
+    }
+
+    // Bookkeeping, hoisted out of the hot loop. All counter deltas
+    // are integer-valued and stay below 2^53, so a single multiplied
+    // add equals `reps` unit adds exactly; the ".ns" sums are the one
+    // documented ulp-level divergence.
+    const double dreps = static_cast<double>(reps);
+    for (std::size_t s = 0; s < steps.size(); ++s) {
+        const BurstStep &st = steps[s];
+        stats_.add(st.stat, dreps);
+        if (st.isSweep) {
+            stats_.add("dram.acts", static_cast<double>(st.rows) *
+                                        st.parallel * dreps);
+            stats_.add(std::string(st.stat) + ".rows",
+                       static_cast<double>(st.rows) * dreps);
+        } else {
+            if (st.numActs > 0)
+                stats_.add("dram.acts",
+                           static_cast<double>(prep[s].acts) * dreps);
+            stats_.add(std::string(st.stat) + ".ns",
+                       prep[s].lat * dreps);
+        }
+    }
+    record(steps.front().stat, begin, now_);
 }
 
 void

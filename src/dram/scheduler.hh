@@ -16,7 +16,8 @@
 #ifndef PLUTO_DRAM_SCHEDULER_HH
 #define PLUTO_DRAM_SCHEDULER_HH
 
-#include <deque>
+#include <array>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,12 @@ namespace pluto::dram
 /**
  * Sliding-window tFAW tracker: at most 4 row activations may issue in
  * any tFAW-long window. A window of 0 disables the constraint.
+ *
+ * State is a fixed 4-slot ring (the window never needs more than the
+ * last four issue times), so reserve() is allocation-free and
+ * reserveBatch() runs a tight scalar loop: one max and one add per
+ * ACT, the information-theoretic minimum for results bit-identical to
+ * issuing the ACTs one by one.
  */
 class FawTracker
 {
@@ -44,7 +51,9 @@ class FawTracker
 
     /**
      * Reserve `count` back-to-back ACT slots starting no earlier than
-     * `candidate`. @return the issue time of the last ACT.
+     * `candidate` (each subsequent ACT's candidate is its
+     * predecessor's issue time). Bit-identical to `count` successive
+     * reserve() calls. @return the issue time of the last ACT.
      */
     TimeNs reserveBatch(TimeNs candidate, u64 count);
 
@@ -56,8 +65,10 @@ class FawTracker
 
   private:
     TimeNs tFaw_;
-    /** Issue times of the most recent (up to 4) ACTs, ascending. */
-    std::deque<TimeNs> acts_;
+    /** Ring of the most recent ACT issue times, oldest at `head_`. */
+    std::array<TimeNs, 4> acts_{};
+    u32 head_ = 0;
+    u32 count_ = 0;
 };
 
 /** One recorded command event (optional tracing). */
@@ -66,6 +77,32 @@ struct TraceEvent
     std::string name;
     TimeNs start = 0.0;
     TimeNs end = 0.0;
+};
+
+/**
+ * One step of a homogeneous command burst (see
+ * CommandScheduler::burst): either a serial op() (isSweep false;
+ * latency / energy / numActs / parallel mean what they mean there) or
+ * a sweep() (isSweep true; latency / energy are the per-row step
+ * values, rows / tailLatency / tailEnergy as in sweep()).
+ */
+struct BurstStep
+{
+    const char *stat = "";
+    bool isSweep = false;
+    /** op latency, or sweep step latency. */
+    TimeNs latency = 0.0;
+    /** op energy per unit, or sweep step energy. */
+    EnergyPj energy = 0.0;
+    /** op only: row activations per participating subarray. */
+    u32 numActs = 0;
+    /** sweep only: consecutive activations per lane. */
+    u32 rows = 0;
+    u32 parallel = 1;
+    /** sweep only: trailing latency (e.g. the final PRE). */
+    TimeNs tailLatency = 0.0;
+    /** sweep only: trailing energy. */
+    EnergyPj tailEnergy = 0.0;
 };
 
 /**
@@ -108,6 +145,22 @@ class CommandScheduler
     void sweep(const char *stat, u32 num_rows, TimeNs step_latency,
                EnergyPj step_energy, u32 parallel,
                TimeNs tail_latency = 0.0, EnergyPj tail_energy = 0.0);
+
+    /**
+     * Batch fast path: account `reps` repetitions of the `steps`
+     * command group in one call. The per-repetition time, energy and
+     * tFAW arithmetic is exactly the sequence op()/sweep() would
+     * perform, in the same order, so elapsed(), energyTotal(), the
+     * tFAW window state and all integer counters are bit-identical to
+     * issuing the commands individually — only the bookkeeping is
+     * hoisted: stats are committed once per step (O(1) per burst
+     * instead of O(reps) string/map operations), and tracing records
+     * a single event spanning the burst (named after the first step).
+     * The one permitted divergence: per-step ".ns" counter sums may
+     * differ from the per-command path in the final ulp (a single
+     * product replaces `reps` accumulations).
+     */
+    void burst(std::span<const BurstStep> steps, u64 reps);
 
     /**
      * Host-side (CPU) serial time, e.g. the CRC reduction step that

@@ -117,6 +117,84 @@ QueryEngine::queryTimedOnly(LutPlacement &p, u32 parallel)
 }
 
 void
+QueryEngine::queryTimedOnlyBatch(LutPlacement &p, u32 parallel, u64 count)
+{
+    PLUTO_ASSERT(parallel >= 1);
+    if (count == 0)
+        return;
+
+    u64 reps = count;
+    if (!traits_.reloadPerQuery && !p.loaded) {
+        // Cold first query pays the one-time LUT load; the remaining
+        // repetitions are then homogeneous.
+        queryTimedOnly(p, parallel);
+        if (--reps == 0)
+            return;
+    }
+
+    const auto &t = sched_.timing();
+    const auto &e = sched_.energyParams();
+    const u32 n = p.rowsPerPartition;
+    const u32 lanes = p.partitionCount() * parallel;
+
+    // Mirror chargeSweep()'s per-query command group: [reload,] sweep,
+    // result move — submitted once as a burst.
+    std::vector<dram::BurstStep> steps;
+    if (traits_.reloadPerQuery) {
+        dram::BurstStep reload;
+        reload.stat = "pluto.lut_reload";
+        reload.latency = t.lisaRbm * n;
+        reload.energy = e.eLisa * n;
+        reload.numActs = n;
+        reload.parallel = lanes;
+        steps.push_back(reload);
+    }
+    dram::BurstStep sweep;
+    sweep.stat = "pluto.sweep";
+    sweep.isSweep = true;
+    sweep.rows = n;
+    sweep.parallel = lanes;
+    switch (design_) {
+      case Design::Bsa:
+        sweep.latency = t.tRCD + t.tRP;
+        sweep.energy = e.eAct + e.ePre;
+        break;
+      case Design::Gsa:
+        sweep.latency = t.tRCD;
+        sweep.energy = e.eAct;
+        sweep.tailLatency = t.tRP;
+        sweep.tailEnergy = e.ePre;
+        break;
+      case Design::Gmc:
+        sweep.latency = t.tRCD;
+        sweep.energy = e.eAct * e.gmcActDiscount;
+        sweep.tailLatency = t.tRP;
+        sweep.tailEnergy = e.ePre;
+        break;
+    }
+    steps.push_back(sweep);
+    dram::BurstStep move;
+    move.stat = "pluto.result_move";
+    move.latency = t.lisaRbm;
+    move.energy = e.eLisa;
+    move.numActs = 1;
+    move.parallel = parallel;
+    steps.push_back(move);
+
+    sched_.burst(steps, reps);
+    sched_.stats().add("pluto.queries",
+                       static_cast<double>(parallel) * reps);
+    if (traits_.reloadPerQuery) {
+        p.loadCount += reps;
+        if (p.materialized)
+            store_.materialize(p); // idempotent; once for the batch
+        p.loaded = true;
+    }
+    if (traits_.destructiveReads)
+        p.loaded = false;
+}
+
+void
 QueryEngine::queryStacked(const std::vector<LutPlacement *> &luts,
                           const dram::RowAddress &src,
                           const dram::RowAddress &dst, u32 parallel)

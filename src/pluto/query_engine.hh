@@ -66,6 +66,18 @@ class QueryEngine
     void queryTimedOnly(LutPlacement &p, u32 parallel);
 
     /**
+     * Batch fast path for bulk LUT-query accounting: equivalent to
+     * `count` successive queryTimedOnly() calls — bit-identical
+     * elapsed time, energy, tFAW state and integer counters — but the
+     * whole row-burst is submitted to the scheduler as one
+     * CommandScheduler::burst(), so the per-query bookkeeping
+     * (stats strings, map lookups, trace records) is O(1) in `count`
+     * instead of per-command. This is the path behind
+     * PlutoDevice::lutOpTimedOnly.
+     */
+    void queryTimedOnlyBatch(LutPlacement &p, u32 parallel, u64 count);
+
+    /**
      * Microarchitectural sweep emulation (Figure 3's step-by-step
      * walk). Produces the same destination row as query(); destroys
      * the LUT rows under pLUTo-GSA.

@@ -212,8 +212,7 @@ void
 PlutoDevice::lutOpTimedOnly(const LutHandle &lut, u64 count, u32 parallel)
 {
     auto &p = impl_->controller.lutPlacement(lut.reg);
-    for (u64 k = 0; k < count; ++k)
-        impl_->engine.queryTimedOnly(p, parallel);
+    impl_->engine.queryTimedOnlyBatch(p, parallel, count);
 }
 
 VecHandle

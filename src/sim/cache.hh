@@ -1,0 +1,102 @@
+/**
+ * @file
+ * RunCache: content-addressed per-run result cache of the scenario
+ * engine.
+ *
+ * Every (device config, workload, elements, seed, repeat) run is
+ * identified by a 64-bit FNV-1a content hash over a canonical
+ * descriptor string. Results live in an append-only JSONL file
+ * (`<dir>/<scenario>.cache.jsonl`), one object per line, so several
+ * shard processes of one campaign may append concurrently and an
+ * interrupted campaign resumes from whatever lines made it to disk.
+ * Loading is last-wins per key and silently skips corrupt (e.g.
+ * torn) lines, counting them.
+ *
+ * Simulated results are deterministic, so replaying a cache hit is
+ * bit-identical to recomputation; doubles are stored with %.17g and
+ * therefore round-trip exactly.
+ */
+
+#ifndef PLUTO_SIM_CACHE_HH
+#define PLUTO_SIM_CACHE_HH
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "runtime/device.hh"
+
+namespace pluto::sim
+{
+
+/** One cached simulated outcome (mirrors WorkloadResult + wall). */
+struct CachedRun
+{
+    u64 elements = 0;
+    double timeNs = 0.0;
+    double energyPj = 0.0;
+    double hostNs = 0.0;
+    bool verified = false;
+    /** Host wall-clock of the run that computed the result. */
+    double wallMs = 0.0;
+};
+
+/** Append-only JSONL result cache for one scenario. */
+class RunCache
+{
+  public:
+    /**
+     * Cache for scenario `scenario` under directory `dir` (created
+     * if missing on first append).
+     */
+    RunCache(std::string dir, const std::string &scenario);
+
+    /**
+     * @return the content hash ("run key", 16 hex digits) of one
+     * run. Everything that can change a simulated result
+     * participates: the full device configuration, the workload
+     * name, the resolved element count, the input seed and the
+     * repeat index, plus a schema version.
+     */
+    static std::string key(const runtime::DeviceConfig &cfg,
+                           const std::string &workload, u64 elements,
+                           u64 seed, u32 repeat);
+
+    /** Load the cache file (missing file = empty cache). */
+    void load();
+
+    /**
+     * Look up `key`. The returned copy (not a reference) keeps the
+     * caller safe from concurrent append() map mutations.
+     */
+    std::optional<CachedRun> lookup(const std::string &key) const;
+
+    /**
+     * Append one result (thread-safe; one whole line per write so
+     * concurrent shard appends do not interleave). @return empty
+     * string or an error description.
+     */
+    std::string append(const std::string &key, const CachedRun &run);
+
+    /** @return loaded entry count. */
+    std::size_t entries() const;
+
+    /** @return lines skipped as corrupt during load(). */
+    u64 corruptLines() const { return corrupt_; }
+
+    /** @return the backing JSONL path. */
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string dir_;
+    std::string path_;
+    /** Guards entries_ (lookup from worker threads vs append). */
+    mutable std::mutex mu_;
+    std::map<std::string, CachedRun> entries_;
+    u64 corrupt_ = 0;
+};
+
+} // namespace pluto::sim
+
+#endif // PLUTO_SIM_CACHE_HH

@@ -135,6 +135,111 @@ applyDeviceKey(runtime::DeviceConfig &cfg, const std::string &key,
     return {};
 }
 
+/** One `sweep KEY = v1, v2, ...` line, kept until expansion. */
+struct Sweep
+{
+    std::string key;
+    std::vector<std::string> values;
+    int lineno = 0;
+};
+
+/** A [variant] (or the implicit default) before grid expansion. */
+struct VariantDraft
+{
+    std::string name;
+    runtime::DeviceConfig config;
+    /** Keys plainly assigned in this section (override inherited
+     *  device-level sweeps). */
+    std::vector<std::string> assigned;
+    std::vector<Sweep> sweeps;
+    int lineno = 0;
+};
+
+/** A [workload] section before grid expansion. */
+struct WorkloadDraft
+{
+    WorkloadSpec spec;
+    /** Keys plainly assigned in this section. */
+    std::vector<std::string> assigned;
+    std::vector<Sweep> sweeps;
+    int lineno = 0;
+};
+
+bool
+contains(const std::vector<std::string> &v, const std::string &s)
+{
+    for (const auto &x : v)
+        if (x == s)
+            return true;
+    return false;
+}
+
+bool
+sweepsKey(const std::vector<Sweep> &sweeps, const std::string &key)
+{
+    for (const auto &s : sweeps)
+        if (s.key == key)
+            return true;
+    return false;
+}
+
+/**
+ * Split a comma-separated sweep value list. @return error text or
+ * empty; values are trimmed and non-empty on success.
+ */
+std::string
+splitSweepValues(const std::string &text,
+                 std::vector<std::string> &out)
+{
+    std::size_t start = 0;
+    while (true) {
+        const auto comma = text.find(',', start);
+        const std::string raw =
+            text.substr(start, comma == std::string::npos
+                                   ? std::string::npos
+                                   : comma - start);
+        const auto b = raw.find_first_not_of(" \t");
+        if (b == std::string::npos)
+            return "empty value in sweep list";
+        const auto e = raw.find_last_not_of(" \t");
+        out.push_back(raw.substr(b, e - b + 1));
+        if (comma == std::string::npos)
+            return {};
+        start = comma + 1;
+    }
+}
+
+/** Apply one swept workload key. @return error text or empty. */
+std::string
+applyWorkloadSweepKey(WorkloadSpec &w, const std::string &key,
+                      const std::string &value)
+{
+    if (key == "elements") {
+        if (!parseU64(value, w.elements) || w.elements == 0)
+            return "bad elements '" + value + "' (integer >= 1)";
+    } else if (key == "seed") {
+        if (!parseU64(value, w.seed))
+            return "bad seed '" + value + "' (unsigned integer)";
+    } else {
+        return "cannot sweep workload key '" + key +
+               "' (elements | seed)";
+    }
+    return {};
+}
+
+/** Total combination count of a sweep list (0 on overflow). */
+u64
+gridSize(const std::vector<Sweep> &sweeps)
+{
+    u64 n = 1;
+    for (const auto &s : sweeps) {
+        if (s.values.size() > 4096 / n)
+            return 0;
+        n *= s.values.size();
+    }
+    return n;
+}
+
 } // namespace
 
 u64
@@ -160,6 +265,10 @@ SimConfig::parse(const std::string &text, std::string &error)
 
     SimConfig cfg;
     runtime::DeviceConfig defaults;
+    std::vector<std::string> defaultsAssigned;
+    std::vector<Sweep> deviceSweeps;
+    std::vector<VariantDraft> variants;
+    std::vector<WorkloadDraft> workloads;
     Section section = Section::None;
     int lineno = 0;
 
@@ -196,17 +305,21 @@ SimConfig::parse(const std::string &text, std::string &error)
             } else if (head == "device") {
                 if (!arg.empty())
                     return fail("[device] takes no argument");
-                if (!cfg.devices.empty())
+                if (!variants.empty())
                     return fail(
                         "[device] must precede [variant] sections");
                 section = Section::Device;
             } else if (head == "variant") {
                 if (arg.empty())
                     return fail("[variant] needs a name");
-                for (const auto &d : cfg.devices)
-                    if (d.name == arg)
+                for (const auto &v : variants)
+                    if (v.name == arg)
                         return fail("duplicate variant '" + arg + "'");
-                cfg.devices.push_back({arg, defaults});
+                VariantDraft v;
+                v.name = arg;
+                v.config = defaults;
+                v.lineno = lineno;
+                variants.push_back(std::move(v));
                 section = Section::Variant;
             } else if (head == "workload") {
                 if (arg.empty())
@@ -214,7 +327,10 @@ SimConfig::parse(const std::string &text, std::string &error)
                 if (!workloads::createWorkload(arg))
                     return fail("unknown workload '" + arg +
                                 "' (see pluto_sim --list)");
-                cfg.workloads.push_back({arg, 0, 1});
+                WorkloadDraft w;
+                w.spec = {arg, 0, 1, 0};
+                w.lineno = lineno;
+                workloads.push_back(std::move(w));
                 section = Section::Workload;
             } else {
                 return fail("unknown section [" + head + "]");
@@ -225,17 +341,41 @@ SimConfig::parse(const std::string &text, std::string &error)
         const auto eq = line.find('=');
         if (eq == std::string::npos)
             return fail("expected 'key = value'");
-        const std::string key = cleanLine(line.substr(0, eq));
+        std::string key = cleanLine(line.substr(0, eq));
         const std::string value = cleanLine(line.substr(eq + 1));
         if (key.empty())
             return fail("empty key");
         if (value.empty())
             return fail("empty value for '" + key + "'");
 
+        // Grid lines: `sweep KEY = v1, v2, ...`.
+        bool isSweep = false;
+        if (key == "sweep")
+            return fail("sweep needs a key (sweep KEY = v1, v2, ...)");
+        if (key.rfind("sweep", 0) == 0 &&
+            (key[5] == ' ' || key[5] == '\t')) {
+            isSweep = true;
+            key = cleanLine(key.substr(6));
+            if (key.empty())
+                return fail(
+                    "sweep needs a key (sweep KEY = v1, v2, ...)");
+        }
+        Sweep sweep;
+        if (isSweep) {
+            sweep.key = key;
+            sweep.lineno = lineno;
+            const std::string err =
+                splitSweepValues(value, sweep.values);
+            if (!err.empty())
+                return fail(err);
+        }
+
         switch (section) {
           case Section::None:
             return fail("'" + key + "' outside any section");
           case Section::Scenario:
+            if (isSweep)
+                return fail("sweep is not allowed in [scenario]");
             if (key == "name") {
                 cfg.name = value;
             } else if (key == "out_dir") {
@@ -248,28 +388,86 @@ SimConfig::parse(const std::string &text, std::string &error)
                 return fail("unknown scenario key '" + key + "'");
             }
             break;
-          case Section::Device: {
-            const std::string err =
-                applyDeviceKey(defaults, key, value);
-            if (!err.empty())
-                return fail(err);
-            break;
-          }
+          case Section::Device:
           case Section::Variant: {
-            const std::string err = applyDeviceKey(
-                cfg.devices.back().config, key, value);
-            if (!err.empty())
-                return fail(err);
+            runtime::DeviceConfig &target =
+                section == Section::Device ? defaults
+                                           : variants.back().config;
+            std::vector<std::string> &assigned =
+                section == Section::Device
+                    ? defaultsAssigned
+                    : variants.back().assigned;
+            std::vector<Sweep> &sweeps =
+                section == Section::Device ? deviceSweeps
+                                           : variants.back().sweeps;
+            if (isSweep) {
+                if (sweepsKey(sweeps, key))
+                    return fail("duplicate sweep key '" + key + "'");
+                if (contains(assigned, key))
+                    return fail("'" + key +
+                                "' is both set and swept in this "
+                                "section");
+                // Validate every grid value against a scratch config
+                // so bad grid cells fail here, with this line number.
+                for (const auto &v : sweep.values) {
+                    runtime::DeviceConfig scratch = target;
+                    const std::string err =
+                        applyDeviceKey(scratch, key, v);
+                    if (!err.empty())
+                        return fail(err);
+                }
+                sweeps.push_back(std::move(sweep));
+            } else {
+                if (sweepsKey(sweeps, key))
+                    return fail("'" + key +
+                                "' is both set and swept in this "
+                                "section");
+                const std::string err =
+                    applyDeviceKey(target, key, value);
+                if (!err.empty())
+                    return fail(err);
+                if (!contains(assigned, key))
+                    assigned.push_back(key);
+            }
             break;
           }
           case Section::Workload: {
-            auto &w = cfg.workloads.back();
-            if (key == "elements") {
-                if (!parseU64(value, w.elements) || w.elements == 0)
+            WorkloadDraft &w = workloads.back();
+            if (isSweep) {
+                if (sweepsKey(w.sweeps, key))
+                    return fail("duplicate sweep key '" + key + "'");
+                if (contains(w.assigned, key))
+                    return fail("'" + key +
+                                "' is both set and swept in this "
+                                "section");
+                for (const auto &v : sweep.values) {
+                    WorkloadSpec scratch = w.spec;
+                    const std::string err =
+                        applyWorkloadSweepKey(scratch, key, v);
+                    if (!err.empty())
+                        return fail(err);
+                }
+                w.sweeps.push_back(std::move(sweep));
+            } else if (key == "elements") {
+                if (sweepsKey(w.sweeps, key))
+                    return fail("'elements' is both set and swept in "
+                                "this section");
+                if (!parseU64(value, w.spec.elements) ||
+                    w.spec.elements == 0)
                     return fail("bad elements '" + value +
                                 "' (integer >= 1)");
+                w.assigned.push_back(key);
+            } else if (key == "seed") {
+                if (sweepsKey(w.sweeps, key))
+                    return fail("'seed' is both set and swept in "
+                                "this section");
+                if (!parseU64(value, w.spec.seed))
+                    return fail("bad seed '" + value +
+                                "' (unsigned integer)");
+                w.assigned.push_back(key);
             } else if (key == "repeats") {
-                if (!parseU32(value, w.repeats) || w.repeats == 0)
+                if (!parseU32(value, w.spec.repeats) ||
+                    w.spec.repeats == 0)
                     return fail("bad repeats '" + value +
                                 "' (integer >= 1)");
             } else {
@@ -280,12 +478,98 @@ SimConfig::parse(const std::string &text, std::string &error)
         }
     }
 
-    if (cfg.workloads.empty()) {
+    if (workloads.empty()) {
         error = "scenario declares no [workload] sections";
         return std::nullopt;
     }
-    if (cfg.devices.empty())
-        cfg.devices.push_back({"default", defaults});
+    if (variants.empty()) {
+        VariantDraft v;
+        v.name = "default";
+        v.config = defaults;
+        v.lineno = lineno;
+        variants.push_back(std::move(v));
+    }
+
+    // ---- Grid expansion ----
+
+    const auto failAt = [&](int at, const std::string &msg) {
+        error = "line " + std::to_string(at) + ": " + msg;
+        return std::nullopt;
+    };
+
+    for (const auto &draft : variants) {
+        // Device-level sweeps are inherited unless the variant set or
+        // swept the key itself; variant sweeps follow, in order.
+        std::vector<Sweep> sweeps;
+        for (const auto &s : deviceSweeps)
+            if (!contains(draft.assigned, s.key) &&
+                !sweepsKey(draft.sweeps, s.key))
+                sweeps.push_back(s);
+        for (const auto &s : draft.sweeps)
+            sweeps.push_back(s);
+
+        const u64 combos = gridSize(sweeps);
+        if (combos == 0)
+            return failAt(draft.lineno,
+                          "sweep grid of variant '" + draft.name +
+                              "' exceeds 4096 combinations");
+        for (u64 c = 0; c < combos; ++c) {
+            DeviceSpec spec;
+            spec.name = draft.name;
+            spec.config = draft.config;
+            // Odometer: first-declared key varies slowest.
+            u64 rest = c;
+            for (std::size_t k = 0; k < sweeps.size(); ++k) {
+                u64 span = 1;
+                for (std::size_t j = k + 1; j < sweeps.size(); ++j)
+                    span *= sweeps[j].values.size();
+                const std::string &v =
+                    sweeps[k].values[(rest / span) %
+                                     sweeps[k].values.size()];
+                rest %= span;
+                const std::string err =
+                    applyDeviceKey(spec.config, sweeps[k].key, v);
+                if (!err.empty()) // validated above; belt and braces
+                    return failAt(sweeps[k].lineno, err);
+                spec.name += "/" + sweeps[k].key + "=" + v;
+            }
+            for (const auto &d : cfg.devices)
+                if (d.name == spec.name)
+                    return failAt(draft.lineno,
+                                  "duplicate variant '" + spec.name +
+                                      "' after grid expansion");
+            cfg.devices.push_back(std::move(spec));
+        }
+    }
+
+    for (const auto &draft : workloads) {
+        const u64 combos = gridSize(draft.sweeps);
+        if (combos == 0)
+            return failAt(draft.lineno,
+                          "sweep grid of workload '" +
+                              draft.spec.name +
+                              "' exceeds 4096 combinations");
+        for (u64 c = 0; c < combos; ++c) {
+            WorkloadSpec spec = draft.spec;
+            u64 rest = c;
+            for (std::size_t k = 0; k < draft.sweeps.size(); ++k) {
+                u64 span = 1;
+                for (std::size_t j = k + 1; j < draft.sweeps.size();
+                     ++j)
+                    span *= draft.sweeps[j].values.size();
+                const Sweep &s = draft.sweeps[k];
+                const std::string &v =
+                    s.values[(rest / span) % s.values.size()];
+                rest %= span;
+                const std::string err =
+                    applyWorkloadSweepKey(spec, s.key, v);
+                if (!err.empty())
+                    return failAt(s.lineno, err);
+            }
+            cfg.workloads.push_back(std::move(spec));
+        }
+    }
+
     error.clear();
     return cfg;
 }

@@ -16,9 +16,22 @@
  *   [variant NAME]        one device configuration (overrides [device])
  *   [workload NAME]       one workload entry (NAME is a registry name)
  *
- * Parsing is total and non-fatal: malformed input yields an error
- * message with a line number, never an exit, so config mistakes in
- * batch campaigns surface as clean diagnostics.
+ * v2 adds parameter grids: inside [device] / [variant] sections any
+ * device key may be swept, and inside [workload] sections `elements`
+ * and `seed` may be swept:
+ *
+ *   sweep KEY = v1, v2, v3
+ *
+ * Each section expands into the cross product of its sweep lists (in
+ * declaration order, first key slowest), so one file expresses a
+ * Figure-13-style campaign. Expanded variants are named
+ * `base/key=value/...`; [device]-level sweeps are inherited by every
+ * variant that neither sets nor sweeps the same key itself.
+ *
+ * Parsing is total and non-fatal: malformed input (including bad
+ * grid syntax, empty sweep lists and duplicate sweep keys) yields an
+ * error message with a line number, never an exit, so config
+ * mistakes in batch campaigns surface as clean diagnostics.
  */
 
 #ifndef PLUTO_SIM_CONFIG_HH
@@ -51,6 +64,8 @@ struct WorkloadSpec
     u64 elements = 0;
     /** Runs of this workload per variant. */
     u32 repeats = 1;
+    /** Input-generation seed (0 = the historical fixed inputs). */
+    u64 seed = 0;
 };
 
 /** A parsed scenario. */

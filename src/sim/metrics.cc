@@ -46,11 +46,11 @@ std::vector<std::string>
 MetricsSink::csvColumns()
 {
     return {"scenario",     "variant",      "workload",
-            "repeat",       "elements",     "time_ns",
-            "ns_per_elem",  "energy_pj",    "pj_per_elem",
-            "host_ns",      "verified",     "speedup_cpu",
-            "speedup_gpu",  "speedup_fpga", "speedup_pnm",
-            "wall_ms"};
+            "repeat",       "seed",         "elements",
+            "time_ns",      "ns_per_elem",  "energy_pj",
+            "pj_per_elem",  "host_ns",      "verified",
+            "speedup_cpu",  "speedup_gpu",  "speedup_fpga",
+            "speedup_pnm",  "wall_ms"};
 }
 
 std::string
@@ -65,6 +65,7 @@ MetricsSink::renderCsv(const SimConfig &cfg,
             r.variant,
             r.workload,
             fmtU64(r.repeat),
+            fmtU64(r.seed),
             fmtU64(r.result.elements),
             fmt("%.6f", r.result.timeNs),
             fmt("%.9f", npe),
@@ -85,12 +86,12 @@ MetricsSink::renderCsv(const SimConfig &cfg,
 std::vector<CellSummary>
 MetricsSink::aggregate(const ScenarioReport &report)
 {
-    using CellKey = std::tuple<std::string, std::string, u64>;
+    using CellKey = std::tuple<std::string, std::string, u64, u64>;
     std::vector<CellKey> order;
     std::map<CellKey, CellSummary> cells;
     for (const auto &r : report.runs) {
-        const auto key =
-            CellKey(r.variant, r.workload, r.result.elements);
+        const auto key = CellKey(r.variant, r.workload,
+                                 r.result.elements, r.seed);
         auto [it, inserted] = cells.try_emplace(key);
         CellSummary &c = it->second;
         if (inserted) {
@@ -98,6 +99,7 @@ MetricsSink::aggregate(const ScenarioReport &report)
             c.variant = r.variant;
             c.workload = r.workload;
             c.elements = r.result.elements;
+            c.seed = r.seed;
             c.verified = true;
             c.rates = r.rates;
         }
@@ -146,6 +148,7 @@ MetricsSink::renderJson(const SimConfig &cfg,
         row.set("runs", static_cast<unsigned long long>(c.runs));
         row.set("elements",
                 static_cast<unsigned long long>(c.elements));
+        row.set("seed", static_cast<unsigned long long>(c.seed));
         row.set("verified", c.verified);
         row.set("mean_time_ns", c.meanTimeNs);
         row.set("ns_per_elem", c.nsPerElem);
@@ -179,9 +182,10 @@ MetricsSink::renderJson(const SimConfig &cfg,
 
 std::string
 MetricsSink::write(const SimConfig &cfg, const ScenarioReport &report,
-                   std::vector<std::string> &written)
+                   std::vector<std::string> &written,
+                   const std::string &suffix)
 {
-    const std::string base = cfg.outDir + "/" + cfg.name;
+    const std::string base = cfg.outDir + "/" + cfg.name + suffix;
     const std::string csvPath = base + "_runs.csv";
     std::string err = writeTextFile(csvPath, renderCsv(cfg, report));
     if (!err.empty())

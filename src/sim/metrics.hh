@@ -27,6 +27,8 @@ struct CellSummary
     std::string variant;
     std::string workload;
     u64 elements = 0;
+    /** Input-generation seed of the folded runs. */
+    u64 seed = 0;
     /** Runs folded into this cell. */
     u64 runs = 0;
     /** Every folded run passed functional verification. */
@@ -64,13 +66,16 @@ class MetricsSink
                                   const ScenarioReport &report);
 
     /**
-     * Write `<outDir>/<name>_runs.csv` and `<outDir>/<name>_summary
-     * .json`. On success @return empty string and append the two
-     * paths to `written`; else @return an error description.
+     * Write `<outDir>/<name><suffix>_runs.csv` and
+     * `<outDir>/<name><suffix>_summary.json` (`suffix` distinguishes
+     * shard outputs, e.g. ".shard0of3"). On success @return empty
+     * string and append the two paths to `written`; else @return an
+     * error description.
      */
     static std::string write(const SimConfig &cfg,
                              const ScenarioReport &report,
-                             std::vector<std::string> &written);
+                             std::vector<std::string> &written,
+                             const std::string &suffix = {});
 };
 
 } // namespace pluto::sim

@@ -11,6 +11,20 @@
  * *simulated* timing/energy of every run is bit-identical regardless
  * of thread count or completion order. Results are stored by
  * precomputed run index, keeping report order deterministic too.
+ *
+ * v2 adds campaign-scale execution:
+ *  - sharding: `--shard i/n` executes only tasks whose global run
+ *    index is congruent to i mod n, so a big grid spreads over
+ *    processes or machines;
+ *  - caching: with a cache directory set, finished runs append to a
+ *    content-hashed JSONL cache (see cache.hh) and repeated or
+ *    resumed campaigns replay hits bit-identically instead of
+ *    recomputing. Running the shards first and then one unsharded
+ *    pass over the same cache yields a merged report whose simulated
+ *    results equal a cold unsharded run's bit for bit;
+ *  - deterministic mode: zeroes host wall-clock fields (the only
+ *    nondeterministic outputs), making emitted CSV/JSON byte-
+ *    identical across runs — e.g. sharded+merged vs cold unsharded.
  */
 
 #ifndef PLUTO_SIM_RUNNER_HH
@@ -35,23 +49,48 @@ struct RunRecord
     std::string workload;
     /** Repeat index within (variant, workload), 0-based. */
     u32 repeat = 0;
+    /** Input-generation seed of the workload entry. */
+    u64 seed = 0;
     /** Simulated outcome. */
     workloads::WorkloadResult result;
     /** Host baseline rates of the workload (for speedup columns). */
     workloads::BaselineRates rates;
     /** Host wall-clock spent simulating this run, milliseconds. */
     double wallMs = 0.0;
+    /** Result was replayed from the run cache. */
+    bool fromCache = false;
 };
 
-/** Aggregated outcome of a whole scenario. */
+/** Aggregated outcome of a whole scenario (or one shard of it). */
 struct ScenarioReport
 {
     /** All runs, variant-major then workload then repeat. */
     std::vector<RunRecord> runs;
     /** Host wall-clock of the whole campaign, milliseconds. */
     double wallMs = 0.0;
+    /** Runs replayed from the cache / computed fresh. */
+    u64 cacheHits = 0;
+    u64 cacheMisses = 0;
     /** @return true when every run passed functional verification. */
     bool allVerified() const;
+};
+
+/** Execution options of one ScenarioRunner::run invocation. */
+struct RunOptions
+{
+    /** Worker threads; 0 = hardware concurrency. */
+    u32 threads = 0;
+    /** This process executes run indices i with i % shardCount ==
+     *  shardIndex. */
+    u32 shardIndex = 0;
+    u32 shardCount = 1;
+    /** Result-cache directory; empty disables caching. */
+    std::string cacheDir;
+    /** Zero all host wall-clock fields in the report. */
+    bool deterministic = false;
+
+    /** @return empty string, or why the options are invalid. */
+    std::string validate() const;
 };
 
 /** Batch executor for one scenario. */
@@ -72,6 +111,14 @@ class ScenarioRunner
      * concurrency). @return the aggregated report.
      */
     ScenarioReport run(u32 threads = 0,
+                       const Progress &progress = nullptr) const;
+
+    /**
+     * Execute this process's shard of the scenario under `opt`
+     * (which must validate()). @return the aggregated report of the
+     * executed shard.
+     */
+    ScenarioReport run(const RunOptions &opt,
                        const Progress &progress = nullptr) const;
 
   private:

@@ -25,20 +25,25 @@ constexpr u64 packetBytes = 128;
 
 /** Deterministic packet byte: packet `p`, position `j`. */
 u8
-packetByte(u64 p, u64 j)
+packetByte(u64 p, u64 j, u64 seed)
 {
-    u64 x = (p * 131 + j) * 0x9e3779b97f4a7c15ULL;
+    // The seed enters through its own odd multiplier so distinct
+    // seeds yield decorrelated streams rather than shifted ones
+    // (seed + index would alias seed s with position j + s); seed 0
+    // reproduces the historical inputs exactly.
+    u64 x = (p * 131 + j + seed * 0x632be59bd9b4e019ULL) *
+            0x9e3779b97f4a7c15ULL;
     x ^= x >> 29;
     return static_cast<u8>(x);
 }
 
 /** Host reference CRC implementations (match the library LUTs). */
 u8
-refCrc8(u64 p)
+refCrc8(u64 p, u64 seed)
 {
     u8 crc = 0;
     for (u64 j = 0; j < packetBytes; ++j) {
-        crc = static_cast<u8>(crc ^ packetByte(p, j));
+        crc = static_cast<u8>(crc ^ packetByte(p, j, seed));
         for (int k = 0; k < 8; ++k)
             crc = static_cast<u8>((crc & 0x80) ? (crc << 1) ^ 0x07
                                                : (crc << 1));
@@ -47,11 +52,11 @@ refCrc8(u64 p)
 }
 
 u16
-refCrc16(u64 p)
+refCrc16(u64 p, u64 seed)
 {
     u16 crc = 0xffff;
     for (u64 j = 0; j < packetBytes; ++j) {
-        crc = static_cast<u16>(crc ^ (u16(packetByte(p, j)) << 8));
+        crc = static_cast<u16>(crc ^ (u16(packetByte(p, j, seed)) << 8));
         for (int k = 0; k < 8; ++k)
             crc = static_cast<u16>((crc & 0x8000) ? (crc << 1) ^ 0x1021
                                                   : (crc << 1));
@@ -60,11 +65,11 @@ refCrc16(u64 p)
 }
 
 u32
-refCrc32(u64 p)
+refCrc32(u64 p, u64 seed)
 {
     u32 crc = 0xffffffffu;
     for (u64 j = 0; j < packetBytes; ++j) {
-        crc ^= packetByte(p, j);
+        crc ^= packetByte(p, j, seed);
         for (int k = 0; k < 8; ++k)
             crc = (crc & 1) ? (crc >> 1) ^ 0xEDB88320u : (crc >> 1);
     }
@@ -114,7 +119,8 @@ class CrcWorkload : public Workload
     }
 
     WorkloadResult
-    run(runtime::PlutoDevice &dev, u64 elements) const override
+    run(runtime::PlutoDevice &dev, u64 elements,
+        u64 seed) const override
     {
         WorkloadResult res;
         const u64 packets = elements / packetBytes;
@@ -144,7 +150,7 @@ class CrcWorkload : public Workload
         dev.resetStats();
         for (u64 j = 0; j < packetBytes; ++j) {
             for (u64 p = 0; p < packets; ++p)
-                step[p] = packetByte(p, j);
+                step[p] = packetByte(p, j, seed);
             // Input bytes are already DRAM-resident in a PuM system;
             // the host write below is data staging, not kernel work.
             dev.write(bytes, step);
@@ -191,9 +197,10 @@ class CrcWorkload : public Workload
         const auto got = dev.read(state);
         res.verified = true;
         for (u64 p = 0; p < packets; ++p) {
-            const u64 expect = width_ == 8 ? refCrc8(p)
-                               : width_ == 16 ? refCrc16(p)
-                                              : refCrc32(p);
+            const u64 expect =
+                width_ == 8    ? refCrc8(p, seed)
+                : width_ == 16 ? refCrc16(p, seed)
+                               : refCrc32(p, seed);
             if (got[p] != expect) {
                 res.verified = false;
                 break;

@@ -54,7 +54,8 @@ class LutImageWorkload : public Workload
     BaselineRates rates() const override { return rates_; }
 
     WorkloadResult
-    run(runtime::PlutoDevice &dev, u64 elements) const override
+    run(runtime::PlutoDevice &dev, u64 elements,
+        u64 seed) const override
     {
         WorkloadResult res;
         res.elements = elements;
@@ -62,7 +63,8 @@ class LutImageWorkload : public Workload
         const auto lut = dev.loadLut(lutName_);
         const auto in = dev.alloc(elements, 8);
         const auto out = dev.alloc(elements, 8);
-        const auto image = syntheticImage(elements, 936000);
+        const auto image =
+            syntheticImage(elements, mixSeed(936000, seed));
         dev.write(in, image);
 
         dev.resetStats(); // kernel time excludes LUT loading

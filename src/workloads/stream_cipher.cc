@@ -153,7 +153,8 @@ class StreamCipherWorkload : public Workload
     BaselineRates rates() const override { return rates_; }
 
     WorkloadResult
-    run(runtime::PlutoDevice &dev, u64 elements) const override
+    run(runtime::PlutoDevice &dev, u64 elements,
+        u64 seed) const override
     {
         WorkloadResult res;
         const u64 packets =
@@ -163,7 +164,7 @@ class StreamCipherWorkload : public Workload
 
         // Host golden model.
         std::vector<u64> plain(bytes), keystream(bytes);
-        Rng rng(salsa_ ? 20u : 4u);
+        Rng rng(mixSeed(salsa_ ? 20u : 4u, seed));
         for (u64 p = 0; p < packets; ++p) {
             const auto ks = salsa_
                                 ? salsa20Keystream(p, packetSize)

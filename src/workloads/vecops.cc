@@ -78,7 +78,8 @@ class VectorArithWorkload : public Workload
     BaselineRates rates() const override { return rates_; }
 
     WorkloadResult
-    run(runtime::PlutoDevice &dev, u64 elements) const override
+    run(runtime::PlutoDevice &dev, u64 elements,
+        u64 seed) const override
     {
         WorkloadResult res;
         res.elements = elements;
@@ -88,7 +89,7 @@ class VectorArithWorkload : public Workload
         const auto a = dev.alloc(elements, slot);
         const auto b = dev.alloc(elements, slot);
         const auto out = dev.alloc(elements, slot);
-        Rng rng(bits_ * 1000 + static_cast<u32>(op_));
+        Rng rng(mixSeed(bits_ * 1000 + static_cast<u32>(op_), seed));
         const auto va = rng.values(elements, bound);
         const auto vb = rng.values(elements, bound);
         dev.write(a, va);
@@ -185,7 +186,8 @@ class ComposedMulWorkload : public Workload
     BaselineRates rates() const override { return rates_; }
 
     WorkloadResult
-    run(runtime::PlutoDevice &dev, u64 elements) const override
+    run(runtime::PlutoDevice &dev, u64 elements,
+        u64 seed) const override
     {
         WorkloadResult res;
         res.elements = elements;
@@ -193,7 +195,7 @@ class ComposedMulWorkload : public Workload
         // Host decomposition check: schoolbook from 4-bit chunks must
         // reproduce the direct product (this is the algorithm the
         // composed query sequence implements).
-        Rng rng(qformat_ ? 115 : 16);
+        Rng rng(mixSeed(qformat_ ? 115 : 16, seed));
         res.verified = true;
         for (u64 i = 0; i < std::min<u64>(elements, 4096); ++i) {
             const u16 a = static_cast<u16>(rng.next());
@@ -283,14 +285,15 @@ class BitCountWorkload : public Workload
     }
 
     WorkloadResult
-    run(runtime::PlutoDevice &dev, u64 elements) const override
+    run(runtime::PlutoDevice &dev, u64 elements,
+        u64 seed) const override
     {
         WorkloadResult res;
         res.elements = elements;
         const u32 slot = bits_ == 4 ? 4 : 8;
         const auto in = dev.alloc(elements, slot);
         const auto out = dev.alloc(elements, slot);
-        Rng rng(bits_);
+        Rng rng(mixSeed(bits_, seed));
         const auto values = rng.values(elements, 1ull << bits_);
         dev.write(in, values);
         dev.apiBitcount(out, in, bits_); // warm LUT handle
@@ -351,7 +354,8 @@ class BitwiseWorkload : public Workload
     }
 
     WorkloadResult
-    run(runtime::PlutoDevice &dev, u64 elements) const override
+    run(runtime::PlutoDevice &dev, u64 elements,
+        u64 seed) const override
     {
         WorkloadResult res;
         res.elements = elements;
@@ -359,7 +363,7 @@ class BitwiseWorkload : public Workload
         const auto b = dev.alloc(elements, 2);
         const auto packed = dev.alloc(elements, 2);
         const auto out = dev.alloc(elements, 2);
-        Rng rng(kind_.size());
+        Rng rng(mixSeed(kind_.size(), seed));
         const auto va = rng.values(elements, 2);
         const auto vb = rng.values(elements, 2);
         dev.write(a, va);

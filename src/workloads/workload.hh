@@ -86,10 +86,12 @@ class Workload
      * must: load LUTs before resetting stats (kernel time excludes
      * LUT loading; Figure 11 studies it separately), execute through
      * the device API, and verify functionally where the bulk-query
-     * model permits.
+     * model permits. `seed` perturbs the stochastic input generation
+     * (scenario `sweep seed = ...` grids); seed 0 reproduces the
+     * historical fixed inputs exactly.
      */
-    virtual WorkloadResult run(runtime::PlutoDevice &dev,
-                               u64 elements) const = 0;
+    virtual WorkloadResult run(runtime::PlutoDevice &dev, u64 elements,
+                               u64 seed = 0) const = 0;
 
     /** Run at the default scale for the device's memory kind. */
     WorkloadResult
@@ -98,6 +100,17 @@ class Workload
         return run(dev, defaultElements(dev.config().memory));
     }
 };
+
+/**
+ * Fold a scenario seed into a workload's fixed base Rng seed. Seed 0
+ * maps to the base itself, keeping default inputs identical to the
+ * pre-seed engine.
+ */
+inline u64
+mixSeed(u64 base, u64 seed)
+{
+    return base ^ (seed * 0x9e3779b97f4a7c15ULL);
+}
 
 using WorkloadPtr = std::unique_ptr<Workload>;
 

@@ -10,8 +10,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/random.hh"
 #include "pluto/query_engine.hh"
+#include "runtime/device.hh"
 
 namespace pluto
 {
@@ -113,6 +116,131 @@ TEST_P(FawProperty, NeverMoreThanFourActsPerWindow)
 INSTANTIATE_TEST_SUITE_P(Seeds, FawProperty,
                          ::testing::Range<u64>(0, 10));
 
+// ---- reserveBatch == n successive reserve calls ----
+
+class FawBatchProperty : public ::testing::TestWithParam<u64>
+{
+};
+
+TEST_P(FawBatchProperty, BatchEquivalentToSuccessiveReserves)
+{
+    Rng rng(GetParam() * 31 + 5);
+    // Windows: disabled, nominal-ish, and random. Counts cross the
+    // 4-ACT boundary in both directions.
+    const TimeNs windows[] = {0.0, 13.328, rng.uniform(0.5, 40.0)};
+    const u64 counts[] = {0, 1, 2, 3, 4, 5, 8, 9, 17, 64, 501};
+    for (const TimeNs window : windows) {
+        for (const u64 count : counts) {
+            dram::FawTracker batch(window), loop(window);
+            // Random prior state so the batch starts mid-window.
+            const u32 prior = static_cast<u32>(rng.below(7));
+            TimeNs t = 0.0;
+            for (u32 j = 0; j < prior; ++j) {
+                t += rng.uniform(0.0, 10.0);
+                batch.reserve(t);
+                loop.reserve(t);
+            }
+            const TimeNs candidate = t + rng.uniform(0.0, 5.0);
+
+            const TimeNs got = batch.reserveBatch(candidate, count);
+
+            // Reference semantics: each subsequent ACT's candidate
+            // is its predecessor's issue time.
+            TimeNs want = candidate;
+            for (u64 i = 0; i < count; ++i)
+                want = loop.reserve(i == 0 ? candidate : want);
+            EXPECT_DOUBLE_EQ(got, want)
+                << "window " << window << " count " << count;
+
+            // The trackers must also agree on every later decision.
+            TimeNs probe = got;
+            for (int k = 0; k < 8; ++k) {
+                probe += rng.uniform(0.0, 6.0);
+                EXPECT_DOUBLE_EQ(batch.reserve(probe),
+                                 loop.reserve(probe))
+                    << "window " << window << " count " << count
+                    << " probe " << k;
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FawBatchProperty,
+                         ::testing::Range<u64>(0, 10));
+
+// ---- Scheduler burst == per-command loop ----
+
+TEST(SchedulerProperty, BurstMatchesPerCommandLoop)
+{
+    const auto t = dram::TimingParams::ddr4_2400();
+    const auto e = dram::EnergyParams::ddr4();
+    Rng rng(4242);
+    for (int trial = 0; trial < 30; ++trial) {
+        const double faw = trial % 3 ? rng.uniform(0.1, 1.0) : 0.0;
+        const bool refresh = rng.below(2) != 0;
+        dram::CommandScheduler burst(t, e, faw);
+        dram::CommandScheduler loop(t, e, faw);
+        burst.setModelRefresh(refresh);
+        loop.setModelRefresh(refresh);
+
+        // A random heterogeneous command group, like a reload +
+        // sweep + result-move bulk-query burst.
+        std::vector<dram::BurstStep> steps(1 + rng.below(3));
+        for (auto &st : steps) {
+            st.isSweep = rng.below(2) != 0;
+            st.parallel = 1 + static_cast<u32>(rng.below(16));
+            if (st.isSweep) {
+                st.stat = "pluto.sweep";
+                st.rows = 1 + static_cast<u32>(rng.below(32));
+                st.latency = rng.uniform(1.0, 30.0);
+                st.energy = rng.uniform(0.1, 200.0);
+                st.tailLatency = rng.uniform(0.0, 15.0);
+                st.tailEnergy = rng.uniform(0.0, 50.0);
+            } else {
+                st.stat = "cmd.op";
+                st.latency = rng.uniform(1.0, 60.0);
+                st.energy = rng.uniform(0.1, 500.0);
+                st.numActs = static_cast<u32>(rng.below(3));
+            }
+        }
+        const u64 reps = 1 + rng.below(40);
+
+        burst.burst(steps, reps);
+        for (u64 k = 0; k < reps; ++k)
+            for (const auto &st : steps) {
+                if (st.isSweep)
+                    loop.sweep(st.stat, st.rows, st.latency,
+                               st.energy, st.parallel,
+                               st.tailLatency, st.tailEnergy);
+                else
+                    loop.op(st.stat, st.latency, st.energy,
+                            st.numActs, st.parallel);
+            }
+
+        // Time, energy and every integer counter are bit-identical;
+        // only per-step ".ns" sums may differ in the final ulp.
+        EXPECT_DOUBLE_EQ(burst.elapsed(), loop.elapsed()) << trial;
+        EXPECT_DOUBLE_EQ(burst.energyTotal(), loop.energyTotal())
+            << trial;
+        for (const auto &[name, value] : loop.stats().counters()) {
+            if (name.size() > 3 &&
+                name.compare(name.size() - 3, 3, ".ns") == 0) {
+                EXPECT_NEAR(burst.stats().get(name), value,
+                            1e-9 * std::max(1.0, value))
+                    << name << " trial " << trial;
+            } else {
+                EXPECT_DOUBLE_EQ(burst.stats().get(name), value)
+                    << name << " trial " << trial;
+            }
+        }
+
+        // Subsequent commands see identical tFAW window state.
+        burst.op("cmd.post", 5.0, 1.0, 2, 3);
+        loop.op("cmd.post", 5.0, 1.0, 2, 3);
+        EXPECT_DOUBLE_EQ(burst.elapsed(), loop.elapsed()) << trial;
+    }
+}
+
 // ---- Packed views vs naive bit model ----
 
 class ViewProperty : public ::testing::TestWithParam<u32>
@@ -153,6 +281,54 @@ TEST_P(ViewProperty, MatchesNaiveBitModel)
 
 INSTANTIATE_TEST_SUITE_P(Widths, ViewProperty,
                          ::testing::Values(1, 2, 4, 8, 16, 32));
+
+// ---- Bulk-query batch fast path == per-query loop ----
+
+class TimedOnlyBatchProperty
+    : public ::testing::TestWithParam<Design>
+{
+};
+
+TEST_P(TimedOnlyBatchProperty, MatchesPerQueryLoop)
+{
+    runtime::DeviceConfig cfg;
+    cfg.design = GetParam();
+    cfg.geometry = dram::Geometry::tiny();
+    cfg.salp = 2;
+    cfg.fawScale = 0.75; // stress the tFAW tracker too
+
+    runtime::PlutoDevice batch(cfg), loop(cfg);
+    const auto lutA = batch.loadLut("bc8");
+    const auto lutB = loop.loadLut("bc8");
+    batch.resetStats();
+    loop.resetStats();
+
+    batch.lutOpTimedOnly(lutA, 37, 2);
+    for (int k = 0; k < 37; ++k)
+        loop.lutOpTimedOnly(lutB, 1, 2);
+
+    const auto a = batch.stats();
+    const auto b = loop.stats();
+    EXPECT_DOUBLE_EQ(a.timeNs, b.timeNs);
+    EXPECT_DOUBLE_EQ(a.energyPj, b.energyPj);
+    EXPECT_DOUBLE_EQ(a.counters.get("pluto.queries"),
+                     b.counters.get("pluto.queries"));
+    EXPECT_DOUBLE_EQ(a.counters.get("dram.acts"),
+                     b.counters.get("dram.acts"));
+    EXPECT_DOUBLE_EQ(a.counters.get("pluto.sweep"),
+                     b.counters.get("pluto.sweep"));
+    EXPECT_DOUBLE_EQ(a.counters.get("pluto.lut_reload"),
+                     b.counters.get("pluto.lut_reload"));
+}
+
+INSTANTIATE_TEST_SUITE_P(Designs, TimedOnlyBatchProperty,
+                         ::testing::Values(Design::Bsa, Design::Gsa,
+                                           Design::Gmc),
+                         [](const auto &info) {
+                             return std::string(core::designName(
+                                        info.param))
+                                 .substr(6);
+                         });
 
 // ---- Scheduler accounting linearity ----
 

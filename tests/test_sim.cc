@@ -97,6 +97,64 @@ TEST(SimConfig, DefaultVariantWhenNoneDeclared)
     EXPECT_EQ(cfg->devices[0].config.design, core::Design::Gmc);
 }
 
+TEST(SimConfig, ExpandsParameterGrids)
+{
+    std::string err;
+    const auto cfg = SimConfig::parse(R"(
+[device]
+memory = ddr4
+sweep faw = 0.0, 0.5
+[variant a]
+sweep design = bsa, gmc
+[variant b]
+faw = 1.0            ; overrides the inherited faw sweep
+[workload ADD4]
+sweep elements = 1024, 2048
+sweep seed = 0, 9
+[workload Bitwise-AND]
+elements = 4096
+)",
+                                      err);
+    ASSERT_TRUE(cfg) << err;
+
+    // Variant a: faw x design = 4 combos; variant b: faw overridden
+    // plainly, so it stays a single device.
+    ASSERT_EQ(cfg->devices.size(), 5u);
+    EXPECT_EQ(cfg->devices[0].name, "a/faw=0.0/design=bsa");
+    EXPECT_EQ(cfg->devices[1].name, "a/faw=0.0/design=gmc");
+    EXPECT_EQ(cfg->devices[2].name, "a/faw=0.5/design=bsa");
+    EXPECT_EQ(cfg->devices[3].name, "a/faw=0.5/design=gmc");
+    EXPECT_EQ(cfg->devices[4].name, "b");
+    EXPECT_DOUBLE_EQ(cfg->devices[1].config.fawScale, 0.0);
+    EXPECT_EQ(cfg->devices[1].config.design, core::Design::Gmc);
+    EXPECT_DOUBLE_EQ(cfg->devices[3].config.fawScale, 0.5);
+    EXPECT_DOUBLE_EQ(cfg->devices[4].config.fawScale, 1.0);
+
+    // Workload grid: elements x seed = 4 entries, plus the plain one.
+    ASSERT_EQ(cfg->workloads.size(), 5u);
+    EXPECT_EQ(cfg->workloads[0].elements, 1024u);
+    EXPECT_EQ(cfg->workloads[0].seed, 0u);
+    EXPECT_EQ(cfg->workloads[1].elements, 1024u);
+    EXPECT_EQ(cfg->workloads[1].seed, 9u);
+    EXPECT_EQ(cfg->workloads[2].elements, 2048u);
+    EXPECT_EQ(cfg->workloads[3].seed, 9u);
+    EXPECT_EQ(cfg->workloads[4].name, "Bitwise-AND");
+    EXPECT_EQ(cfg->workloads[4].elements, 4096u);
+
+    EXPECT_EQ(cfg->totalRuns(), 5u * 5u);
+}
+
+TEST(SimConfig, SingleValueSweepAndImplicitDefaultVariant)
+{
+    std::string err;
+    const auto cfg = SimConfig::parse(
+        "[device]\nsweep salp = 4\n[workload ADD4]\n", err);
+    ASSERT_TRUE(cfg) << err;
+    ASSERT_EQ(cfg->devices.size(), 1u);
+    EXPECT_EQ(cfg->devices[0].name, "default/salp=4");
+    EXPECT_EQ(cfg->devices[0].config.salp, 4u);
+}
+
 struct BadCase
 {
     const char *text;
@@ -143,7 +201,65 @@ INSTANTIATE_TEST_SUITE_P(
                 "must precede"},
         BadCase{"[scenario]\nname\n[workload ADD4]\n",
                 "expected 'key = value'"},
-        BadCase{"", "no [workload]"}));
+        BadCase{"", "no [workload]"},
+        // v2 grid syntax.
+        BadCase{"[variant a]\nsweep = 1, 2\n[workload ADD4]\n",
+                "sweep needs a key"},
+        BadCase{"[variant a]\nsweep faw =\n[workload ADD4]\n",
+                "empty value"},
+        BadCase{"[variant a]\nsweep faw = 0.1,,0.5\n"
+                "[workload ADD4]\n",
+                "empty value in sweep list"},
+        BadCase{"[variant a]\nsweep faw = 0.1, 2.0\n"
+                "[workload ADD4]\n",
+                "bad faw"},
+        BadCase{"[variant a]\nsweep faw = 0.1\nsweep faw = 0.2\n"
+                "[workload ADD4]\n",
+                "duplicate sweep key"},
+        BadCase{"[variant a]\nfaw = 0.1\nsweep faw = 0.2\n"
+                "[workload ADD4]\n",
+                "both set and swept"},
+        BadCase{"[variant a]\nsweep faw = 0.2\nfaw = 0.1\n"
+                "[workload ADD4]\n",
+                "both set and swept"},
+        BadCase{"[variant a]\nsweep warp = 9\n[workload ADD4]\n",
+                "unknown device key"},
+        BadCase{"[scenario]\nsweep repeats = 1, 2\n"
+                "[workload ADD4]\n",
+                "not allowed in [scenario]"},
+        BadCase{"[workload ADD4]\nsweep repeats = 1, 2\n",
+                "cannot sweep workload key"},
+        BadCase{"[workload ADD4]\nsweep elements = 1024, 0\n",
+                "bad elements"},
+        BadCase{"[workload ADD4]\nsweep seed = x\n", "bad seed"},
+        BadCase{"[workload ADD4]\nelements = 512\n"
+                "sweep elements = 1024, 2048\n",
+                "both set and swept"},
+        BadCase{"[workload ADD4]\nseed = 1\nsweep seed = 2, 3\n",
+                "both set and swept"}));
+
+TEST(SimConfig, GridErrorsCarryLineNumbers)
+{
+    std::string err;
+    EXPECT_FALSE(SimConfig::parse(
+        "[variant a]\nsweep faw = 0.1, oops\n[workload ADD4]\n",
+        err));
+    EXPECT_EQ(err.rfind("line 2:", 0), 0u) << err;
+}
+
+TEST(RunOptions, ValidatesShardRange)
+{
+    RunOptions opt;
+    EXPECT_TRUE(opt.validate().empty());
+    opt.shardCount = 0;
+    EXPECT_NE(opt.validate().find("shard count"), std::string::npos);
+    opt.shardCount = 3;
+    opt.shardIndex = 3;
+    EXPECT_NE(opt.validate().find("out of range"),
+              std::string::npos);
+    opt.shardIndex = 2;
+    EXPECT_TRUE(opt.validate().empty());
+}
 
 TEST(SimConfig, LoadReportsMissingFile)
 {
