@@ -5,10 +5,15 @@
  * cross product across a thread pool, prints a per-cell summary
  * table, and writes per-run CSV plus a JSON summary.
  *
+ * With --service, the scenario's [service] sections run instead: the
+ * request-level serving simulator (src/serve/) executes every
+ * variant x service cell and reports tail-latency/throughput metrics.
+ *
  * Usage:
  *   pluto_sim [options] SCENARIO.ini
  *     --threads N     worker threads (default: hardware concurrency)
  *     --out DIR       override the scenario's out_dir
+ *     --service       run the [service] sections (serving simulator)
  *     --shard I/N     run only shard I of N (outputs suffixed
  *                     ".shardIofN"; combine shards via --cache-dir
  *                     and a final unsharded pass)
@@ -16,14 +21,18 @@
  *                     JSONL result cache
  *     --deterministic zero wall-clock fields (byte-comparable output)
  *     --quiet         suppress per-run progress lines
- *     --list          list registered workloads and exit
+ *     --list          list registered workload names and exit
+ *     --list-workloads
+ *                     print the workload registry table and exit
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <string>
 
 #include "common/table.hh"
+#include "serve/runner.hh"
 #include "sim/metrics.hh"
 #include "sim/runner.hh"
 #include "workloads/workload.hh"
@@ -41,11 +50,185 @@ usage()
         "  --threads N     worker threads (default: hardware "
         "concurrency)\n"
         "  --out DIR       override the scenario's out_dir\n"
+        "  --service       run the [service] sections (serving "
+        "simulator)\n"
         "  --shard I/N     run only shard I of N (0-based)\n"
         "  --cache-dir DIR replay/append a JSONL result cache\n"
         "  --deterministic zero wall-clock fields in outputs\n"
         "  --quiet         suppress per-run progress lines\n"
-        "  --list          list registered workloads and exit\n");
+        "  --list          list registered workload names and exit\n"
+        "  --list-workloads  print the workload registry table and "
+        "exit\n");
+}
+
+/** The --list-workloads registry table. */
+void
+printWorkloadTable()
+{
+    AsciiTable table({"workload", "default elems (ddr4)",
+                      "default elems (3ds)", "cpu ns/elem",
+                      "gpu ns/elem", "fpga ns/elem"});
+    for (const auto &name : workloads::workloadNames()) {
+        const auto w = workloads::createWorkload(name);
+        if (!w)
+            continue;
+        const auto rates = w->rates();
+        table.addRow(
+            {name,
+             std::to_string(
+                 w->defaultElements(dram::MemoryKind::Ddr4)),
+             std::to_string(
+                 w->defaultElements(dram::MemoryKind::Hmc3ds)),
+             fmtSig(rates.cpu), fmtSig(rates.gpu),
+             fmtSig(rates.fpga)});
+    }
+    std::printf("%s", table.render().c_str());
+}
+
+/**
+ * Shared tail of both modes: wall/cache summary lines, shard-suffixed
+ * output writing, verification exit code.
+ */
+int
+finishReport(
+    const sim::RunOptions &opt, bool sharded, double wallMs,
+    u64 cacheHits, u64 cacheMisses, bool allVerified,
+    const std::function<std::string(const std::string &suffix,
+                                    std::vector<std::string> &written)>
+        &write)
+{
+    std::printf("wall       %.0f ms total\n", wallMs);
+    if (!opt.cacheDir.empty()) {
+        const u64 total = cacheHits + cacheMisses;
+        std::printf("cache_hits=%llu cache_misses=%llu "
+                    "hit_rate=%.1f%%\n",
+                    static_cast<unsigned long long>(cacheHits),
+                    static_cast<unsigned long long>(cacheMisses),
+                    total ? 100.0 * cacheHits / total : 0.0);
+    }
+
+    std::string suffix;
+    if (sharded)
+        suffix = ".shard" + std::to_string(opt.shardIndex) + "of" +
+                 std::to_string(opt.shardCount);
+    std::vector<std::string> written;
+    const std::string werr = write(suffix, written);
+    if (!werr.empty()) {
+        std::fprintf(stderr, "output error: %s\n", werr.c_str());
+        return 1;
+    }
+    for (const auto &p : written)
+        std::printf("wrote      %s\n", p.c_str());
+
+    return allVerified ? 0 : 2;
+}
+
+/** Batch mode: run the variant x workload x repeat cross product. */
+int
+runBatch(const sim::SimConfig &cfg, const sim::RunOptions &opt,
+         bool sharded, bool quiet)
+{
+    const sim::ScenarioRunner runner(cfg);
+    const auto progress = [&](const sim::RunRecord &r, u64 done,
+                              u64 total) {
+        std::fprintf(stderr,
+                     "[%llu/%llu] %s / %s #%u: %.2f us, %.3f "
+                     "pJ/elem, %s (%.0f ms)\n",
+                     static_cast<unsigned long long>(done),
+                     static_cast<unsigned long long>(total),
+                     r.variant.c_str(), r.workload.c_str(), r.repeat,
+                     r.result.timeNs * 1e-3, r.result.pjPerElem(),
+                     r.result.verified ? "ok" : "VERIFY FAILED",
+                     r.wallMs);
+    };
+    const auto report = runner.run(
+        opt, quiet ? sim::ScenarioRunner::Progress() : progress);
+    if (report.runs.empty()) {
+        std::printf("shard %u/%u holds no runs; nothing to do\n",
+                    opt.shardIndex, opt.shardCount);
+        return 0;
+    }
+
+    // Per-cell mean table (repeats folded together).
+    AsciiTable table({"variant", "workload", "runs", "elements",
+                      "seed", "ns/elem", "pJ/elem", "vs CPU",
+                      "ok"});
+    for (const auto &c : sim::MetricsSink::aggregate(report)) {
+        table.addRow({c.variant, c.workload, std::to_string(c.runs),
+                      std::to_string(c.elements),
+                      std::to_string(c.seed),
+                      fmtSig(c.nsPerElem), fmtSig(c.pjPerElem),
+                      c.nsPerElem > 0.0
+                          ? fmtX(c.rates.cpu / c.nsPerElem)
+                          : "-",
+                      c.verified ? "yes" : "NO"});
+    }
+    std::printf("\n%s\n", table.render().c_str());
+    return finishReport(
+        opt, sharded, report.wallMs, report.cacheHits,
+        report.cacheMisses, report.allVerified(),
+        [&](const std::string &suffix,
+            std::vector<std::string> &written) {
+            return sim::MetricsSink::write(cfg, report, written,
+                                           suffix);
+        });
+}
+
+/** Service mode: run the variant x service serving simulations. */
+int
+runService(const sim::SimConfig &cfg, const sim::RunOptions &opt,
+           bool sharded, bool quiet)
+{
+    if (cfg.services.empty()) {
+        std::fprintf(stderr,
+                     "--service: scenario declares no [service] "
+                     "sections\n");
+        return 1;
+    }
+
+    const serve::ServiceRunner runner(cfg);
+    const auto progress = [&](const serve::ServiceRunRecord &r,
+                              u64 done, u64 total) {
+        std::fprintf(stderr,
+                     "[%llu/%llu] %s / %s: %llu req, p99 %.3f ms, "
+                     "%.0f req/s, %s\n",
+                     static_cast<unsigned long long>(done),
+                     static_cast<unsigned long long>(total),
+                     r.variant.c_str(), r.service.c_str(),
+                     static_cast<unsigned long long>(
+                         r.out.requests),
+                     r.out.p99Ms, r.out.throughputRps,
+                     r.out.verified ? "ok" : "VERIFY FAILED");
+    };
+    const auto report = runner.run(
+        opt, quiet ? serve::ServiceRunner::Progress() : progress);
+    if (report.runs.empty()) {
+        std::printf("shard %u/%u holds no runs; nothing to do\n",
+                    opt.shardIndex, opt.shardCount);
+        return 0;
+    }
+
+    AsciiTable table({"variant", "service", "policy", "req",
+                     "req/s", "batch", "p50 ms", "p99 ms",
+                     "p99.9 ms", "util", "ok"});
+    for (const auto &r : report.runs)
+        table.addRow({r.variant, r.service, r.policy,
+                      std::to_string(r.out.requests),
+                      fmtSig(r.out.throughputRps),
+                      fmtSig(r.out.meanBatch, 3),
+                      fmtSig(r.out.p50Ms), fmtSig(r.out.p99Ms),
+                      fmtSig(r.out.p999Ms),
+                      fmtPct(r.out.utilization),
+                      r.out.verified ? "yes" : "NO"});
+    std::printf("\n%s\n", table.render().c_str());
+    return finishReport(
+        opt, sharded, report.wallMs, report.cacheHits,
+        report.cacheMisses, report.allVerified(),
+        [&](const std::string &suffix,
+            std::vector<std::string> &written) {
+            return serve::ServiceMetricsSink::write(
+                cfg, report.runs, report.wallMs, written, suffix);
+        });
 }
 
 } // namespace
@@ -56,6 +239,7 @@ main(int argc, char **argv)
     std::string scenarioPath;
     std::string outDir;
     sim::RunOptions opt;
+    bool service = false;
     bool sharded = false;
     bool quiet = false;
 
@@ -72,10 +256,15 @@ main(int argc, char **argv)
             for (const auto &name : workloads::workloadNames())
                 std::printf("%s\n", name.c_str());
             return 0;
+        } else if (arg == "--list-workloads") {
+            printWorkloadTable();
+            return 0;
         } else if (arg == "--threads") {
             opt.threads = static_cast<u32>(std::atoi(next()));
         } else if (arg == "--out") {
             outDir = next();
+        } else if (arg == "--service") {
+            service = true;
         } else if (arg == "--shard") {
             const std::string spec = next();
             unsigned idx = 0, cnt = 0;
@@ -132,73 +321,21 @@ main(int argc, char **argv)
 
     std::printf("scenario   %s (%s)\n", cfg->name.c_str(),
                 scenarioPath.c_str());
-    std::printf("runs       %llu  (%zu variants x %zu workloads)\n",
-                static_cast<unsigned long long>(cfg->totalRuns()),
-                cfg->devices.size(), cfg->workloads.size());
+    if (service)
+        std::printf("runs       %llu  (%zu variants x %zu "
+                    "services)\n",
+                    static_cast<unsigned long long>(
+                        cfg->totalServiceRuns()),
+                    cfg->devices.size(), cfg->services.size());
+    else
+        std::printf("runs       %llu  (%zu variants x %zu "
+                    "workloads)\n",
+                    static_cast<unsigned long long>(cfg->totalRuns()),
+                    cfg->devices.size(), cfg->workloads.size());
     if (sharded)
         std::printf("shard      %u/%u\n", opt.shardIndex,
                     opt.shardCount);
 
-    const sim::ScenarioRunner runner(*cfg);
-    const auto progress = [&](const sim::RunRecord &r, u64 done,
-                              u64 total) {
-        std::fprintf(stderr,
-                     "[%llu/%llu] %s / %s #%u: %.2f us, %.3f "
-                     "pJ/elem, %s (%.0f ms)\n",
-                     static_cast<unsigned long long>(done),
-                     static_cast<unsigned long long>(total),
-                     r.variant.c_str(), r.workload.c_str(), r.repeat,
-                     r.result.timeNs * 1e-3, r.result.pjPerElem(),
-                     r.result.verified ? "ok" : "VERIFY FAILED",
-                     r.wallMs);
-    };
-    const auto report = runner.run(
-        opt, quiet ? sim::ScenarioRunner::Progress() : progress);
-    if (report.runs.empty()) {
-        std::printf("shard %u/%u holds no runs; nothing to do\n",
-                    opt.shardIndex, opt.shardCount);
-        return 0;
-    }
-
-    // Per-cell mean table (repeats folded together).
-    AsciiTable table({"variant", "workload", "runs", "elements",
-                      "seed", "ns/elem", "pJ/elem", "vs CPU",
-                      "ok"});
-    for (const auto &c : sim::MetricsSink::aggregate(report)) {
-        table.addRow({c.variant, c.workload, std::to_string(c.runs),
-                      std::to_string(c.elements),
-                      std::to_string(c.seed),
-                      fmtSig(c.nsPerElem), fmtSig(c.pjPerElem),
-                      c.nsPerElem > 0.0
-                          ? fmtX(c.rates.cpu / c.nsPerElem)
-                          : "-",
-                      c.verified ? "yes" : "NO"});
-    }
-    std::printf("\n%s\n", table.render().c_str());
-    std::printf("wall       %.0f ms total\n", report.wallMs);
-    if (!opt.cacheDir.empty()) {
-        const u64 total = report.cacheHits + report.cacheMisses;
-        std::printf("cache_hits=%llu cache_misses=%llu "
-                    "hit_rate=%.1f%%\n",
-                    static_cast<unsigned long long>(report.cacheHits),
-                    static_cast<unsigned long long>(
-                        report.cacheMisses),
-                    total ? 100.0 * report.cacheHits / total : 0.0);
-    }
-
-    std::string suffix;
-    if (sharded)
-        suffix = ".shard" + std::to_string(opt.shardIndex) + "of" +
-                 std::to_string(opt.shardCount);
-    std::vector<std::string> written;
-    const std::string werr =
-        sim::MetricsSink::write(*cfg, report, written, suffix);
-    if (!werr.empty()) {
-        std::fprintf(stderr, "output error: %s\n", werr.c_str());
-        return 1;
-    }
-    for (const auto &p : written)
-        std::printf("wrote      %s\n", p.c_str());
-
-    return report.allVerified() ? 0 : 2;
+    return service ? runService(*cfg, opt, sharded, quiet)
+                   : runBatch(*cfg, opt, sharded, quiet);
 }

@@ -84,7 +84,7 @@ pids=()
 for ((i = 0; i < SHARDS; i++)); do
   "$BIN" "$SCENARIO" --shard "$i/$SHARDS" --out "$OUT_DIR/shards" "${COMMON[@]}" \
     > "$OUT_DIR/shards/shard_$i.log" 2>&1 &
-  pids+=($!)
+  pids+=("$!")
 done
 FAILED=0
 for ((i = 0; i < SHARDS; i++)); do

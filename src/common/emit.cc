@@ -32,6 +32,20 @@ csvEscape(const std::string &cell)
     return out;
 }
 
+std::string
+fmtNum(const char *f, double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), f, v);
+    return buf;
+}
+
+std::string
+fmtU64(u64 v)
+{
+    return std::to_string(v);
+}
+
 CsvWriter::CsvWriter(std::vector<std::string> header)
     : columns_(header.size())
 {

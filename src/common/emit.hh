@@ -15,11 +15,20 @@
 #include <utility>
 #include <vector>
 
+#include "common/types.hh"
+
 namespace pluto
 {
 
 /** Quote a CSV cell when it contains a delimiter, quote or newline. */
 std::string csvEscape(const std::string &cell);
+
+/** snprintf `v` with printf format `f` (fixed-precision CSV cells:
+ *  stable bytes are what the cache/merge guarantees rest on). */
+std::string fmtNum(const char *f, double v);
+
+/** Decimal rendering of a u64 CSV cell. */
+std::string fmtU64(u64 v);
 
 /** CSV document with a fixed header row. */
 class CsvWriter

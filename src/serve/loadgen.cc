@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Deterministic request generation (see loadgen.hh).
+ */
+
+#include "serve/loadgen.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+#include "workloads/workload.hh"
+
+namespace pluto::serve
+{
+
+std::vector<RequestClass>
+buildMix(const sim::SimConfig &cfg, const runtime::DeviceConfig &dev)
+{
+    std::vector<RequestClass> mix;
+    mix.reserve(cfg.workloads.size());
+    for (const auto &w : cfg.workloads) {
+        RequestClass c;
+        c.workload = w.name;
+        c.elements = w.elements;
+        if (c.elements == 0) {
+            const auto wl = workloads::createWorkload(w.name);
+            PLUTO_ASSERT(wl != nullptr);
+            c.elements = wl->defaultElements(dev.memory);
+        }
+        c.seed = w.seed;
+        c.tenant = w.tenant;
+        c.weight = w.weight;
+        mix.push_back(std::move(c));
+    }
+    return mix;
+}
+
+LoadGen::LoadGen(const sim::ServiceSpec &spec,
+                 const std::vector<RequestClass> &mix)
+    : spec_(spec), mix_(mix), rng_(spec.seed),
+      durationNs_(spec.durationMs * 1e6)
+{
+    PLUTO_ASSERT(!mix_.empty());
+    double acc = 0.0;
+    for (const auto &c : mix_) {
+        acc += c.weight;
+        cumWeight_.push_back(acc);
+    }
+
+    if (spec_.closedLoop) {
+        // Each client issues its first request after one think draw,
+        // staggering the initial wave the way think time staggers
+        // steady state.
+        openDone_ = true;
+        for (u32 i = 0; i < spec_.clients; ++i) {
+            const TimeNs at = drawThink();
+            if (at <= durationNs_)
+                push(at);
+        }
+    } else {
+        refill(0.0);
+    }
+}
+
+TimeNs
+LoadGen::nextArrivalAt() const
+{
+    if (pending_.empty())
+        return std::numeric_limits<double>::infinity();
+    return pending_.top().arriveNs;
+}
+
+u32
+LoadGen::drawClass()
+{
+    const double total = cumWeight_.back();
+    const double x = rng_.uniform() * total;
+    for (std::size_t i = 0; i < cumWeight_.size(); ++i)
+        if (x < cumWeight_[i])
+            return static_cast<u32>(i);
+    return static_cast<u32>(mix_.size() - 1);
+}
+
+void
+LoadGen::push(TimeNs at)
+{
+    Request r;
+    r.id = nextId_++;
+    r.cls = drawClass();
+    r.tenant = mix_[r.cls].tenant;
+    r.arriveNs = at;
+    pending_.push(r);
+}
+
+TimeNs
+LoadGen::drawThink()
+{
+    const TimeNs mean = spec_.thinkMs * 1e6;
+    if (mean <= 0.0)
+        return 0.0;
+    if (spec_.uniformArrivals)
+        return mean;
+    return -std::log1p(-rng_.uniform()) * mean;
+}
+
+void
+LoadGen::refill(TimeNs until)
+{
+    // Keep at least one arrival beyond `until` pending so
+    // nextArrivalAt() always reflects the true next event.
+    while (!openDone_ &&
+           (pending_.empty() || frontier_ <= until)) {
+        const TimeNs gap =
+            spec_.uniformArrivals
+                ? 1e9 / spec_.ratePerSec
+                : -std::log1p(-rng_.uniform()) * 1e9 /
+                      spec_.ratePerSec;
+        frontier_ += gap;
+        if (frontier_ > durationNs_) {
+            openDone_ = true;
+            return;
+        }
+        push(frontier_);
+    }
+}
+
+std::vector<Request>
+LoadGen::take(TimeNs until)
+{
+    if (!spec_.closedLoop)
+        refill(until);
+    std::vector<Request> out;
+    while (!pending_.empty() && pending_.top().arriveNs <= until) {
+        out.push_back(pending_.top());
+        pending_.pop();
+        if (!spec_.closedLoop)
+            refill(until);
+    }
+    return out;
+}
+
+void
+LoadGen::onComplete(const Request &, TimeNs finishNs)
+{
+    if (!spec_.closedLoop)
+        return;
+    const TimeNs at = finishNs + drawThink();
+    if (at <= durationNs_)
+        push(at);
+}
+
+} // namespace pluto::serve

@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Service metric folding and report rendering (see metrics.hh).
+ */
+
+#include "serve/metrics.hh"
+
+#include <algorithm>
+
+#include "common/emit.hh"
+
+namespace pluto::serve
+{
+
+namespace
+{
+
+void
+setLatency(JsonValue &row, const char *prefix, double mean,
+           double p50, double p95, double p99, double p999,
+           double max)
+{
+    row.set(std::string(prefix) + "mean_ms", mean);
+    row.set(std::string(prefix) + "p50_ms", p50);
+    row.set(std::string(prefix) + "p95_ms", p95);
+    row.set(std::string(prefix) + "p99_ms", p99);
+    row.set(std::string(prefix) + "p999_ms", p999);
+    row.set(std::string(prefix) + "max_ms", max);
+}
+
+} // namespace
+
+void
+ServiceMetrics::onComplete(u32 tenant, TimeNs arriveNs,
+                           TimeNs finishNs)
+{
+    const double ms = (finishNs - arriveNs) * 1e-6;
+    latencyMs_.add(ms);
+    tenantMs_[tenant].add(ms);
+    lastFinishNs_ = std::max(lastFinishNs_, finishNs);
+}
+
+void
+ServiceMetrics::onBatch(u32 size)
+{
+    ++batches_;
+    batchedRequests_ += size;
+}
+
+void
+ServiceMetrics::onQueueDepth(u64 depth)
+{
+    queueDepth_.add(static_cast<double>(depth));
+}
+
+ServiceOutcome
+ServiceMetrics::finish(u32 devices, TimeNs busyNs, double energyPj,
+                       bool verified) const
+{
+    ServiceOutcome out;
+    out.requests = latencyMs_.count();
+    out.batches = batches_;
+    out.meanBatch =
+        batches_ ? static_cast<double>(batchedRequests_) /
+                       static_cast<double>(batches_)
+                 : 0.0;
+    out.makespanMs = lastFinishNs_ * 1e-6;
+    out.throughputRps = lastFinishNs_ > 0.0
+                            ? static_cast<double>(out.requests) /
+                                  (lastFinishNs_ * 1e-9)
+                            : 0.0;
+    out.meanMs = latencyMs_.mean();
+    out.p50Ms = latencyMs_.p50();
+    out.p95Ms = latencyMs_.p95();
+    out.p99Ms = latencyMs_.p99();
+    out.p999Ms = latencyMs_.p999();
+    out.maxMs = latencyMs_.max();
+    out.meanQueueDepth = queueDepth_.mean();
+    out.maxQueueDepth = queueDepth_.max();
+    out.utilization =
+        lastFinishNs_ > 0.0 && devices > 0
+            ? busyNs / (static_cast<double>(devices) * lastFinishNs_)
+            : 0.0;
+    out.pjPerRequest =
+        out.requests ? energyPj / static_cast<double>(out.requests)
+                     : 0.0;
+    out.verified = verified;
+    for (const auto &[tenant, s] : tenantMs_) {
+        TenantSummary t;
+        t.tenant = tenant;
+        t.requests = s.count();
+        t.meanMs = s.mean();
+        t.p50Ms = s.p50();
+        t.p95Ms = s.p95();
+        t.p99Ms = s.p99();
+        t.p999Ms = s.p999();
+        t.maxMs = s.max();
+        out.tenants.push_back(t);
+    }
+    return out;
+}
+
+std::vector<std::string>
+ServiceMetricsSink::csvColumns()
+{
+    return {"scenario",       "variant",          "service",
+            "policy",         "mode",             "devices",
+            "rate_rps",       "clients",          "tenant",
+            "requests",       "batches",          "mean_batch",
+            "throughput_rps", "mean_ms",          "p50_ms",
+            "p95_ms",         "p99_ms",           "p999_ms",
+            "max_ms",         "mean_queue_depth", "max_queue_depth",
+            "utilization",    "pj_per_request",   "makespan_ms",
+            "verified"};
+}
+
+std::string
+ServiceMetricsSink::renderCsv(const sim::SimConfig &cfg,
+                              const std::vector<ServiceRunRecord> &runs)
+{
+    CsvWriter csv(csvColumns());
+    for (const auto &r : runs) {
+        const auto common = [&](const std::string &tenant) {
+            return std::vector<std::string>{
+                cfg.name,
+                r.variant,
+                r.service,
+                r.policy,
+                r.mode,
+                fmtU64(r.devices),
+                fmtNum("%.4f", r.ratePerSec),
+                fmtU64(r.clients),
+                tenant,
+            };
+        };
+        auto row = common("all");
+        row.insert(row.end(),
+                   {fmtU64(r.out.requests), fmtU64(r.out.batches),
+                    fmtNum("%.4f", r.out.meanBatch),
+                    fmtNum("%.4f", r.out.throughputRps),
+                    fmtNum("%.6f", r.out.meanMs),
+                    fmtNum("%.6f", r.out.p50Ms),
+                    fmtNum("%.6f", r.out.p95Ms),
+                    fmtNum("%.6f", r.out.p99Ms),
+                    fmtNum("%.6f", r.out.p999Ms),
+                    fmtNum("%.6f", r.out.maxMs),
+                    fmtNum("%.4f", r.out.meanQueueDepth),
+                    fmtNum("%.4f", r.out.maxQueueDepth),
+                    fmtNum("%.6f", r.out.utilization),
+                    fmtNum("%.6f", r.out.pjPerRequest),
+                    fmtNum("%.6f", r.out.makespanMs),
+                    r.out.verified ? "yes" : "no"});
+        csv.addRow(row);
+        for (const auto &t : r.out.tenants) {
+            // Batching/queueing/utilization are pool-wide, not
+            // per-tenant: those cells stay empty rather than zero so
+            // column aggregation cannot silently mix placeholders.
+            const double rps =
+                r.out.makespanMs > 0.0
+                    ? static_cast<double>(t.requests) /
+                          (r.out.makespanMs * 1e-3)
+                    : 0.0;
+            auto trow = common(fmtU64(t.tenant));
+            trow.insert(trow.end(),
+                        {fmtU64(t.requests), "", "",
+                         fmtNum("%.4f", rps),
+                         fmtNum("%.6f", t.meanMs),
+                         fmtNum("%.6f", t.p50Ms),
+                         fmtNum("%.6f", t.p95Ms),
+                         fmtNum("%.6f", t.p99Ms),
+                         fmtNum("%.6f", t.p999Ms),
+                         fmtNum("%.6f", t.maxMs), "", "", "", "", "",
+                         r.out.verified ? "yes" : "no"});
+            csv.addRow(trow);
+        }
+    }
+    return csv.render();
+}
+
+std::string
+ServiceMetricsSink::renderJson(const sim::SimConfig &cfg,
+                               const std::vector<ServiceRunRecord> &runs,
+                               double wallMs)
+{
+    JsonValue root = JsonValue::object();
+    root.set("scenario", cfg.name);
+    root.set("mode", "service");
+    root.set("total_runs",
+             static_cast<unsigned long long>(runs.size()));
+    bool allVerified = !runs.empty();
+    for (const auto &r : runs)
+        allVerified = allVerified && r.out.verified;
+    root.set("all_verified", allVerified);
+    root.set("wall_ms", wallMs);
+
+    JsonValue &results = root.set("results", JsonValue::array());
+    for (const auto &r : runs) {
+        JsonValue &row = results.push(JsonValue::object());
+        row.set("variant", r.variant);
+        row.set("service", r.service);
+        row.set("policy", r.policy);
+        row.set("mode", r.mode);
+        row.set("devices",
+                static_cast<unsigned long long>(r.devices));
+        row.set("rate_rps", r.ratePerSec);
+        row.set("clients",
+                static_cast<unsigned long long>(r.clients));
+        row.set("requests",
+                static_cast<unsigned long long>(r.out.requests));
+        row.set("batches",
+                static_cast<unsigned long long>(r.out.batches));
+        row.set("mean_batch", r.out.meanBatch);
+        row.set("makespan_ms", r.out.makespanMs);
+        row.set("throughput_rps", r.out.throughputRps);
+        setLatency(row, "", r.out.meanMs, r.out.p50Ms, r.out.p95Ms,
+                   r.out.p99Ms, r.out.p999Ms, r.out.maxMs);
+        row.set("mean_queue_depth", r.out.meanQueueDepth);
+        row.set("max_queue_depth", r.out.maxQueueDepth);
+        row.set("utilization", r.out.utilization);
+        row.set("pj_per_request", r.out.pjPerRequest);
+        row.set("verified", r.out.verified);
+        JsonValue &tenants =
+            row.set("tenants", JsonValue::array());
+        for (const auto &t : r.out.tenants) {
+            JsonValue &trow = tenants.push(JsonValue::object());
+            trow.set("tenant",
+                     static_cast<unsigned long long>(t.tenant));
+            trow.set("requests",
+                     static_cast<unsigned long long>(t.requests));
+            setLatency(trow, "", t.meanMs, t.p50Ms, t.p95Ms,
+                       t.p99Ms, t.p999Ms, t.maxMs);
+        }
+    }
+    return root.dump();
+}
+
+std::string
+ServiceMetricsSink::write(const sim::SimConfig &cfg,
+                          const std::vector<ServiceRunRecord> &runs,
+                          double wallMs,
+                          std::vector<std::string> &written,
+                          const std::string &suffix)
+{
+    const std::string base = cfg.outDir + "/" + cfg.name + suffix;
+    const std::string csvPath = base + "_service_runs.csv";
+    std::string err = writeTextFile(csvPath, renderCsv(cfg, runs));
+    if (!err.empty())
+        return err;
+    written.push_back(csvPath);
+    const std::string jsonPath = base + "_service_summary.json";
+    err = writeTextFile(jsonPath, renderJson(cfg, runs, wallMs));
+    if (!err.empty())
+        return err;
+    written.push_back(jsonPath);
+    return {};
+}
+
+} // namespace pluto::serve

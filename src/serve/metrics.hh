@@ -1,0 +1,151 @@
+/**
+ * @file
+ * ServiceMetrics: streaming metric collection of one serving
+ * simulation (latency quantiles via the P² estimators in
+ * common/stats, queue depth, batching, utilization, per-tenant
+ * breakdown) and the CSV/JSON report writers of --service mode.
+ *
+ * Everything in a ServiceOutcome derives from the virtual clock and
+ * the devices' command schedulers, so outcomes are bit-identical
+ * across host thread counts and replay bit-identically from the
+ * service cache.
+ */
+
+#ifndef PLUTO_SERVE_METRICS_HH
+#define PLUTO_SERVE_METRICS_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "sim/config.hh"
+
+namespace pluto::serve
+{
+
+/** Latency digest of one tenant's completed requests. */
+struct TenantSummary
+{
+    u32 tenant = 0;
+    u64 requests = 0;
+    double meanMs = 0.0;
+    double p50Ms = 0.0;
+    double p95Ms = 0.0;
+    double p99Ms = 0.0;
+    double p999Ms = 0.0;
+    double maxMs = 0.0;
+};
+
+/** Simulated outcome of one (variant, service) cell. */
+struct ServiceOutcome
+{
+    /** Completed requests / dispatched batches. */
+    u64 requests = 0;
+    u64 batches = 0;
+    /** Mean dispatched batch size. */
+    double meanBatch = 0.0;
+    /** Virtual time from t=0 to the last completion, ms. */
+    double makespanMs = 0.0;
+    /** Completed requests per second of virtual time. */
+    double throughputRps = 0.0;
+    /** End-to-end latency digest (queueing + service), ms. */
+    double meanMs = 0.0;
+    double p50Ms = 0.0;
+    double p95Ms = 0.0;
+    double p99Ms = 0.0;
+    double p999Ms = 0.0;
+    double maxMs = 0.0;
+    /** Total queued requests, sampled at each arrival. */
+    double meanQueueDepth = 0.0;
+    double maxQueueDepth = 0.0;
+    /** Busy time over devices x makespan. */
+    double utilization = 0.0;
+    /** Scheduler command energy per completed request, pJ. */
+    double pjPerRequest = 0.0;
+    /** Every calibration run passed functional verification. */
+    bool verified = false;
+    /** Per-tenant latency digests, tenant-ascending. */
+    std::vector<TenantSummary> tenants;
+};
+
+/** One --service run: labels + spec echo + outcome. */
+struct ServiceRunRecord
+{
+    std::string variant;
+    std::string service;
+    /** Spec echo (redundant with the config; kept for the report). */
+    std::string policy;
+    std::string mode;
+    u32 devices = 1;
+    double ratePerSec = 0.0;
+    u32 clients = 0;
+    ServiceOutcome out;
+    /** Outcome was replayed from the service cache. */
+    bool fromCache = false;
+};
+
+/** Streaming collector filled by the simulator's event loop. */
+class ServiceMetrics
+{
+  public:
+    /** Record one completed request (times on the virtual clock). */
+    void onComplete(u32 tenant, TimeNs arriveNs, TimeNs finishNs);
+
+    /** Record one dispatched batch. */
+    void onBatch(u32 size);
+
+    /** Record a queue-depth sample (taken at each arrival). */
+    void onQueueDepth(u64 depth);
+
+    /** Fold the collected streams into an outcome. `busyNs` is the
+     *  summed busy time of all devices, `energyPj` the summed
+     *  scheduler command energy. */
+    ServiceOutcome finish(u32 devices, TimeNs busyNs,
+                          double energyPj, bool verified) const;
+
+  private:
+    StreamSummary latencyMs_;
+    std::map<u32, StreamSummary> tenantMs_;
+    StreamSummary queueDepth_;
+    u64 batches_ = 0;
+    u64 batchedRequests_ = 0;
+    TimeNs lastFinishNs_ = 0.0;
+};
+
+/** Output writer for --service mode results. */
+class ServiceMetricsSink
+{
+  public:
+    /** Column names of the service CSV, in order. */
+    static std::vector<std::string> csvColumns();
+
+    /**
+     * @return the service CSV document: per record one `tenant=all`
+     * row plus one row per tenant.
+     */
+    static std::string
+    renderCsv(const sim::SimConfig &cfg,
+              const std::vector<ServiceRunRecord> &runs);
+
+    /** @return the JSON summary document. */
+    static std::string
+    renderJson(const sim::SimConfig &cfg,
+               const std::vector<ServiceRunRecord> &runs,
+               double wallMs);
+
+    /**
+     * Write `<outDir>/<name><suffix>_service_runs.csv` and
+     * `<outDir>/<name><suffix>_service_summary.json`. On success
+     * @return empty string and append both paths to `written`.
+     */
+    static std::string
+    write(const sim::SimConfig &cfg,
+          const std::vector<ServiceRunRecord> &runs, double wallMs,
+          std::vector<std::string> &written,
+          const std::string &suffix = {});
+};
+
+} // namespace pluto::serve
+
+#endif // PLUTO_SERVE_METRICS_HH

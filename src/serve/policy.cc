@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Batching policy implementations (see policy.hh).
+ */
+
+#include "serve/policy.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace pluto::serve
+{
+
+namespace
+{
+
+/** Serve one request at a time; never waits. */
+class ImmediatePolicy final : public BatchPolicy
+{
+  public:
+    BatchDecision
+    decide(const QueueView &, TimeNs) const override
+    {
+        return {1, kNever};
+    }
+};
+
+/** Wait for exactly k same-class requests (flush when capped). */
+class FixedSizePolicy final : public BatchPolicy
+{
+  public:
+    explicit FixedSizePolicy(u32 k) : k_(k) {}
+
+    BatchDecision
+    decide(const QueueView &q, TimeNs) const override
+    {
+        if (q.eligible >= k_)
+            return {k_, kNever};
+        if (!q.canGrow)
+            return {q.eligible, kNever};
+        return {0, kNever};
+    }
+
+  private:
+    u32 k_;
+};
+
+/**
+ * Serve once the oldest request has waited `window` (or the batch
+ * cap / a class boundary makes waiting pointless).
+ */
+class TimeWindowPolicy final : public BatchPolicy
+{
+  public:
+    TimeWindowPolicy(TimeNs window, u32 cap)
+        : window_(window), cap_(cap)
+    {
+    }
+
+    BatchDecision
+    decide(const QueueView &q, TimeNs now) const override
+    {
+        if (q.eligible >= cap_)
+            return {cap_, kNever};
+        // The deadline test must be the exact expression wakeAt is
+        // built from: comparing `now - oldest >= window` instead can
+        // round the other way at now == wakeAt and spin the clock.
+        const TimeNs deadline = q.oldestArriveNs + window_;
+        if (!q.canGrow || now >= deadline)
+            return {std::min(q.eligible, cap_), kNever};
+        return {0, deadline};
+    }
+
+  private:
+    TimeNs window_;
+    u32 cap_;
+};
+
+/** Greedy drain: take the whole eligible prefix, up to the cap. */
+class AdaptivePolicy final : public BatchPolicy
+{
+  public:
+    explicit AdaptivePolicy(u32 cap) : cap_(cap) {}
+
+    BatchDecision
+    decide(const QueueView &q, TimeNs) const override
+    {
+        return {std::min(q.eligible, cap_), kNever};
+    }
+
+  private:
+    u32 cap_;
+};
+
+} // namespace
+
+std::unique_ptr<BatchPolicy>
+BatchPolicy::make(const sim::ServiceSpec &spec)
+{
+    switch (spec.policy) {
+      case sim::BatchPolicyKind::Immediate:
+        return std::make_unique<ImmediatePolicy>();
+      case sim::BatchPolicyKind::FixedSize:
+        return std::make_unique<FixedSizePolicy>(spec.batch);
+      case sim::BatchPolicyKind::TimeWindow:
+        return std::make_unique<TimeWindowPolicy>(
+            spec.windowMs * 1e6, spec.batch);
+      case sim::BatchPolicyKind::Adaptive:
+        return std::make_unique<AdaptivePolicy>(spec.batch);
+    }
+    panic("unreachable batch policy kind");
+}
+
+} // namespace pluto::serve

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * BatchPolicy: pluggable device-queue batching disciplines for the
+ * serving simulator.
+ *
+ * A batch is always a prefix of one device's FIFO queue whose
+ * requests share a request class — only same-class requests can ride
+ * one lock-step query wave group (and the scheduler's batch fast
+ * path). The policy decides, whenever a device is idle and its queue
+ * is non-empty, whether to dispatch now and how many requests to
+ * take, or to wait (optionally until a deadline) for the batch to
+ * grow.
+ *
+ * Policies are stateless and shared across devices; all state lives
+ * in the queue view the simulator passes in.
+ */
+
+#ifndef PLUTO_SERVE_POLICY_HH
+#define PLUTO_SERVE_POLICY_HH
+
+#include <limits>
+#include <memory>
+
+#include "sim/config.hh"
+
+namespace pluto::serve
+{
+
+/** "No deadline": wait for arrivals or drain. */
+inline constexpr TimeNs kNever =
+    std::numeric_limits<double>::infinity();
+
+/** What a policy sees of one idle device's queue. */
+struct QueueView
+{
+    /** Length of the same-class FIFO prefix (the batchable run). */
+    u32 eligible = 0;
+    /** Total queued requests on the device. */
+    u32 depth = 0;
+    /** Arrival time of the oldest queued request. */
+    TimeNs oldestArriveNs = 0.0;
+    /**
+     * More arrivals may still extend the eligible prefix. False once
+     * the load generator is exhausted (drain) or the prefix is capped
+     * by a different-class request behind it.
+     */
+    bool canGrow = false;
+};
+
+/** Outcome of one policy decision. */
+struct BatchDecision
+{
+    /** Requests to dispatch now (0 = keep waiting). */
+    u32 take = 0;
+    /** When waiting: re-decide no later than this (kNever = only on
+     *  the next arrival/completion). */
+    TimeNs wakeAt = kNever;
+};
+
+/** One batching discipline. */
+class BatchPolicy
+{
+  public:
+    virtual ~BatchPolicy() = default;
+
+    /** Decide for one idle device with a non-empty queue. */
+    virtual BatchDecision decide(const QueueView &q,
+                                 TimeNs now) const = 0;
+
+    /** Build the policy a service spec names. */
+    static std::unique_ptr<BatchPolicy>
+    make(const sim::ServiceSpec &spec);
+};
+
+} // namespace pluto::serve
+
+#endif // PLUTO_SERVE_POLICY_HH

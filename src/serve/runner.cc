@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Service-campaign execution across a worker pool (see runner.hh).
+ */
+
+#include "serve/runner.hh"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hh"
+#include "serve/cache.hh"
+#include "serve/simulator.hh"
+
+namespace pluto::serve
+{
+
+namespace
+{
+
+/** Static description of one cell, expanded from the config. */
+struct CellTask
+{
+    u32 device = 0;
+    u32 service = 0;
+};
+
+double
+msSince(const std::chrono::steady_clock::time_point &t0)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
+
+bool
+ServiceReport::allVerified() const
+{
+    for (const auto &r : runs)
+        if (!r.out.verified)
+            return false;
+    return !runs.empty();
+}
+
+ServiceRunner::ServiceRunner(sim::SimConfig cfg)
+    : cfg_(std::move(cfg))
+{
+}
+
+ServiceReport
+ServiceRunner::run(const sim::RunOptions &opt,
+                   const Progress &progress) const
+{
+    const std::string oerr = opt.validate();
+    if (!oerr.empty())
+        fatal("ServiceRunner: %s", oerr.c_str());
+    if (cfg_.services.empty())
+        fatal("scenario '%s' declares no [service] sections",
+              cfg_.name.c_str());
+
+    std::vector<CellTask> tasks;
+    {
+        u64 g = 0;
+        for (u32 d = 0; d < cfg_.devices.size(); ++d)
+            for (u32 s = 0; s < cfg_.services.size(); ++s, ++g)
+                if (g % opt.shardCount == opt.shardIndex)
+                    tasks.push_back({d, s});
+    }
+
+    std::optional<ServiceCache> cache;
+    if (!opt.cacheDir.empty()) {
+        cache.emplace(opt.cacheDir, cfg_.name);
+        cache->load();
+    }
+
+    // Calibration depends only on (variant config, mix), so every
+    // service cell of one variant shares it. Computed lazily — a
+    // fully cached variant never calibrates at all.
+    struct VariantCal
+    {
+        std::once_flag once;
+        Calibration cal;
+    };
+    std::vector<VariantCal> cals(cfg_.devices.size());
+
+    ServiceReport report;
+    report.runs.resize(tasks.size());
+
+    const auto campaign_t0 = std::chrono::steady_clock::now();
+    std::atomic<u64> done{0};
+    std::atomic<u64> hits{0};
+    std::mutex progress_mu;
+
+    sim::detail::forEachTask(
+        tasks.size(), opt.threads, [&](std::size_t i) {
+            const CellTask &t = tasks[i];
+            const sim::DeviceSpec &ds = cfg_.devices[t.device];
+            const sim::ServiceSpec &svc = cfg_.services[t.service];
+            const auto mix = buildMix(cfg_, ds.config);
+
+            ServiceRunRecord &rec = report.runs[i];
+            rec.variant = ds.name;
+            rec.service = svc.name;
+            rec.policy = sim::batchPolicyName(svc.policy);
+            rec.mode = svc.closedLoop ? "closed" : "open";
+            rec.devices = svc.devices;
+            rec.ratePerSec = svc.closedLoop ? 0.0 : svc.ratePerSec;
+            rec.clients = svc.closedLoop ? svc.clients : 0;
+
+            std::string key;
+            std::optional<ServiceOutcome> hit;
+            if (cache) {
+                key = ServiceCache::key(ds.config, svc, mix);
+                hit = cache->lookup(key);
+            }
+            if (hit) {
+                rec.out = *hit;
+                rec.fromCache = true;
+                hits.fetch_add(1, std::memory_order_relaxed);
+            } else {
+                VariantCal &vc = cals[t.device];
+                std::call_once(vc.once, [&]() {
+                    vc.cal = ServeSimulator::calibrateAll(
+                        ds.config, mix);
+                });
+                const ServeSimulator simulator(ds, svc, mix);
+                rec.out = simulator.run(&vc.cal);
+                if (cache) {
+                    const std::string err =
+                        cache->append(key, rec.out);
+                    if (!err.empty())
+                        warn("service cache: %s", err.c_str());
+                }
+            }
+
+            const u64 n = done.fetch_add(1) + 1;
+            if (progress) {
+                std::lock_guard<std::mutex> lock(progress_mu);
+                progress(rec, n, tasks.size());
+            }
+        });
+
+    report.cacheHits = hits.load();
+    report.cacheMisses = tasks.size() - report.cacheHits;
+    report.wallMs = opt.deterministic ? 0.0 : msSince(campaign_t0);
+    return report;
+}
+
+} // namespace pluto::serve

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * ServiceRunner: executes every (variant, service) cell of a
+ * scenario's --service mode across a thread pool.
+ *
+ * Mirrors sim::ScenarioRunner's execution discipline: cells are fully
+ * independent (each owns its own device pool and load generator),
+ * results are stored by precomputed global cell index so report order
+ * never depends on scheduling, sharding partitions the index space
+ * (`i % shardCount == shardIndex`), and a warm ServiceCache replays
+ * finished cells bit-identically — so a sharded campaign plus a merge
+ * pass emits the same bytes as a cold unsharded run.
+ */
+
+#ifndef PLUTO_SERVE_RUNNER_HH
+#define PLUTO_SERVE_RUNNER_HH
+
+#include <functional>
+
+#include "serve/metrics.hh"
+#include "sim/runner.hh"
+
+namespace pluto::serve
+{
+
+/** Aggregated outcome of one --service campaign (or one shard). */
+struct ServiceReport
+{
+    /** All cells, variant-major then service. */
+    std::vector<ServiceRunRecord> runs;
+    /** Host wall-clock of the whole campaign, milliseconds. */
+    double wallMs = 0.0;
+    /** Cells replayed from the cache / computed fresh. */
+    u64 cacheHits = 0;
+    u64 cacheMisses = 0;
+
+    /** @return true when every cell's calibrations verified. */
+    bool allVerified() const;
+};
+
+/** Batch executor for a scenario's service experiments. */
+class ServiceRunner
+{
+  public:
+    /** Called after each finished cell (serialized; for progress). */
+    using Progress = std::function<void(const ServiceRunRecord &,
+                                        u64 done, u64 total)>;
+
+    explicit ServiceRunner(sim::SimConfig cfg);
+
+    /** @return the scenario being run. */
+    const sim::SimConfig &config() const { return cfg_; }
+
+    /**
+     * Execute this process's shard of the variant x service grid
+     * under `opt` (which must validate()).
+     */
+    ServiceReport run(const sim::RunOptions &opt,
+                      const Progress &progress = nullptr) const;
+
+  private:
+    sim::SimConfig cfg_;
+};
+
+} // namespace pluto::serve
+
+#endif // PLUTO_SERVE_RUNNER_HH

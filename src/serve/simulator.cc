@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Discrete-event serving simulation (see simulator.hh).
+ */
+
+#include "serve/simulator.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <memory>
+
+#include "common/logging.hh"
+#include "workloads/workload.hh"
+
+namespace pluto::serve
+{
+
+namespace
+{
+
+/**
+ * The canonical LUT used to express kernel demand in query waves: a
+ * full 8-bit-in/8-bit-out table (256 rows), the shape of the paper's
+ * throughput workloads.
+ */
+constexpr const char *kCanonicalLut = "colorgrade";
+
+/** One pool device. */
+struct PoolDevice
+{
+    std::unique_ptr<runtime::PlutoDevice> dev;
+    runtime::LutHandle lut;
+    std::deque<Request> queue;
+    /** In-service batch (empty when idle). */
+    std::vector<Request> inFlight;
+    bool busy = false;
+    TimeNs freeAt = 0.0;
+    /** Policy deadline while waiting (kNever = event-driven only). */
+    TimeNs wakeAt = kNever;
+    TimeNs busyNs = 0.0;
+    double energyPj = 0.0;
+};
+
+/** Length of the same-class FIFO prefix of a queue. */
+u32
+eligiblePrefix(const std::deque<Request> &q)
+{
+    u32 n = 0;
+    for (const auto &r : q) {
+        if (r.cls != q.front().cls)
+            break;
+        ++n;
+    }
+    return n;
+}
+
+} // namespace
+
+TimeNs
+ServeSimulator::waveTime(const runtime::DeviceConfig &cfg)
+{
+    runtime::PlutoDevice dev(cfg);
+    const auto lut = dev.loadLut(kCanonicalLut);
+    // Warm once: BSA/GMC pay a one-time cold LUT load the steady
+    // state never sees.
+    dev.lutOpTimedOnly(lut, 1, 1);
+    dev.resetStats();
+    dev.lutOpTimedOnly(lut, 1, 1);
+    return dev.stats().timeNs;
+}
+
+ClassDemand
+ServeSimulator::calibrate(const runtime::DeviceConfig &cfg,
+                          const RequestClass &cls, TimeNs waveNs)
+{
+    const auto w = workloads::createWorkload(cls.workload);
+    PLUTO_ASSERT(w != nullptr);
+    runtime::PlutoDevice dev(cfg);
+    const auto res = w->run(dev, cls.elements, cls.seed);
+
+    ClassDemand d;
+    d.serviceNs = res.timeNs;
+    d.hostNs = res.hostNs;
+    d.kernelNs = std::max(0.0, res.timeNs - res.hostNs);
+    d.waves = std::max<u64>(
+        1, static_cast<u64>(std::llround(d.kernelNs / waveNs)));
+    d.verified = res.verified;
+    return d;
+}
+
+ServeSimulator::ServeSimulator(const sim::DeviceSpec &variant,
+                               const sim::ServiceSpec &spec,
+                               std::vector<RequestClass> mix)
+    : variant_(variant), spec_(spec), mix_(std::move(mix))
+{
+    PLUTO_ASSERT(!mix_.empty());
+}
+
+Calibration
+ServeSimulator::calibrateAll(const runtime::DeviceConfig &cfg,
+                             const std::vector<RequestClass> &mix)
+{
+    Calibration cal;
+    cal.waveNs = waveTime(cfg);
+    cal.verified = true;
+    cal.demands.reserve(mix.size());
+    for (const auto &cls : mix) {
+        cal.demands.push_back(calibrate(cfg, cls, cal.waveNs));
+        cal.verified = cal.verified && cal.demands.back().verified;
+    }
+    return cal;
+}
+
+ServiceOutcome
+ServeSimulator::run(const Calibration *cal) const
+{
+    // ---- Calibration: demand model per class, wave law once ----
+    Calibration local;
+    if (!cal) {
+        local = calibrateAll(variant_.config, mix_);
+        cal = &local;
+    }
+    PLUTO_ASSERT(cal->demands.size() == mix_.size());
+    const std::vector<ClassDemand> &demand = cal->demands;
+    const bool verified = cal->verified;
+
+    // ---- Device pool ----
+    std::vector<PoolDevice> pool(spec_.devices);
+    for (auto &d : pool) {
+        d.dev = std::make_unique<runtime::PlutoDevice>(
+            variant_.config);
+        d.lut = d.dev->loadLut(kCanonicalLut);
+        // Warm the LUT residency, then zero the scheduler so busy
+        // time starts from the virtual epoch.
+        d.dev->lutOpTimedOnly(d.lut, 1, 1);
+        d.dev->resetStats();
+    }
+    const u32 salp = pool.front().dev->salp();
+    // A request cannot occupy more lock-step lanes than the device
+    // has; charging phantom lanes would inflate energy and tFAW
+    // pressure for hardware that does not exist.
+    u32 lanes = spec_.lanes;
+    if (lanes > salp) {
+        warn("service '%s': lanes=%u exceeds device SALP %u of "
+             "variant '%s'; clamping to %u",
+             spec_.name.c_str(), lanes, salp, variant_.name.c_str(),
+             salp);
+        lanes = salp;
+    }
+    const u32 gang = std::max(1u, salp / lanes);
+
+    const auto policy = BatchPolicy::make(spec_);
+    LoadGen gen(spec_, mix_);
+    ServiceMetrics metrics;
+
+    // Serve `n` queued requests (a same-class prefix) on `d` at
+    // `now`; returns when the device frees.
+    const auto startBatch = [&](PoolDevice &d, u32 n, TimeNs now) {
+        const u32 cls = d.queue.front().cls;
+        const ClassDemand &dem = demand[cls];
+        const auto &sched = d.dev->scheduler();
+        const TimeNs t0 = sched.elapsed();
+        const double e0 = sched.energyTotal();
+
+        // ceil(n / gang) lock-step wave groups through the
+        // scheduler's batch fast path; full gangs occupy gang*lanes
+        // SALP lanes, the remainder group only what it needs.
+        const u32 full = n / gang;
+        const u32 rem = n % gang;
+        if (full > 0)
+            d.dev->lutOpTimedOnly(d.lut, dem.waves * full,
+                                  gang * lanes);
+        if (rem > 0)
+            d.dev->lutOpTimedOnly(d.lut, dem.waves,
+                                  rem * lanes);
+        if (dem.hostNs > 0.0)
+            d.dev->hostWork(dem.hostNs * n);
+
+        const TimeNs serviceNs = sched.elapsed() - t0;
+        d.busy = true;
+        d.wakeAt = kNever;
+        d.freeAt = now + serviceNs;
+        d.busyNs += serviceNs;
+        d.energyPj += sched.energyTotal() - e0;
+        d.inFlight.assign(d.queue.begin(), d.queue.begin() + n);
+        d.queue.erase(d.queue.begin(), d.queue.begin() + n);
+        metrics.onBatch(n);
+    };
+
+    bool drain = false;
+    TimeNs now = 0.0;
+    u32 stalled = 0;
+    for (;;) {
+        u64 progressed = 0;
+        // Next event: an arrival, a completion, or a policy timer.
+        TimeNs t = gen.nextArrivalAt();
+        for (const auto &d : pool) {
+            if (d.busy)
+                t = std::min(t, d.freeAt);
+            else if (!d.queue.empty())
+                t = std::min(t, d.wakeAt);
+        }
+        if (t == kNever) {
+            // Nothing scheduled. Any queued leftovers are policies
+            // waiting for arrivals that will never come: flush them.
+            bool queued = false;
+            for (const auto &d : pool)
+                queued = queued || !d.queue.empty();
+            if (!queued || drain)
+                break;
+            drain = true;
+            ++progressed; // entering drain mode is progress
+        } else {
+            now = std::max(now, t);
+        }
+
+        // 1. Completions (ties resolve in device order).
+        for (auto &d : pool) {
+            if (!d.busy || d.freeAt > now)
+                continue;
+            d.busy = false;
+            for (const auto &r : d.inFlight) {
+                metrics.onComplete(r.tenant, r.arriveNs, d.freeAt);
+                gen.onComplete(r, d.freeAt);
+                ++progressed;
+            }
+            d.inFlight.clear();
+        }
+
+        // 2. Arrivals: least-loaded dispatch (ties to the lowest
+        //    device index), queue-depth sampled after each enqueue.
+        for (const auto &r : gen.take(now)) {
+            PoolDevice *best = &pool.front();
+            auto load = [](const PoolDevice &d) {
+                return d.queue.size() + d.inFlight.size();
+            };
+            for (auto &d : pool)
+                if (load(d) < load(*best))
+                    best = &d;
+            best->queue.push_back(r);
+            ++progressed;
+            u64 depth = 0;
+            for (const auto &d : pool)
+                depth += d.queue.size();
+            metrics.onQueueDepth(depth);
+        }
+
+        // 3. Batching decisions for idle devices with work.
+        for (auto &d : pool) {
+            if (d.busy || d.queue.empty())
+                continue;
+            QueueView v;
+            v.eligible = eligiblePrefix(d.queue);
+            v.depth = static_cast<u32>(d.queue.size());
+            v.oldestArriveNs = d.queue.front().arriveNs;
+            // The prefix can still grow only if it spans the whole
+            // queue and the source may yet produce arrivals.
+            bool mayArrive = gen.hasPending();
+            if (spec_.closedLoop && !drain)
+                for (const auto &other : pool)
+                    mayArrive =
+                        mayArrive || !other.inFlight.empty();
+            v.canGrow = !drain && mayArrive &&
+                        v.eligible == v.depth;
+            const auto dec = policy->decide(v, now);
+            if (dec.take > 0) {
+                startBatch(d, std::min(dec.take, v.eligible), now);
+                ++progressed;
+            } else {
+                d.wakeAt = dec.wakeAt;
+            }
+        }
+
+        // A policy whose deadline test disagrees with its own wakeAt
+        // could pin the clock; fail loudly instead of spinning.
+        stalled = progressed ? 0 : stalled + 1;
+        if (stalled > 8)
+            panic("serving event loop stalled at t=%.3f ms "
+                  "(policy wakeAt never dispatches)",
+                  now * 1e-6);
+    }
+
+    TimeNs busyNs = 0.0;
+    double energyPj = 0.0;
+    for (const auto &d : pool) {
+        busyNs += d.busyNs;
+        energyPj += d.energyPj;
+    }
+    return metrics.finish(spec_.devices, busyNs, energyPj, verified);
+}
+
+} // namespace pluto::serve

@@ -44,19 +44,31 @@ fmtExact(double v)
 
 } // namespace
 
+std::string
+fnv1aHex(const std::string &descriptor)
+{
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(fnv1a(descriptor)));
+    return buf;
+}
+
+std::string
+fmtDoubleExact(double v)
+{
+    return fmtExact(v);
+}
+
 RunCache::RunCache(std::string dir, const std::string &scenario)
     : dir_(std::move(dir)), path_(dir_ + "/" + scenario + ".cache.jsonl")
 {
 }
 
 std::string
-RunCache::key(const runtime::DeviceConfig &cfg,
-              const std::string &workload, u64 elements, u64 seed,
-              u32 repeat)
+deviceDescriptor(const runtime::DeviceConfig &cfg)
 {
     std::ostringstream d;
-    d << "pluto-sim-cache-v" << kCacheSchema << '|'
-      << dram::memoryKindName(cfg.memory) << '|'
+    d << dram::memoryKindName(cfg.memory) << '|'
       << core::designName(cfg.design) << '|' << cfg.salp << '|'
       << fmtExact(cfg.fawScale) << '|' << cfg.modelRefresh << '|'
       << static_cast<int>(cfg.loadMethod) << '|'
@@ -72,13 +84,19 @@ RunCache::key(const runtime::DeviceConfig &cfg,
     } else {
         d << "geom:default";
     }
-    d << '|' << workload << '|' << elements << '|' << seed << '|'
-      << repeat;
+    return d.str();
+}
 
-    char buf[20];
-    std::snprintf(buf, sizeof(buf), "%016llx",
-                  static_cast<unsigned long long>(fnv1a(d.str())));
-    return buf;
+std::string
+RunCache::key(const runtime::DeviceConfig &cfg,
+              const std::string &workload, u64 elements, u64 seed,
+              u32 repeat)
+{
+    std::ostringstream d;
+    d << "pluto-sim-cache-v" << kCacheSchema << '|'
+      << deviceDescriptor(cfg) << '|' << workload << '|' << elements
+      << '|' << seed << '|' << repeat;
+    return fnv1aHex(d.str());
 }
 
 void

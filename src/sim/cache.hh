@@ -30,6 +30,22 @@
 namespace pluto::sim
 {
 
+/**
+ * @return the 16-hex-digit FNV-1a hash of `descriptor` — the content
+ * key format shared by the batch run cache and the service cache.
+ */
+std::string fnv1aHex(const std::string &descriptor);
+
+/** @return `v` formatted so it round-trips exactly (%.17g). */
+std::string fmtDoubleExact(double v);
+
+/**
+ * @return the canonical descriptor string of a device configuration:
+ * every field that can change a simulated result, in a fixed order.
+ * Shared by all content keys that depend on the device.
+ */
+std::string deviceDescriptor(const runtime::DeviceConfig &cfg);
+
 /** One cached simulated outcome (mirrors WorkloadResult + wall). */
 struct CachedRun
 {

@@ -7,6 +7,7 @@
 
 #include <cctype>
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -67,7 +68,10 @@ parseDouble(const std::string &s, double &out)
         return false;
     char *end = nullptr;
     const double v = std::strtod(s.c_str(), &end);
-    if (end != s.c_str() + s.size())
+    // Non-finite values (strtod accepts "inf"/"nan") are never valid
+    // config inputs: an infinite rate or weight hangs the serving
+    // simulation instead of failing with a diagnostic.
+    if (end != s.c_str() + s.size() || !std::isfinite(v))
         return false;
     out = v;
     return true;
@@ -135,6 +139,74 @@ applyDeviceKey(runtime::DeviceConfig &cfg, const std::string &key,
     return {};
 }
 
+/** Apply one [service] key. @return error text or empty. */
+std::string
+applyServiceKey(ServiceSpec &svc, const std::string &key,
+                const std::string &value)
+{
+    if (key == "mode") {
+        if (value == "open")
+            svc.closedLoop = false;
+        else if (value == "closed")
+            svc.closedLoop = true;
+        else
+            return "bad mode '" + value + "' (open | closed)";
+    } else if (key == "arrivals") {
+        if (value == "poisson")
+            svc.uniformArrivals = false;
+        else if (value == "uniform")
+            svc.uniformArrivals = true;
+        else
+            return "bad arrivals '" + value +
+                   "' (poisson | uniform)";
+    } else if (key == "rate") {
+        if (!parseDouble(value, svc.ratePerSec) ||
+            !(svc.ratePerSec > 0.0))
+            return "bad rate '" + value + "' (requests/s > 0)";
+    } else if (key == "duration_ms") {
+        if (!parseDouble(value, svc.durationMs) ||
+            !(svc.durationMs > 0.0))
+            return "bad duration_ms '" + value + "' (ms > 0)";
+    } else if (key == "clients") {
+        if (!parseU32(value, svc.clients) || svc.clients == 0)
+            return "bad clients '" + value + "' (integer >= 1)";
+    } else if (key == "think_ms") {
+        if (!parseDouble(value, svc.thinkMs) || !(svc.thinkMs >= 0.0))
+            return "bad think_ms '" + value + "' (ms >= 0)";
+    } else if (key == "policy") {
+        if (value == "immediate")
+            svc.policy = BatchPolicyKind::Immediate;
+        else if (value == "fixed")
+            svc.policy = BatchPolicyKind::FixedSize;
+        else if (value == "window")
+            svc.policy = BatchPolicyKind::TimeWindow;
+        else if (value == "adaptive")
+            svc.policy = BatchPolicyKind::Adaptive;
+        else
+            return "bad policy '" + value +
+                   "' (immediate | fixed | window | adaptive)";
+    } else if (key == "batch") {
+        if (!parseU32(value, svc.batch) || svc.batch == 0)
+            return "bad batch '" + value + "' (integer >= 1)";
+    } else if (key == "window_ms") {
+        if (!parseDouble(value, svc.windowMs) ||
+            !(svc.windowMs >= 0.0))
+            return "bad window_ms '" + value + "' (ms >= 0)";
+    } else if (key == "devices") {
+        if (!parseU32(value, svc.devices) || svc.devices == 0)
+            return "bad devices '" + value + "' (integer >= 1)";
+    } else if (key == "lanes") {
+        if (!parseU32(value, svc.lanes) || svc.lanes == 0)
+            return "bad lanes '" + value + "' (integer >= 1)";
+    } else if (key == "seed") {
+        if (!parseU64(value, svc.seed))
+            return "bad seed '" + value + "' (unsigned integer)";
+    } else {
+        return "unknown service key '" + key + "'";
+    }
+    return {};
+}
+
 /** One `sweep KEY = v1, v2, ...` line, kept until expansion. */
 struct Sweep
 {
@@ -164,6 +236,16 @@ struct WorkloadDraft
     std::vector<Sweep> sweeps;
     int lineno = 0;
 };
+
+/** A [service] section before grid expansion. */
+struct ServiceDraft
+{
+    ServiceSpec spec;
+    std::vector<std::string> assigned;
+    std::vector<Sweep> sweeps;
+    int lineno = 0;
+};
+
 
 bool
 contains(const std::vector<std::string> &v, const std::string &s)
@@ -242,6 +324,22 @@ gridSize(const std::vector<Sweep> &sweeps)
 
 } // namespace
 
+const char *
+batchPolicyName(BatchPolicyKind kind)
+{
+    switch (kind) {
+      case BatchPolicyKind::Immediate:
+        return "immediate";
+      case BatchPolicyKind::FixedSize:
+        return "fixed";
+      case BatchPolicyKind::TimeWindow:
+        return "window";
+      case BatchPolicyKind::Adaptive:
+        return "adaptive";
+    }
+    return "?";
+}
+
 u64
 SimConfig::totalRuns() const
 {
@@ -249,6 +347,12 @@ SimConfig::totalRuns() const
     for (const auto &w : workloads)
         per_variant += static_cast<u64>(w.repeats) * repeats;
     return per_variant * devices.size();
+}
+
+u64
+SimConfig::totalServiceRuns() const
+{
+    return static_cast<u64>(devices.size()) * services.size();
 }
 
 std::optional<SimConfig>
@@ -261,6 +365,7 @@ SimConfig::parse(const std::string &text, std::string &error)
         Device,
         Variant,
         Workload,
+        Service,
     };
 
     SimConfig cfg;
@@ -269,6 +374,7 @@ SimConfig::parse(const std::string &text, std::string &error)
     std::vector<Sweep> deviceSweeps;
     std::vector<VariantDraft> variants;
     std::vector<WorkloadDraft> workloads;
+    std::vector<ServiceDraft> services;
     Section section = Section::None;
     int lineno = 0;
 
@@ -326,12 +432,24 @@ SimConfig::parse(const std::string &text, std::string &error)
                     return fail("[workload] needs a name");
                 if (!workloads::createWorkload(arg))
                     return fail("unknown workload '" + arg +
-                                "' (see pluto_sim --list)");
+                                "' (available: " +
+                                workloads::workloadNamesJoined() +
+                                ")");
                 WorkloadDraft w;
-                w.spec = {arg, 0, 1, 0};
+                w.spec.name = arg;
                 w.lineno = lineno;
                 workloads.push_back(std::move(w));
                 section = Section::Workload;
+            } else if (head == "service") {
+                ServiceDraft s;
+                s.spec.name = arg.empty() ? "service" : arg;
+                for (const auto &other : services)
+                    if (other.spec.name == s.spec.name)
+                        return fail("duplicate service '" +
+                                    s.spec.name + "'");
+                s.lineno = lineno;
+                services.push_back(std::move(s));
+                section = Section::Service;
             } else {
                 return fail("unknown section [" + head + "]");
             }
@@ -470,8 +588,48 @@ SimConfig::parse(const std::string &text, std::string &error)
                     w.spec.repeats == 0)
                     return fail("bad repeats '" + value +
                                 "' (integer >= 1)");
+            } else if (key == "tenant") {
+                if (!parseU32(value, w.spec.tenant))
+                    return fail("bad tenant '" + value +
+                                "' (unsigned integer)");
+            } else if (key == "weight") {
+                if (!parseDouble(value, w.spec.weight) ||
+                    !(w.spec.weight > 0.0))
+                    return fail("bad weight '" + value +
+                                "' (> 0)");
             } else {
                 return fail("unknown workload key '" + key + "'");
+            }
+            break;
+          }
+          case Section::Service: {
+            ServiceDraft &s = services.back();
+            if (isSweep) {
+                if (sweepsKey(s.sweeps, key))
+                    return fail("duplicate sweep key '" + key + "'");
+                if (contains(s.assigned, key))
+                    return fail("'" + key +
+                                "' is both set and swept in this "
+                                "section");
+                for (const auto &v : sweep.values) {
+                    ServiceSpec scratch = s.spec;
+                    const std::string err =
+                        applyServiceKey(scratch, key, v);
+                    if (!err.empty())
+                        return fail(err);
+                }
+                s.sweeps.push_back(std::move(sweep));
+            } else {
+                if (sweepsKey(s.sweeps, key))
+                    return fail("'" + key +
+                                "' is both set and swept in this "
+                                "section");
+                const std::string err =
+                    applyServiceKey(s.spec, key, value);
+                if (!err.empty())
+                    return fail(err);
+                if (!contains(s.assigned, key))
+                    s.assigned.push_back(key);
             }
             break;
           }
@@ -567,6 +725,40 @@ SimConfig::parse(const std::string &text, std::string &error)
                     return failAt(s.lineno, err);
             }
             cfg.workloads.push_back(std::move(spec));
+        }
+    }
+
+    for (const auto &draft : services) {
+        const u64 combos = gridSize(draft.sweeps);
+        if (combos == 0)
+            return failAt(draft.lineno,
+                          "sweep grid of service '" +
+                              draft.spec.name +
+                              "' exceeds 4096 combinations");
+        for (u64 c = 0; c < combos; ++c) {
+            ServiceSpec spec = draft.spec;
+            u64 rest = c;
+            for (std::size_t k = 0; k < draft.sweeps.size(); ++k) {
+                u64 span = 1;
+                for (std::size_t j = k + 1; j < draft.sweeps.size();
+                     ++j)
+                    span *= draft.sweeps[j].values.size();
+                const Sweep &s = draft.sweeps[k];
+                const std::string &v =
+                    s.values[(rest / span) % s.values.size()];
+                rest %= span;
+                const std::string err =
+                    applyServiceKey(spec, s.key, v);
+                if (!err.empty())
+                    return failAt(s.lineno, err);
+                spec.name += "/" + s.key + "=" + v;
+            }
+            for (const auto &other : cfg.services)
+                if (other.name == spec.name)
+                    return failAt(draft.lineno,
+                                  "duplicate service '" + spec.name +
+                                      "' after grid expansion");
+            cfg.services.push_back(std::move(spec));
         }
     }
 

@@ -22,6 +22,14 @@
  *
  *   sweep KEY = v1, v2, v3
  *
+ * v3 adds the service layer: [service NAME] sections describe
+ * request-level serving experiments (open/closed-loop load, batching
+ * policy, device pool size) executed by src/serve/ in `pluto_sim
+ * --service` mode. Every service key is sweepable, so one file
+ * expresses a saturation curve (`sweep rate = ...`). Workload
+ * sections double as the request mix in service mode, weighted by
+ * `weight` and attributed to `tenant`.
+ *
  * Each section expands into the cross product of its sweep lists (in
  * declaration order, first key slowest), so one file expresses a
  * Figure-13-style campaign. Expanded variants are named
@@ -66,6 +74,61 @@ struct WorkloadSpec
     u32 repeats = 1;
     /** Input-generation seed (0 = the historical fixed inputs). */
     u64 seed = 0;
+    /** Service mode: tenant this request class is attributed to. */
+    u32 tenant = 0;
+    /** Service mode: relative weight in the request mix. */
+    double weight = 1.0;
+};
+
+/** Batching policy of a service section. */
+enum class BatchPolicyKind
+{
+    /** No batching: serve one request at a time. */
+    Immediate,
+    /** Wait until `batch` same-class requests queue, then serve. */
+    FixedSize,
+    /** Serve once the oldest queued request waited `window_ms`. */
+    TimeWindow,
+    /** Drain the whole eligible queue prefix, up to `batch`. */
+    Adaptive,
+};
+
+/** @return the INI spelling of a batching policy. */
+const char *batchPolicyName(BatchPolicyKind kind);
+
+/**
+ * One request-level serving experiment (a [service NAME] section).
+ * Runs against every device variant of the scenario; the scenario's
+ * [workload] entries are the request mix.
+ */
+struct ServiceSpec
+{
+    /** Service label used in reports ("sat/rate=2000", ...). */
+    std::string name;
+    /** Closed-loop (clients + think time) vs open-loop arrivals. */
+    bool closedLoop = false;
+    /** Open loop: deterministic uniform spacing vs seeded Poisson. */
+    bool uniformArrivals = false;
+    /** Open loop: offered arrival rate, requests per second. */
+    double ratePerSec = 1000.0;
+    /** Open loop: arrival window, simulated milliseconds. */
+    double durationMs = 100.0;
+    /** Closed loop: client population. */
+    u32 clients = 8;
+    /** Closed loop: mean think time, simulated milliseconds. */
+    double thinkMs = 1.0;
+    /** Batching policy of every device queue. */
+    BatchPolicyKind policy = BatchPolicyKind::Immediate;
+    /** Fixed batch size / adaptive and window batch cap. */
+    u32 batch = 8;
+    /** TimeWindow policy: max wait of the oldest request, ms. */
+    double windowMs = 0.05;
+    /** Simulated device pool size. */
+    u32 devices = 1;
+    /** SALP lanes one request occupies in a lock-step wave. */
+    u32 lanes = 16;
+    /** Load-generation seed (arrival draws and mix choices). */
+    u64 seed = 1;
 };
 
 /** A parsed scenario. */
@@ -81,9 +144,14 @@ struct SimConfig
     std::vector<DeviceSpec> devices;
     /** Workload list (at least one after a successful parse). */
     std::vector<WorkloadSpec> workloads;
+    /** Serving experiments (may be empty; used by --service mode). */
+    std::vector<ServiceSpec> services;
 
     /** @return total number of runs the scenario describes. */
     u64 totalRuns() const;
+
+    /** @return variant x service cell count of --service mode. */
+    u64 totalServiceRuns() const;
 
     /**
      * Parse scenario `text`. On failure @return std::nullopt and set

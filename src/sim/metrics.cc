@@ -5,7 +5,6 @@
 
 #include "sim/metrics.hh"
 
-#include <cstdio>
 #include <map>
 #include <tuple>
 
@@ -17,20 +16,6 @@ namespace pluto::sim
 
 namespace
 {
-
-std::string
-fmt(const char *f, double v)
-{
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), f, v);
-    return buf;
-}
-
-std::string
-fmtU64(u64 v)
-{
-    return std::to_string(v);
-}
 
 /** Speedup of a simulated rate vs a host baseline rate. */
 double
@@ -67,17 +52,17 @@ MetricsSink::renderCsv(const SimConfig &cfg,
             fmtU64(r.repeat),
             fmtU64(r.seed),
             fmtU64(r.result.elements),
-            fmt("%.6f", r.result.timeNs),
-            fmt("%.9f", npe),
-            fmt("%.6f", r.result.energyPj),
-            fmt("%.9f", r.result.pjPerElem()),
-            fmt("%.6f", r.result.hostNs),
+            fmtNum("%.6f", r.result.timeNs),
+            fmtNum("%.9f", npe),
+            fmtNum("%.6f", r.result.energyPj),
+            fmtNum("%.9f", r.result.pjPerElem()),
+            fmtNum("%.6f", r.result.hostNs),
             r.result.verified ? "yes" : "no",
-            fmt("%.4f", speedup(r.rates.cpu, npe)),
-            fmt("%.4f", speedup(r.rates.gpu, npe)),
-            fmt("%.4f", speedup(r.rates.fpga, npe)),
-            fmt("%.4f", speedup(r.rates.pnm, npe)),
-            fmt("%.3f", r.wallMs),
+            fmtNum("%.4f", speedup(r.rates.cpu, npe)),
+            fmtNum("%.4f", speedup(r.rates.gpu, npe)),
+            fmtNum("%.4f", speedup(r.rates.fpga, npe)),
+            fmtNum("%.4f", speedup(r.rates.pnm, npe)),
+            fmtNum("%.3f", r.wallMs),
         });
     }
     return csv.render();

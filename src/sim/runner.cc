@@ -39,6 +39,37 @@ msSince(const std::chrono::steady_clock::time_point &t0)
 
 } // namespace
 
+void
+detail::forEachTask(std::size_t count, u32 threads,
+                    const std::function<void(std::size_t)> &fn)
+{
+    if (threads == 0)
+        threads = std::max(1u, std::thread::hardware_concurrency());
+    threads = std::min<u32>(threads,
+                            std::max<std::size_t>(count, 1));
+
+    std::atomic<std::size_t> next{0};
+    const auto worker = [&]() {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count)
+                return;
+            fn(i);
+        }
+    };
+    if (threads == 1) {
+        worker();
+        return;
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (u32 i = 0; i < threads; ++i)
+        pool.emplace_back(worker);
+    for (auto &th : pool)
+        th.join();
+}
+
 bool
 ScenarioReport::allVerified() const
 {
@@ -103,24 +134,13 @@ ScenarioRunner::run(const RunOptions &opt,
     ScenarioReport report;
     report.runs.resize(tasks.size());
 
-    u32 threads = opt.threads;
-    if (threads == 0)
-        threads = std::max(1u, std::thread::hardware_concurrency());
-    threads = std::min<u32>(threads,
-                            std::max<std::size_t>(tasks.size(), 1));
-
     const auto campaign_t0 = std::chrono::steady_clock::now();
-    std::atomic<std::size_t> next{0};
     std::atomic<u64> done{0};
     std::atomic<u64> hits{0};
     std::mutex progress_mu;
 
-    const auto worker = [&]() {
-        for (;;) {
-            const std::size_t i =
-                next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= tasks.size())
-                return;
+    detail::forEachTask(
+        tasks.size(), opt.threads, [&](std::size_t i) {
             const RunTask &t = tasks[i];
             const DeviceSpec &ds = cfg_.devices[t.device];
             const WorkloadSpec &ws = cfg_.workloads[t.workload];
@@ -187,19 +207,7 @@ ScenarioRunner::run(const RunOptions &opt,
                 std::lock_guard<std::mutex> lock(progress_mu);
                 progress(rec, n, tasks.size());
             }
-        }
-    };
-
-    if (threads == 1) {
-        worker();
-    } else {
-        std::vector<std::thread> pool;
-        pool.reserve(threads);
-        for (u32 i = 0; i < threads; ++i)
-            pool.emplace_back(worker);
-        for (auto &th : pool)
-            th.join();
-    }
+        });
 
     report.cacheHits = hits.load();
     report.cacheMisses = tasks.size() - report.cacheHits;

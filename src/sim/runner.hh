@@ -93,6 +93,21 @@ struct RunOptions
     std::string validate() const;
 };
 
+namespace detail
+{
+
+/**
+ * Shared campaign scaffolding: execute `count` indexed tasks across
+ * `threads` worker threads (0 = hardware concurrency, clamped to the
+ * task count) pulling indices from one atomic queue. Both the batch
+ * ScenarioRunner and serve::ServiceRunner run on this, so the
+ * execution discipline cannot diverge between modes.
+ */
+void forEachTask(std::size_t count, u32 threads,
+                 const std::function<void(std::size_t)> &fn);
+
+} // namespace detail
+
 /** Batch executor for one scenario. */
 class ScenarioRunner
 {

@@ -93,7 +93,8 @@ makeWorkload(const std::string &name)
 {
     auto w = createWorkload(name);
     if (!w)
-        fatal("unknown workload '%s'", name.c_str());
+        fatal("unknown workload '%s' (available: %s)", name.c_str(),
+              workloadNamesJoined().c_str());
     return w;
 }
 
@@ -103,6 +104,18 @@ workloadNames()
     std::vector<std::string> out;
     for (const auto &e : kRegistry)
         out.emplace_back(e.name);
+    return out;
+}
+
+std::string
+workloadNamesJoined()
+{
+    std::string out;
+    for (const auto &e : kRegistry) {
+        if (!out.empty())
+            out += ", ";
+        out += e.name;
+    }
     return out;
 }
 

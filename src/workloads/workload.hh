@@ -132,6 +132,9 @@ WorkloadPtr makeWorkload(const std::string &name);
 /** All registered workload names, in registry order. */
 std::vector<std::string> workloadNames();
 
+/** "A, B, C" join of all registered names (for error messages). */
+std::string workloadNamesJoined();
+
 // Factories (one per Table 4 row).
 WorkloadPtr makeImageBinarization();
 WorkloadPtr makeColorGrade();

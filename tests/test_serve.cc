@@ -1,0 +1,398 @@
+/**
+ * @file
+ * Service-layer tests: batching policy decisions, deterministic load
+ * generation, the serving simulator's invariants (bit-identical
+ * reruns, tenant accounting, saturation behavior, batching with SALP
+ * headroom) and the service cache round trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "serve/cache.hh"
+#include "serve/loadgen.hh"
+#include "serve/policy.hh"
+#include "serve/simulator.hh"
+
+namespace pluto::serve
+{
+namespace
+{
+
+sim::ServiceSpec
+specWith(sim::BatchPolicyKind policy)
+{
+    sim::ServiceSpec svc;
+    svc.policy = policy;
+    svc.batch = 4;
+    svc.windowMs = 0.05;
+    return svc;
+}
+
+TEST(BatchPolicy, ImmediateAlwaysTakesOne)
+{
+    const auto p =
+        BatchPolicy::make(specWith(sim::BatchPolicyKind::Immediate));
+    QueueView v{8, 8, 0.0, true};
+    EXPECT_EQ(p->decide(v, 100.0).take, 1u);
+}
+
+TEST(BatchPolicy, FixedWaitsThenTakesK)
+{
+    const auto p =
+        BatchPolicy::make(specWith(sim::BatchPolicyKind::FixedSize));
+    QueueView v{2, 2, 0.0, true};
+    EXPECT_EQ(p->decide(v, 0.0).take, 0u); // waits for 4
+    v.eligible = v.depth = 5;
+    EXPECT_EQ(p->decide(v, 0.0).take, 4u); // takes exactly k
+    // A capped prefix (or drain) flushes what is there.
+    v.eligible = 2;
+    v.canGrow = false;
+    EXPECT_EQ(p->decide(v, 0.0).take, 2u);
+}
+
+TEST(BatchPolicy, WindowWaitsUntilDeadline)
+{
+    const auto p = BatchPolicy::make(
+        specWith(sim::BatchPolicyKind::TimeWindow));
+    QueueView v{2, 2, 1000.0, true};
+    const TimeNs window = 0.05 * 1e6;
+    const auto wait = p->decide(v, 1000.0);
+    EXPECT_EQ(wait.take, 0u);
+    EXPECT_DOUBLE_EQ(wait.wakeAt, 1000.0 + window);
+    // At its own wakeAt the policy must dispatch (a disagreement
+    // here would pin the virtual clock).
+    EXPECT_EQ(p->decide(v, wait.wakeAt).take, 2u);
+    // The cap short-circuits the wait.
+    v.eligible = v.depth = 9;
+    EXPECT_EQ(p->decide(v, 1000.0).take, 4u);
+}
+
+TEST(BatchPolicy, AdaptiveDrainsUpToCap)
+{
+    const auto p =
+        BatchPolicy::make(specWith(sim::BatchPolicyKind::Adaptive));
+    QueueView v{3, 3, 0.0, true};
+    EXPECT_EQ(p->decide(v, 0.0).take, 3u);
+    v.eligible = v.depth = 9;
+    EXPECT_EQ(p->decide(v, 0.0).take, 4u);
+}
+
+std::vector<RequestClass>
+twoClassMix()
+{
+    RequestClass a;
+    a.workload = "Bitwise-AND";
+    a.elements = 4096;
+    a.tenant = 0;
+    a.weight = 1.0;
+    RequestClass b;
+    b.workload = "CRC-8";
+    b.elements = 1024;
+    b.tenant = 3;
+    b.weight = 0.5;
+    return {a, b};
+}
+
+TEST(LoadGen, UniformOpenLoopIsExactSpacing)
+{
+    sim::ServiceSpec svc;
+    svc.uniformArrivals = true;
+    svc.ratePerSec = 1000.0; // 1 per ms
+    svc.durationMs = 10.0;
+    LoadGen gen(svc, twoClassMix());
+    const auto all = gen.take(1e12);
+    ASSERT_EQ(all.size(), 10u);
+    for (std::size_t i = 0; i < all.size(); ++i) {
+        EXPECT_DOUBLE_EQ(all[i].arriveNs, (i + 1) * 1e6);
+        EXPECT_EQ(all[i].id, i);
+    }
+}
+
+TEST(LoadGen, PoissonIsSeededAndReproducible)
+{
+    sim::ServiceSpec svc;
+    svc.ratePerSec = 5000.0;
+    svc.durationMs = 20.0;
+    svc.seed = 99;
+    LoadGen a(svc, twoClassMix());
+    LoadGen b(svc, twoClassMix());
+    const auto ra = a.take(1e12);
+    const auto rb = b.take(1e12);
+    ASSERT_EQ(ra.size(), rb.size());
+    ASSERT_GT(ra.size(), 20u);
+    bool sawBoth[2] = {false, false};
+    for (std::size_t i = 0; i < ra.size(); ++i) {
+        EXPECT_DOUBLE_EQ(ra[i].arriveNs, rb[i].arriveNs);
+        EXPECT_EQ(ra[i].cls, rb[i].cls);
+        ASSERT_LT(ra[i].cls, 2u);
+        sawBoth[ra[i].cls] = true;
+        if (i)
+            EXPECT_GT(ra[i].arriveNs, ra[i - 1].arriveNs);
+        EXPECT_LE(ra[i].arriveNs, svc.durationMs * 1e6);
+    }
+    EXPECT_TRUE(sawBoth[0]);
+    EXPECT_TRUE(sawBoth[1]);
+
+    svc.seed = 100;
+    LoadGen c(svc, twoClassMix());
+    const auto rc = c.take(1e12);
+    ASSERT_FALSE(rc.empty());
+    EXPECT_NE(ra[0].arriveNs, rc[0].arriveNs);
+}
+
+TEST(LoadGen, ClosedLoopKeepsPopulationBounded)
+{
+    sim::ServiceSpec svc;
+    svc.closedLoop = true;
+    svc.clients = 4;
+    svc.thinkMs = 0.5;
+    svc.durationMs = 100.0;
+    LoadGen gen(svc, twoClassMix());
+    auto first = gen.take(1e12);
+    EXPECT_LE(first.size(), 4u);
+    EXPECT_FALSE(gen.hasPending());
+    // A completion re-arms exactly one client.
+    ASSERT_FALSE(first.empty());
+    gen.onComplete(first[0], 1e6);
+    EXPECT_TRUE(gen.hasPending());
+    const auto next = gen.take(1e12);
+    ASSERT_EQ(next.size(), 1u);
+    EXPECT_GE(next[0].arriveNs, 1e6);
+    // Completions past the duration retire the client.
+    gen.onComplete(next[0], svc.durationMs * 1e6 + 1.0);
+    EXPECT_FALSE(gen.hasPending());
+}
+
+TEST(LoadGen, TenantComesFromClass)
+{
+    sim::ServiceSpec svc;
+    svc.uniformArrivals = true;
+    svc.ratePerSec = 1000.0;
+    svc.durationMs = 30.0;
+    LoadGen gen(svc, twoClassMix());
+    for (const auto &r : gen.take(1e12))
+        EXPECT_EQ(r.tenant, r.cls == 0 ? 0u : 3u);
+}
+
+TEST(BuildMix, ResolvesDefaultElements)
+{
+    sim::SimConfig cfg;
+    sim::WorkloadSpec w;
+    w.name = "CRC-8";
+    w.elements = 0; // paper-scale default
+    w.tenant = 7;
+    w.weight = 2.0;
+    cfg.workloads.push_back(w);
+    runtime::DeviceConfig dev;
+    const auto mix = buildMix(cfg, dev);
+    ASSERT_EQ(mix.size(), 1u);
+    EXPECT_GT(mix[0].elements, 0u);
+    EXPECT_EQ(mix[0].tenant, 7u);
+    EXPECT_DOUBLE_EQ(mix[0].weight, 2.0);
+}
+
+/** Small light-load serving cell shared by the simulator tests. */
+sim::DeviceSpec
+testVariant(u32 salp = 0)
+{
+    sim::DeviceSpec ds;
+    ds.name = "test";
+    ds.config.design = core::Design::Gmc;
+    ds.config.salp = salp;
+    return ds;
+}
+
+sim::ServiceSpec
+testService(sim::BatchPolicyKind policy, double rate)
+{
+    sim::ServiceSpec svc;
+    svc.policy = policy;
+    svc.ratePerSec = rate;
+    svc.durationMs = 5.0;
+    svc.batch = 8;
+    svc.devices = 2;
+    svc.lanes = 16;
+    svc.seed = 11;
+    return svc;
+}
+
+void
+expectSameOutcome(const ServiceOutcome &a, const ServiceOutcome &b)
+{
+    EXPECT_EQ(a.requests, b.requests);
+    EXPECT_EQ(a.batches, b.batches);
+    EXPECT_EQ(a.makespanMs, b.makespanMs);
+    EXPECT_EQ(a.throughputRps, b.throughputRps);
+    EXPECT_EQ(a.meanMs, b.meanMs);
+    EXPECT_EQ(a.p50Ms, b.p50Ms);
+    EXPECT_EQ(a.p99Ms, b.p99Ms);
+    EXPECT_EQ(a.p999Ms, b.p999Ms);
+    EXPECT_EQ(a.maxMs, b.maxMs);
+    EXPECT_EQ(a.meanQueueDepth, b.meanQueueDepth);
+    EXPECT_EQ(a.utilization, b.utilization);
+    EXPECT_EQ(a.pjPerRequest, b.pjPerRequest);
+    ASSERT_EQ(a.tenants.size(), b.tenants.size());
+    for (std::size_t i = 0; i < a.tenants.size(); ++i) {
+        EXPECT_EQ(a.tenants[i].tenant, b.tenants[i].tenant);
+        EXPECT_EQ(a.tenants[i].requests, b.tenants[i].requests);
+        EXPECT_EQ(a.tenants[i].p99Ms, b.tenants[i].p99Ms);
+    }
+}
+
+TEST(ServeSimulator, RerunsAreBitIdentical)
+{
+    const auto variant = testVariant();
+    const auto svc =
+        testService(sim::BatchPolicyKind::Adaptive, 3000.0);
+    const auto mix = twoClassMix();
+    const auto a = ServeSimulator(variant, svc, mix).run();
+    const auto b = ServeSimulator(variant, svc, mix).run();
+    ASSERT_GT(a.requests, 0u);
+    EXPECT_TRUE(a.verified);
+    expectSameOutcome(a, b);
+}
+
+TEST(ServeSimulator, TenantRequestsSumToTotal)
+{
+    const auto out =
+        ServeSimulator(testVariant(),
+                       testService(sim::BatchPolicyKind::Immediate,
+                                   4000.0),
+                       twoClassMix())
+            .run();
+    ASSERT_EQ(out.tenants.size(), 2u);
+    EXPECT_EQ(out.tenants[0].tenant, 0u);
+    EXPECT_EQ(out.tenants[1].tenant, 3u);
+    EXPECT_EQ(out.tenants[0].requests + out.tenants[1].requests,
+              out.requests);
+    // Per-tenant tails are bounded by the overall max.
+    EXPECT_LE(out.tenants[0].p999Ms, out.maxMs + 1e-12);
+    EXPECT_LE(out.tenants[1].p999Ms, out.maxMs + 1e-12);
+}
+
+TEST(ServeSimulator, OverloadGrowsTailLatency)
+{
+    const auto variant = testVariant();
+    const auto mix = twoClassMix();
+    const auto light =
+        ServeSimulator(variant,
+                       testService(
+                           sim::BatchPolicyKind::Immediate, 500.0),
+                       mix)
+            .run();
+    const auto heavy =
+        ServeSimulator(variant,
+                       testService(
+                           sim::BatchPolicyKind::Immediate, 50000.0),
+                       mix)
+            .run();
+    ASSERT_GT(light.requests, 0u);
+    ASSERT_GT(heavy.requests, light.requests);
+    // Past saturation the queues grow for the whole window: p99 must
+    // blow up by far more than the load ratio alone explains.
+    EXPECT_GT(heavy.p99Ms, light.p99Ms * 10.0);
+    EXPECT_GT(heavy.meanQueueDepth, light.meanQueueDepth);
+}
+
+TEST(ServeSimulator, SalpHeadroomMakesBatchingWin)
+{
+    // 8 gangs of 16 lanes: the adaptive batcher shares lock-step
+    // waves and must beat the immediate server's capacity under
+    // saturating single-class load.
+    sim::DeviceSpec variant = testVariant(128);
+    sim::ServiceSpec imm =
+        testService(sim::BatchPolicyKind::Immediate, 400000.0);
+    imm.devices = 1;
+    sim::ServiceSpec ada = imm;
+    ada.policy = sim::BatchPolicyKind::Adaptive;
+    std::vector<RequestClass> mix = {twoClassMix()[0]};
+
+    const auto a = ServeSimulator(variant, imm, mix).run();
+    const auto b = ServeSimulator(variant, ada, mix).run();
+    ASSERT_EQ(a.requests, b.requests); // same arrival stream
+    EXPECT_GT(b.meanBatch, 1.0);
+    EXPECT_GT(b.throughputRps, a.throughputRps);
+    EXPECT_LT(b.makespanMs, a.makespanMs);
+}
+
+TEST(ServiceCache, RoundTripsOutcomesBitIdentically)
+{
+    namespace fs = std::filesystem;
+    const auto dir =
+        (fs::temp_directory_path() / "pluto_serve_cache_test")
+            .string();
+    fs::remove_all(dir);
+
+    ServiceOutcome out;
+    out.requests = 123;
+    out.batches = 17;
+    out.meanBatch = 123.0 / 17.0;
+    out.makespanMs = 1.0 / 3.0;
+    out.throughputRps = 2.0 / 7.0;
+    out.meanMs = 0.1;
+    out.p50Ms = 0.2;
+    out.p95Ms = 0.3;
+    out.p99Ms = 0.4;
+    out.p999Ms = 0.5;
+    out.maxMs = 0.6;
+    out.meanQueueDepth = 1.5;
+    out.maxQueueDepth = 9.0;
+    out.utilization = 0.999;
+    out.pjPerRequest = 1e7 / 3.0;
+    out.verified = true;
+    TenantSummary t;
+    t.tenant = 4;
+    t.requests = 50;
+    t.meanMs = 0.11;
+    t.p50Ms = 0.21;
+    t.p95Ms = 0.31;
+    t.p99Ms = 0.41;
+    t.p999Ms = 0.51;
+    t.maxMs = 0.61;
+    out.tenants.push_back(t);
+
+    {
+        ServiceCache cache(dir, "unit");
+        cache.load();
+        EXPECT_EQ(cache.entries(), 0u);
+        EXPECT_TRUE(cache.append("k1", out).empty());
+    }
+    ServiceCache cache(dir, "unit");
+    cache.load();
+    EXPECT_EQ(cache.entries(), 1u);
+    EXPECT_EQ(cache.corruptLines(), 0u);
+    const auto hit = cache.lookup("k1");
+    ASSERT_TRUE(hit);
+    expectSameOutcome(*hit, out);
+    EXPECT_EQ(hit->verified, out.verified);
+    EXPECT_EQ(hit->maxQueueDepth, out.maxQueueDepth);
+    EXPECT_FALSE(cache.lookup("k2"));
+    fs::remove_all(dir);
+}
+
+TEST(ServiceCache, KeySeparatesSpecsAndMixes)
+{
+    runtime::DeviceConfig dev;
+    sim::ServiceSpec svc;
+    const auto mix = twoClassMix();
+    const auto base = ServiceCache::key(dev, svc, mix);
+    EXPECT_EQ(base, ServiceCache::key(dev, svc, mix));
+
+    sim::ServiceSpec svc2 = svc;
+    svc2.ratePerSec += 1.0;
+    EXPECT_NE(base, ServiceCache::key(dev, svc2, mix));
+
+    auto mix2 = mix;
+    mix2[1].weight = 0.75;
+    EXPECT_NE(base, ServiceCache::key(dev, svc, mix2));
+
+    runtime::DeviceConfig dev2;
+    dev2.salp = 64;
+    EXPECT_NE(base, ServiceCache::key(dev2, svc, mix));
+}
+
+} // namespace
+} // namespace pluto::serve

@@ -155,6 +155,92 @@ TEST(SimConfig, SingleValueSweepAndImplicitDefaultVariant)
     EXPECT_EQ(cfg->devices[0].config.salp, 4u);
 }
 
+TEST(SimConfig, ParsesServiceSections)
+{
+    std::string err;
+    const auto cfg = SimConfig::parse(R"(
+[workload ColorGrade]
+elements = 4096
+tenant = 2
+weight = 0.5
+[service sat]
+mode = open
+arrivals = uniform
+rate = 2500.5
+duration_ms = 75
+policy = window
+batch = 12
+window_ms = 0.25
+devices = 3
+lanes = 32
+seed = 9
+[service cl]
+mode = closed
+clients = 24
+think_ms = 1.5
+policy = fixed
+)",
+                                      err);
+    ASSERT_TRUE(cfg) << err;
+    ASSERT_EQ(cfg->workloads.size(), 1u);
+    EXPECT_EQ(cfg->workloads[0].tenant, 2u);
+    EXPECT_DOUBLE_EQ(cfg->workloads[0].weight, 0.5);
+
+    ASSERT_EQ(cfg->services.size(), 2u);
+    const ServiceSpec &sat = cfg->services[0];
+    EXPECT_EQ(sat.name, "sat");
+    EXPECT_FALSE(sat.closedLoop);
+    EXPECT_TRUE(sat.uniformArrivals);
+    EXPECT_DOUBLE_EQ(sat.ratePerSec, 2500.5);
+    EXPECT_DOUBLE_EQ(sat.durationMs, 75.0);
+    EXPECT_EQ(sat.policy, BatchPolicyKind::TimeWindow);
+    EXPECT_EQ(sat.batch, 12u);
+    EXPECT_DOUBLE_EQ(sat.windowMs, 0.25);
+    EXPECT_EQ(sat.devices, 3u);
+    EXPECT_EQ(sat.lanes, 32u);
+    EXPECT_EQ(sat.seed, 9u);
+    const ServiceSpec &cl = cfg->services[1];
+    EXPECT_TRUE(cl.closedLoop);
+    EXPECT_EQ(cl.clients, 24u);
+    EXPECT_DOUBLE_EQ(cl.thinkMs, 1.5);
+    EXPECT_EQ(cl.policy, BatchPolicyKind::FixedSize);
+
+    // 1 implicit variant x 2 services.
+    EXPECT_EQ(cfg->totalServiceRuns(), 2u);
+}
+
+TEST(SimConfig, ExpandsServiceSweeps)
+{
+    std::string err;
+    const auto cfg = SimConfig::parse(R"(
+[workload ADD4]
+[service sat]
+sweep rate = 1000, 2000, 4000
+sweep policy = immediate, adaptive
+)",
+                                      err);
+    ASSERT_TRUE(cfg) << err;
+    ASSERT_EQ(cfg->services.size(), 6u);
+    EXPECT_EQ(cfg->services[0].name,
+              "sat/rate=1000/policy=immediate");
+    EXPECT_EQ(cfg->services[1].name,
+              "sat/rate=1000/policy=adaptive");
+    EXPECT_EQ(cfg->services[4].name,
+              "sat/rate=4000/policy=immediate");
+    EXPECT_DOUBLE_EQ(cfg->services[4].ratePerSec, 4000.0);
+    EXPECT_EQ(cfg->services[1].policy, BatchPolicyKind::Adaptive);
+    EXPECT_EQ(cfg->totalServiceRuns(), 6u);
+}
+
+TEST(SimConfig, UnknownWorkloadErrorListsAvailableNames)
+{
+    std::string err;
+    EXPECT_FALSE(SimConfig::parse("[workload Nope]\n", err));
+    EXPECT_NE(err.find("available:"), std::string::npos) << err;
+    EXPECT_NE(err.find("CRC-8"), std::string::npos) << err;
+    EXPECT_NE(err.find("Bitwise-XOR"), std::string::npos) << err;
+}
+
 struct BadCase
 {
     const char *text;
@@ -236,7 +322,33 @@ INSTANTIATE_TEST_SUITE_P(
                 "sweep elements = 1024, 2048\n",
                 "both set and swept"},
         BadCase{"[workload ADD4]\nseed = 1\nsweep seed = 2, 3\n",
-                "both set and swept"}));
+                "both set and swept"},
+        // v3 service sections.
+        BadCase{"[workload ADD4]\n[service a]\nmode = sideways\n",
+                "bad mode"},
+        BadCase{"[workload ADD4]\n[service a]\nrate = 0\n",
+                "bad rate"},
+        BadCase{"[workload ADD4]\n[service a]\npolicy = fifo\n",
+                "bad policy"},
+        BadCase{"[workload ADD4]\n[service a]\nbatch = 0\n",
+                "bad batch"},
+        BadCase{"[workload ADD4]\n[service a]\ndevices = 0\n",
+                "bad devices"},
+        BadCase{"[workload ADD4]\n[service a]\nwarp = 9\n",
+                "unknown service key"},
+        BadCase{"[workload ADD4]\n[service a]\n[service a]\n",
+                "duplicate service"},
+        BadCase{"[workload ADD4]\n[service a]\nrate = 100\n"
+                "sweep rate = 200, 300\n",
+                "both set and swept"},
+        BadCase{"[workload ADD4]\ntenant = x\n", "bad tenant"},
+        BadCase{"[workload ADD4]\nweight = 0\n", "bad weight"},
+        // Non-finite doubles would hang the serving simulation.
+        BadCase{"[workload ADD4]\n[service a]\nrate = inf\n",
+                "bad rate"},
+        BadCase{"[workload ADD4]\n[service a]\nduration_ms = nan\n",
+                "bad duration_ms"},
+        BadCase{"[workload ADD4]\nweight = inf\n", "bad weight"}));
 
 TEST(SimConfig, GridErrorsCarryLineNumbers)
 {
