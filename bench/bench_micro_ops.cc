@@ -11,6 +11,7 @@
 
 #include "circuit/bitline.hh"
 #include "common/bitvec.hh"
+#include "common/bitvec_bulk.hh"
 #include "common/random.hh"
 #include "ops/rowmath.hh"
 #include "pluto/query_engine.hh"
@@ -19,6 +20,132 @@ using namespace pluto;
 
 namespace
 {
+
+/** Row bytes used by the scalar-vs-bulk kernel pairs. */
+constexpr std::size_t kRowBytes = 8192;
+
+/** A packed row of valid LUT indices plus its LUT, per width. */
+struct GatherFixture
+{
+    explicit GatherFixture(u32 width)
+    {
+        const u64 size = 1ull << std::min<u32>(width, 8);
+        Rng rng(width);
+        lut = rng.values(size, 1ull << std::min<u32>(width, 63));
+        const u64 n = elementsPerBytes(kRowBytes, width);
+        src = packElements(rng.values(n, size), width);
+        dst.resize(kRowBytes);
+        elements = n;
+    }
+
+    std::vector<u64> lut;
+    std::vector<u8> src, dst;
+    u64 elements = 0;
+};
+
+void
+BM_GatherScalar(benchmark::State &state)
+{
+    const u32 width = static_cast<u32>(state.range(0));
+    GatherFixture f(width);
+    ConstElementView iv(f.src, width);
+    ElementView ov(f.dst, width);
+    for (auto _ : state) {
+        for (u64 i = 0; i < f.elements; ++i)
+            ov.set(i, f.lut[iv.get(i)]);
+        benchmark::DoNotOptimize(f.dst.data());
+    }
+    state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                            static_cast<i64>(f.elements));
+}
+BENCHMARK(BM_GatherScalar)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void
+BM_GatherBulk(benchmark::State &state)
+{
+    const u32 width = static_cast<u32>(state.range(0));
+    GatherFixture f(width);
+    const bulk::LutGather gather(f.lut, width, "bench");
+    for (auto _ : state) {
+        gather.apply(f.src, f.dst, f.elements);
+        benchmark::DoNotOptimize(f.dst.data());
+    }
+    state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                            static_cast<i64>(f.elements));
+}
+BENCHMARK(BM_GatherBulk)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void
+BM_PackScalar(benchmark::State &state)
+{
+    const u32 width = static_cast<u32>(state.range(0));
+    const u64 n = elementsPerBytes(kRowBytes, width);
+    Rng rng(width + 100);
+    const auto values = rng.values(n, 1ull << std::min<u32>(width, 63));
+    std::vector<u8> out(kRowBytes);
+    ElementView view(out, width);
+    for (auto _ : state) {
+        for (u64 i = 0; i < n; ++i)
+            view.set(i, values[i]);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                            static_cast<i64>(n));
+}
+BENCHMARK(BM_PackScalar)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void
+BM_PackBulk(benchmark::State &state)
+{
+    const u32 width = static_cast<u32>(state.range(0));
+    const u64 n = elementsPerBytes(kRowBytes, width);
+    Rng rng(width + 100);
+    const auto values = rng.values(n, 1ull << std::min<u32>(width, 63));
+    std::vector<u8> out(kRowBytes);
+    for (auto _ : state) {
+        bulk::packBulk(values, width, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                            static_cast<i64>(n));
+}
+BENCHMARK(BM_PackBulk)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void
+BM_UnpackScalar(benchmark::State &state)
+{
+    const u32 width = static_cast<u32>(state.range(0));
+    Rng rng(width + 200);
+    const auto data = rng.bytes(kRowBytes);
+    ConstElementView view(data, width);
+    const u64 n = view.size();
+    std::vector<u64> out(n);
+    for (auto _ : state) {
+        for (u64 i = 0; i < n; ++i)
+            out[i] = view.get(i);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                            static_cast<i64>(n));
+}
+BENCHMARK(BM_UnpackScalar)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void
+BM_UnpackBulk(benchmark::State &state)
+{
+    const u32 width = static_cast<u32>(state.range(0));
+    Rng rng(width + 200);
+    const auto data = rng.bytes(kRowBytes);
+    const u64 n = elementsPerBytes(kRowBytes, width);
+    std::vector<u64> out(n);
+    for (auto _ : state) {
+        bulk::unpackBulk(data, width, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                            static_cast<i64>(n));
+}
+BENCHMARK(BM_UnpackBulk)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
 
 void
 BM_ElementViewGetSet(benchmark::State &state)

@@ -1,0 +1,151 @@
+#!/usr/bin/env bash
+#
+# Machine-readable perf trajectory for the simulator itself: run the
+# scalar-vs-bulk kernel microbenches plus the exit-code-enforced
+# bench_batch_fastpath / bench_serve_policies invariants and the two
+# example campaigns, and emit BENCH_report.json mapping
+#   kernels:   benchmark name -> ns per element
+#   campaigns: binary/scenario name -> wall-clock seconds
+# so per-PR regressions show up as numbers, not anecdotes.
+#
+# With --check, additionally enforce the coarse perf gate: every bulk
+# kernel must be at least as fast (ns/elem) as its scalar pair — a
+# 1.0x floor, deliberately far below the measured speedups, so the
+# gate cannot flake on a noisy runner.
+#
+# Examples:
+#   ./scripts/bench_report.sh
+#   ./scripts/bench_report.sh --build-dir build-rel --check
+#
+
+set -euo pipefail
+
+BUILD_DIR="build"
+OUT="BENCH_report.json"
+CHECK=0
+SKIP_CAMPAIGNS=0
+
+usage() {
+  cat <<'EOF'
+Usage:
+  bench_report.sh [options]
+
+Options:
+  --build-dir DIR    Build tree holding the bench binaries (default: build)
+  --out FILE         Report path (default: BENCH_report.json)
+  --check            Fail unless every bulk kernel is >= 1.0x its scalar pair
+  --skip-campaigns   Skip the pluto_sim example campaigns (quick mode)
+  -h, --help         Show this help
+EOF
+}
+
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --build-dir) BUILD_DIR="$2"; shift 2 ;;
+    --out) OUT="$2"; shift 2 ;;
+    --check) CHECK=1; shift ;;
+    --skip-campaigns) SKIP_CAMPAIGNS=1; shift ;;
+    -h|--help) usage; exit 0 ;;
+    *) echo "unknown option: $1" >&2; usage >&2; exit 2 ;;
+  esac
+done
+
+MICRO="$BUILD_DIR/bench_micro_ops"
+if [ ! -x "$MICRO" ]; then
+  echo "error: $MICRO not found (build with Google Benchmark installed)" >&2
+  exit 2
+fi
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+# ---- Kernel pairs: ns/elem from the benchmark CSV output ----
+
+echo "running $MICRO (scalar-vs-bulk kernel pairs)..." >&2
+"$MICRO" --benchmark_filter='BM_(Gather|Pack|Unpack)' \
+         --benchmark_format=csv >"$workdir/micro.csv" 2>"$workdir/micro.log"
+
+# CSV columns: name,iterations,real_time,cpu_time,time_unit,
+# bytes_per_second,items_per_second,...  ns/elem = 1e9 / items/s.
+awk -F, 'NR > 1 && $1 != "" && $7 != "" && $7 + 0 > 0 {
+  printf "%s %.6f\n", $1, 1e9 / $7
+}' "$workdir/micro.csv" | tr -d '"' >"$workdir/kernels.txt"
+
+if [ ! -s "$workdir/kernels.txt" ]; then
+  echo "error: no kernel measurements parsed from $MICRO" >&2
+  exit 2
+fi
+
+# ---- Invariant benches + campaigns: wall-clock seconds ----
+
+wall() { # wall NAME CMD...
+  local name="$1"; shift
+  echo "running $name..." >&2
+  local t0 t1
+  t0=$(date +%s.%N)
+  "$@" >/dev/null
+  t1=$(date +%s.%N)
+  printf '%s %s\n' "$name" "$(awk -v a="$t0" -v b="$t1" \
+      'BEGIN { printf "%.3f", b - a }')" >>"$workdir/campaigns.txt"
+}
+
+: >"$workdir/campaigns.txt"
+wall bench_batch_fastpath "$BUILD_DIR/bench_batch_fastpath"
+wall bench_serve_policies "$BUILD_DIR/bench_serve_policies"
+
+if [ "$SKIP_CAMPAIGNS" -eq 0 ]; then
+  wall sweep_designs "$BUILD_DIR/pluto_sim" \
+    examples/scenarios/sweep_designs.ini \
+    --out "$workdir/sweep" --deterministic --quiet
+  wall service_saturation "$BUILD_DIR/pluto_sim" --service \
+    examples/scenarios/service_saturation.ini \
+    --out "$workdir/serve" --deterministic --quiet
+fi
+
+# ---- Emit BENCH_report.json ----
+
+{
+  echo '{'
+  echo '  "kernels": {'
+  awk '{ printf "%s    \"%s\": {\"ns_per_elem\": %s}", \
+         (NR > 1 ? ",\n" : ""), $1, $2 } END { print "" }' \
+    "$workdir/kernels.txt"
+  echo '  },'
+  echo '  "campaigns": {'
+  awk '{ printf "%s    \"%s\": {\"wall_s\": %s}", \
+         (NR > 1 ? ",\n" : ""), $1, $2 } END { print "" }' \
+    "$workdir/campaigns.txt"
+  echo '  }'
+  echo '}'
+} >"$OUT"
+echo "wrote $OUT" >&2
+
+# ---- Coarse 1.0x gate: bulk must not be slower than scalar ----
+
+if [ "$CHECK" -eq 1 ]; then
+  awk '
+    { ns[$1] = $2 }
+    END {
+      fail = 0
+      for (name in ns) {
+        if (name !~ /^BM_[A-Za-z]+Scalar\//)
+          continue
+        bulk = name
+        sub(/Scalar/, "Bulk", bulk)
+        if (!(bulk in ns)) {
+          printf "missing bulk pair for %s\n", name
+          fail = 1
+          continue
+        }
+        ratio = ns[name] / ns[bulk]
+        printf "%-22s %10.3f ns/elem  %-22s %10.3f ns/elem  %6.2fx\n", \
+               name, ns[name], bulk, ns[bulk], ratio
+        if (ratio < 1.0) {
+          printf "FAIL: %s is slower than %s\n", bulk, name
+          fail = 1
+        }
+      }
+      exit fail
+    }' "$workdir/kernels.txt"
+  echo "perf gate passed: every bulk kernel >= 1.0x its scalar pair" >&2
+fi

@@ -1,5 +1,9 @@
 #include "baselines/bitserial.hh"
 
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
 #include "common/logging.hh"
 #include "ops/rowmath.hh"
 
@@ -28,11 +32,11 @@ BitSerialEngine::alloc(const dram::SubarrayAddress &sa, RowIndex base,
     return {sa, base, bits, elements};
 }
 
-std::vector<u8>
+std::span<const u8>
 BitSerialEngine::plane(const VerticalVec &v, u32 j) const
 {
     PLUTO_ASSERT(j < v.bits);
-    return mod_.readRow(v.subarray.rowAt(v.baseRow + j));
+    return mod_.peekRow(v.subarray.rowAt(v.baseRow + j));
 }
 
 void
@@ -51,12 +55,19 @@ BitSerialEngine::write(const VerticalVec &v, std::span<const u64> values)
               values.size(),
               static_cast<unsigned long long>(v.elements));
     const auto &geom = mod_.geometry();
-    std::vector<u8> row(geom.rowBytes);
+    auto row = arena_.bytes(ScratchArena::BitPlane, geom.rowBytes);
+    const u64 n = values.size();
     for (u32 j = 0; j < v.bits; ++j) {
         std::fill(row.begin(), row.end(), 0);
-        for (std::size_t i = 0; i < values.size(); ++i) {
-            if ((values[i] >> j) & 1)
-                row[i / 8] |= static_cast<u8>(1u << (i % 8));
+        // Transpose one bit plane, one packed byte (8 elements) per
+        // iteration.
+        for (u64 base = 0; base < n; base += 8) {
+            const u64 lim = std::min<u64>(8, n - base);
+            u8 b = 0;
+            for (u64 k = 0; k < lim; ++k)
+                b |= static_cast<u8>(((values[base + k] >> j) & 1)
+                                     << k);
+            row[base / 8] = b;
         }
         storePlane(v, j, row);
         // One transposed row crosses the channel per bit plane.
@@ -72,9 +83,25 @@ BitSerialEngine::read(const VerticalVec &v) const
     std::vector<u64> out(v.elements, 0);
     for (u32 j = 0; j < v.bits; ++j) {
         const auto row = plane(v, j);
-        for (u64 i = 0; i < v.elements; ++i) {
+        const u64 bit = 1ull << j;
+        // Word-parallel gather: scan 64 elements per iteration and
+        // scatter only the set bits (planes are typically sparse).
+        u64 full = 0;
+        if constexpr (std::endian::native == std::endian::little) {
+            full = v.elements / 64;
+            for (u64 w = 0; w < full; ++w) {
+                u64 word;
+                std::memcpy(&word, row.data() + 8 * w, 8);
+                while (word) {
+                    const u32 t = std::countr_zero(word);
+                    out[64 * w + t] |= bit;
+                    word &= word - 1;
+                }
+            }
+        }
+        for (u64 i = full * 64; i < v.elements; ++i) {
             if ((row[i / 8] >> (i % 8)) & 1)
-                out[i] |= 1ull << j;
+                out[i] |= bit;
         }
     }
     return out;
@@ -88,8 +115,11 @@ BitSerialEngine::add(const VerticalVec &a, const VerticalVec &b,
         a.elements != b.elements || a.elements != dst.elements)
         fatal("bit-serial add: shape mismatch");
     const auto &geom = mod_.geometry();
-    std::vector<u8> carry(geom.rowBytes, 0);
-    std::vector<u8> sum(geom.rowBytes), next_carry(geom.rowBytes);
+    auto carry = arena_.bytes(ScratchArena::PlaneCarry, geom.rowBytes);
+    auto next_carry =
+        arena_.bytes(ScratchArena::PlaneCarry2, geom.rowBytes);
+    auto sum = arena_.bytes(ScratchArena::PlaneSum, geom.rowBytes);
+    std::fill(carry.begin(), carry.end(), 0);
     for (u32 j = 0; j < a.bits; ++j) {
         const auto pa = plane(a, j);
         const auto pb = plane(b, j);
@@ -97,7 +127,7 @@ BitSerialEngine::add(const VerticalVec &a, const VerticalVec &b,
         ops::rowXor(pa, pb, sum);
         ops::rowXor(sum, carry, sum);
         ops::rowMaj(pa, pb, carry, next_carry);
-        carry.swap(next_carry);
+        std::swap(carry, next_carry);
         storePlane(dst, j, sum);
         // SIMDRAM's MAJ-synthesized full adder: ~8.6 prims of
         // ACT-ACT-PRE sequences per bit position (calibrated to
@@ -107,7 +137,7 @@ BitSerialEngine::add(const VerticalVec &a, const VerticalVec &b,
                   static_cast<u32>(addPrimsPerBit *
                                    ops::OpCosts::actsPerPrim));
     }
-    return carry;
+    return std::vector<u8>(carry.begin(), carry.end());
 }
 
 void
@@ -121,14 +151,18 @@ BitSerialEngine::mul(const VerticalVec &a, const VerticalVec &b,
     const u32 n = a.bits;
 
     // Zero the accumulator planes.
-    const std::vector<u8> zero(geom.rowBytes, 0);
+    auto partial =
+        arena_.bytes(ScratchArena::PlanePartial, geom.rowBytes);
+    std::fill(partial.begin(), partial.end(), 0);
     for (u32 j = 0; j < dst.bits; ++j)
-        storePlane(dst, j, zero);
+        storePlane(dst, j, partial);
 
     // Shift-and-add: acc += (a AND b_j) << j, with an in-place
     // ripple carry through the accumulator's upper planes.
-    std::vector<u8> partial(geom.rowBytes), sum(geom.rowBytes);
-    std::vector<u8> carry(geom.rowBytes), next_carry(geom.rowBytes);
+    auto sum = arena_.bytes(ScratchArena::PlaneSum, geom.rowBytes);
+    auto carry = arena_.bytes(ScratchArena::PlaneCarry, geom.rowBytes);
+    auto next_carry =
+        arena_.bytes(ScratchArena::PlaneCarry2, geom.rowBytes);
     for (u32 j = 0; j < n; ++j) {
         const auto bj = plane(b, j);
         std::fill(carry.begin(), carry.end(), 0);
@@ -139,7 +173,7 @@ BitSerialEngine::mul(const VerticalVec &a, const VerticalVec &b,
             ops::rowXor(acc, partial, sum);
             ops::rowXor(sum, carry, sum);
             ops::rowMaj(acc, partial, carry, next_carry);
-            carry.swap(next_carry);
+            std::swap(carry, next_carry);
             storePlane(dst, j + k, sum);
         }
         // Propagate the remaining carry through the upper planes.
@@ -147,7 +181,7 @@ BitSerialEngine::mul(const VerticalVec &a, const VerticalVec &b,
             const auto acc = plane(dst, k);
             ops::rowXor(acc, carry, sum);
             ops::rowAnd(acc, carry, next_carry);
-            carry.swap(next_carry);
+            std::swap(carry, next_carry);
             storePlane(dst, k, sum);
         }
     }

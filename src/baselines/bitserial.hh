@@ -26,6 +26,7 @@
 #include <span>
 #include <vector>
 
+#include "common/arena.hh"
 #include "dram/module.hh"
 #include "dram/scheduler.hh"
 #include "ops/costs.hh"
@@ -95,14 +96,20 @@ class BitSerialEngine
     static double mulPrims(u32 bits) { return 10.0 * bits * bits; }
 
   private:
-    /** One bit plane as a host row image. */
-    std::vector<u8> plane(const VerticalVec &v, u32 j) const;
+    /** Zero-copy view of one bit plane's row. */
+    std::span<const u8> plane(const VerticalVec &v, u32 j) const;
     void storePlane(const VerticalVec &v, u32 j,
                     std::span<const u8> data);
 
     dram::Module &mod_;
     dram::CommandScheduler &sched_;
     ops::OpCosts costs_;
+    /**
+     * Grow-only row scratch (transpose staging, ripple-carry
+     * planes), reused across calls; the engine is single-threaded
+     * like the device it models.
+     */
+    ScratchArena arena_;
 };
 
 } // namespace pluto::baselines

@@ -1,0 +1,532 @@
+#include "common/bitvec_bulk.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#include "common/bitvec.hh"
+#include "common/logging.hh"
+
+namespace pluto::bulk
+{
+
+namespace
+{
+
+constexpr bool kLittleEndian =
+    std::endian::native == std::endian::little;
+
+u64
+loadWord(const u8 *p)
+{
+    u64 v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+void
+storeWord(u8 *p, u64 v)
+{
+    std::memcpy(p, &v, sizeof(v));
+}
+
+} // namespace
+
+void
+unpackBulk(std::span<const u8> data, u32 width, std::span<u64> out)
+{
+    if (!isSupportedElementWidth(width))
+        panic("unpackBulk: unsupported element width %u", width);
+    const u64 n = out.size();
+    PLUTO_ASSERT(n <= elementsPerBytes(data.size(), width));
+    const u8 *in = data.data();
+
+    switch (width) {
+      case 8:
+        for (u64 i = 0; i < n; ++i)
+            out[i] = in[i];
+        return;
+      case 16:
+        for (u64 i = 0; i < n; ++i)
+            out[i] = static_cast<u64>(in[2 * i]) |
+                     static_cast<u64>(in[2 * i + 1]) << 8;
+        return;
+      case 32:
+        for (u64 i = 0; i < n; ++i)
+            out[i] = static_cast<u64>(in[4 * i]) |
+                     static_cast<u64>(in[4 * i + 1]) << 8 |
+                     static_cast<u64>(in[4 * i + 2]) << 16 |
+                     static_cast<u64>(in[4 * i + 3]) << 24;
+        return;
+      default:
+        break;
+    }
+
+    // Sub-byte widths: expand one packed byte (8/width elements) per
+    // iteration instead of per-element bit arithmetic.
+    const u32 per = 8 / width;
+    const u8 mask = static_cast<u8>((1u << width) - 1);
+    const u64 full = n / per;
+    u64 o = 0;
+    for (u64 i = 0; i < full; ++i) {
+        const u8 b = in[i];
+        for (u32 f = 0; f < per; ++f)
+            out[o++] = (b >> (f * width)) & mask;
+    }
+    if (o < n) {
+        const u8 b = in[full];
+        for (u32 f = 0; o < n; ++f)
+            out[o++] = (b >> (f * width)) & mask;
+    }
+}
+
+void
+packBulk(std::span<const u64> values, u32 width, std::span<u8> out)
+{
+    if (!isSupportedElementWidth(width))
+        panic("packBulk: unsupported element width %u", width);
+    const u64 n = values.size();
+    PLUTO_ASSERT((n * width + 7) / 8 <= out.size());
+    u8 *dst = out.data();
+
+    switch (width) {
+      case 8:
+        for (u64 i = 0; i < n; ++i)
+            dst[i] = static_cast<u8>(values[i]);
+        return;
+      case 16:
+        for (u64 i = 0; i < n; ++i) {
+            dst[2 * i] = static_cast<u8>(values[i]);
+            dst[2 * i + 1] = static_cast<u8>(values[i] >> 8);
+        }
+        return;
+      case 32:
+        for (u64 i = 0; i < n; ++i) {
+            dst[4 * i] = static_cast<u8>(values[i]);
+            dst[4 * i + 1] = static_cast<u8>(values[i] >> 8);
+            dst[4 * i + 2] = static_cast<u8>(values[i] >> 16);
+            dst[4 * i + 3] = static_cast<u8>(values[i] >> 24);
+        }
+        return;
+      default:
+        break;
+    }
+
+    const u32 per = 8 / width;
+    const u8 mask = static_cast<u8>((1u << width) - 1);
+    const u64 full = n / per;
+    u64 i = 0;
+    for (u64 b = 0; b < full; ++b) {
+        u8 acc = 0;
+        for (u32 f = 0; f < per; ++f, ++i)
+            acc |= static_cast<u8>((values[i] & mask) << (f * width));
+        dst[b] = acc;
+    }
+    if (i < n) {
+        u8 acc = 0;
+        for (u32 f = 0; i < n; ++f, ++i)
+            acc |= static_cast<u8>((values[i] & mask) << (f * width));
+        dst[full] = acc;
+    }
+}
+
+LutGather::LutGather(std::span<const u64> values, u32 width,
+                     std::string name)
+    : width_(width), size_(values.size()), name_(std::move(name))
+{
+    if (!isSupportedElementWidth(width))
+        panic("LutGather: unsupported element width %u", width);
+    switch (width_) {
+      case 16:
+        table16_.resize(size_);
+        for (u64 i = 0; i < size_; ++i)
+            table16_[i] = static_cast<u16>(values[i]);
+        return;
+      case 32:
+        table32_.resize(size_);
+        for (u64 i = 0; i < size_; ++i)
+            table32_[i] = static_cast<u32>(values[i]);
+        return;
+      case 8:
+        limit8_ = static_cast<u32>(std::min<u64>(size_, 256));
+        byteMap_.resize(256, 0);
+        for (u32 b = 0; b < limit8_; ++b)
+            byteMap_[b] = static_cast<u8>(values[b]);
+        return;
+      default:
+        break;
+    }
+
+    // Sub-byte widths: one table lookup translates a whole packed
+    // byte. A byte is valid only if every element it packs indexes
+    // inside the LUT; a validity table is kept only for partial LUTs.
+    const u32 per = 8 / width_;
+    const u8 mask = static_cast<u8>((1u << width_) - 1);
+    const bool partial = size_ < (1ull << width_);
+    byteMap_.resize(256, 0);
+    if (partial)
+        byteOk_.resize(256, 1);
+    for (u32 b = 0; b < 256; ++b) {
+        u8 acc = 0;
+        for (u32 f = 0; f < per; ++f) {
+            const u64 idx = (b >> (f * width_)) & mask;
+            if (idx >= size_) {
+                // Invalid fields map to 0; the full-byte path rejects
+                // the byte via byteOk_, while the tail path checks
+                // only the fields it owns and may still use the valid
+                // leading ones.
+                byteOk_[b] = 0;
+                continue;
+            }
+            acc |= static_cast<u8>((values[idx] & mask) <<
+                                   (f * width_));
+        }
+        byteMap_[b] = acc;
+    }
+}
+
+void
+LutGather::failAt(u64 slot, u64 idx) const
+{
+    panic("LUT '%s': source slot %llu holds index %llu >= %llu",
+          name_.c_str(), static_cast<unsigned long long>(slot),
+          static_cast<unsigned long long>(idx),
+          static_cast<unsigned long long>(size_));
+}
+
+void
+LutGather::failInByte(std::span<const u8> src, u64 byte_idx) const
+{
+    const u32 per = 8 / width_;
+    const u8 mask = static_cast<u8>((1u << width_) - 1);
+    const u8 b = src[byte_idx];
+    for (u32 f = 0; f < per; ++f) {
+        const u64 idx = (b >> (f * width_)) & mask;
+        if (idx >= size_)
+            failAt(byte_idx * per + f, idx);
+    }
+    panic("LutGather: validity table flagged a valid byte");
+}
+
+void
+LutGather::apply(std::span<const u8> src, std::span<u8> dst,
+                 u64 count) const
+{
+    const u8 *in = src.data();
+    u8 *out = dst.data();
+    PLUTO_ASSERT(count <= elementsPerBytes(src.size(), width_));
+    PLUTO_ASSERT(count <= elementsPerBytes(dst.size(), width_));
+
+    switch (width_) {
+      case 8:
+        if (limit8_ == 256) {
+            for (u64 i = 0; i < count; ++i)
+                out[i] = byteMap_[in[i]];
+        } else {
+            for (u64 i = 0; i < count; ++i) {
+                const u8 b = in[i];
+                if (b >= limit8_)
+                    failAt(i, b);
+                out[i] = byteMap_[b];
+            }
+        }
+        return;
+      case 16:
+        for (u64 i = 0; i < count; ++i) {
+            const u32 v = static_cast<u32>(in[2 * i]) |
+                          static_cast<u32>(in[2 * i + 1]) << 8;
+            if (v >= size_)
+                failAt(i, v);
+            const u16 r = table16_[v];
+            out[2 * i] = static_cast<u8>(r);
+            out[2 * i + 1] = static_cast<u8>(r >> 8);
+        }
+        return;
+      case 32:
+        for (u64 i = 0; i < count; ++i) {
+            const u64 v = static_cast<u64>(in[4 * i]) |
+                          static_cast<u64>(in[4 * i + 1]) << 8 |
+                          static_cast<u64>(in[4 * i + 2]) << 16 |
+                          static_cast<u64>(in[4 * i + 3]) << 24;
+            if (v >= size_)
+                failAt(i, v);
+            const u32 r = table32_[v];
+            out[4 * i] = static_cast<u8>(r);
+            out[4 * i + 1] = static_cast<u8>(r >> 8);
+            out[4 * i + 2] = static_cast<u8>(r >> 16);
+            out[4 * i + 3] = static_cast<u8>(r >> 24);
+        }
+        return;
+      default:
+        break;
+    }
+
+    const u32 per = 8 / width_;
+    const u64 full = count / per;
+    if (byteOk_.empty()) {
+        for (u64 i = 0; i < full; ++i)
+            out[i] = byteMap_[in[i]];
+    } else {
+        for (u64 i = 0; i < full; ++i) {
+            const u8 b = in[i];
+            if (!byteOk_[b])
+                failInByte(src, i);
+            out[i] = byteMap_[b];
+        }
+    }
+    // Tail: translate only the leading `count % per` elements of the
+    // final byte, preserving dst bits beyond them.
+    const u32 tail = static_cast<u32>(count % per);
+    if (tail) {
+        const u8 mask = static_cast<u8>((1u << width_) - 1);
+        const u8 b = in[full];
+        for (u32 f = 0; f < tail; ++f) {
+            const u64 idx = (b >> (f * width_)) & mask;
+            if (idx >= size_)
+                failAt(full * per + f, idx);
+        }
+        const u8 own_mask =
+            static_cast<u8>((1u << (tail * width_)) - 1);
+        out[full] = static_cast<u8>((out[full] & ~own_mask) |
+                                    (byteMap_[b] & own_mask));
+    }
+}
+
+void
+bulkMatchSelect(std::span<const u8> src, std::span<const u8> lut_row,
+                std::span<u8> ff, u32 width, u64 row_index)
+{
+    if (src.size() != lut_row.size() || src.size() != ff.size())
+        panic("bulkMatchSelect: span size mismatch");
+    const u64 n = src.size();
+
+    if (width == 16 || width == 32) {
+        const u32 bytes = width / 8;
+        for (u64 i = 0; i + bytes <= n; i += bytes) {
+            u64 v = 0;
+            for (u32 k = 0; k < bytes; ++k)
+                v |= static_cast<u64>(src[i + k]) << (8 * k);
+            if (v == row_index)
+                for (u32 k = 0; k < bytes; ++k)
+                    ff[i + k] = lut_row[i + k];
+        }
+        return;
+    }
+
+    // width <= 8: one 256-entry mask table per activated row, then a
+    // single lookup latches every matching element of a packed byte.
+    const u32 per = 8 / width;
+    const u8 mask = static_cast<u8>((width == 8) ? 0xff
+                                                 : (1u << width) - 1);
+    u8 m[256];
+    for (u32 b = 0; b < 256; ++b) {
+        u8 acc = 0;
+        for (u32 f = 0; f < per; ++f) {
+            if (((b >> (f * width)) & mask) == row_index)
+                acc |= static_cast<u8>(mask << (f * width));
+        }
+        m[b] = acc;
+    }
+    for (u64 i = 0; i < n; ++i) {
+        const u8 mb = m[src[i]];
+        ff[i] = static_cast<u8>((ff[i] & ~mb) | (lut_row[i] & mb));
+    }
+}
+
+// ---- Row-wide word ops ----
+
+void
+bulkNot(std::span<const u8> src, std::span<u8> dst)
+{
+    PLUTO_ASSERT(src.size() == dst.size());
+    const std::size_t n = src.size();
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8)
+        storeWord(dst.data() + i, ~loadWord(src.data() + i));
+    for (; i < n; ++i)
+        dst[i] = static_cast<u8>(~src[i]);
+}
+
+void
+bulkAnd(std::span<const u8> a, std::span<const u8> b, std::span<u8> dst)
+{
+    PLUTO_ASSERT(a.size() == b.size() && a.size() == dst.size());
+    const std::size_t n = a.size();
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8)
+        storeWord(dst.data() + i,
+                  loadWord(a.data() + i) & loadWord(b.data() + i));
+    for (; i < n; ++i)
+        dst[i] = a[i] & b[i];
+}
+
+void
+bulkOr(std::span<const u8> a, std::span<const u8> b, std::span<u8> dst)
+{
+    PLUTO_ASSERT(a.size() == b.size() && a.size() == dst.size());
+    const std::size_t n = a.size();
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8)
+        storeWord(dst.data() + i,
+                  loadWord(a.data() + i) | loadWord(b.data() + i));
+    for (; i < n; ++i)
+        dst[i] = a[i] | b[i];
+}
+
+void
+bulkXor(std::span<const u8> a, std::span<const u8> b, std::span<u8> dst)
+{
+    PLUTO_ASSERT(a.size() == b.size() && a.size() == dst.size());
+    const std::size_t n = a.size();
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8)
+        storeWord(dst.data() + i,
+                  loadWord(a.data() + i) ^ loadWord(b.data() + i));
+    for (; i < n; ++i)
+        dst[i] = a[i] ^ b[i];
+}
+
+void
+bulkXnor(std::span<const u8> a, std::span<const u8> b, std::span<u8> dst)
+{
+    PLUTO_ASSERT(a.size() == b.size() && a.size() == dst.size());
+    const std::size_t n = a.size();
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8)
+        storeWord(dst.data() + i,
+                  ~(loadWord(a.data() + i) ^ loadWord(b.data() + i)));
+    for (; i < n; ++i)
+        dst[i] = static_cast<u8>(~(a[i] ^ b[i]));
+}
+
+void
+bulkMaj(std::span<const u8> a, std::span<const u8> b,
+        std::span<const u8> c, std::span<u8> dst)
+{
+    PLUTO_ASSERT(a.size() == b.size() && a.size() == c.size() &&
+                 a.size() == dst.size());
+    const std::size_t n = a.size();
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const u64 wa = loadWord(a.data() + i);
+        const u64 wb = loadWord(b.data() + i);
+        const u64 wc = loadWord(c.data() + i);
+        storeWord(dst.data() + i,
+                  (wa & wb) | (wa & wc) | (wb & wc));
+    }
+    for (; i < n; ++i)
+        dst[i] = static_cast<u8>((a[i] & b[i]) | (a[i] & c[i]) |
+                                 (b[i] & c[i]));
+}
+
+namespace
+{
+
+/** Scalar reference shifts for odd row sizes / big-endian hosts. */
+void
+scalarShiftLeft(std::span<u8> row, u32 byte_shift, u32 bit_shift)
+{
+    const std::size_t n = row.size();
+    if (byte_shift > 0) {
+        std::memmove(row.data() + byte_shift, row.data(),
+                     n - byte_shift);
+        std::memset(row.data(), 0, byte_shift);
+    }
+    if (bit_shift > 0) {
+        for (std::size_t i = n; i-- > 0;) {
+            const u8 lo = i > 0 ? static_cast<u8>(row[i - 1] >>
+                                                  (8 - bit_shift))
+                                : 0;
+            row[i] = static_cast<u8>((row[i] << bit_shift) | lo);
+        }
+    }
+}
+
+void
+scalarShiftRight(std::span<u8> row, u32 byte_shift, u32 bit_shift)
+{
+    const std::size_t n = row.size();
+    if (byte_shift > 0) {
+        std::memmove(row.data(), row.data() + byte_shift,
+                     n - byte_shift);
+        std::memset(row.data() + n - byte_shift, 0, byte_shift);
+    }
+    if (bit_shift > 0) {
+        for (std::size_t i = 0; i < n; ++i) {
+            const u8 hi = i + 1 < n ? static_cast<u8>(row[i + 1] <<
+                                                      (8 - bit_shift))
+                                    : 0;
+            row[i] = static_cast<u8>((row[i] >> bit_shift) | hi);
+        }
+    }
+}
+
+} // namespace
+
+void
+bulkShiftLeft(std::span<u8> row, u32 bits)
+{
+    const std::size_t n = row.size();
+    const u32 byte_shift = bits / 8;
+    const u32 bit_shift = bits % 8;
+    if (byte_shift >= n) {
+        std::fill(row.begin(), row.end(), 0);
+        return;
+    }
+    if (!kLittleEndian || n % 8 != 0) {
+        scalarShiftLeft(row, byte_shift, bit_shift);
+        return;
+    }
+    if (byte_shift > 0) {
+        std::memmove(row.data() + byte_shift, row.data(),
+                     n - byte_shift);
+        std::memset(row.data(), 0, byte_shift);
+    }
+    if (bit_shift > 0) {
+        // Multi-precision left shift, one 64-bit word per step, from
+        // the top so lower words are still unshifted when read.
+        const std::size_t words = n / 8;
+        for (std::size_t w = words; w-- > 0;) {
+            const u64 cur = loadWord(row.data() + 8 * w);
+            const u64 lo =
+                w > 0 ? loadWord(row.data() + 8 * (w - 1)) >>
+                            (64 - bit_shift)
+                      : 0;
+            storeWord(row.data() + 8 * w, (cur << bit_shift) | lo);
+        }
+    }
+}
+
+void
+bulkShiftRight(std::span<u8> row, u32 bits)
+{
+    const std::size_t n = row.size();
+    const u32 byte_shift = bits / 8;
+    const u32 bit_shift = bits % 8;
+    if (byte_shift >= n) {
+        std::fill(row.begin(), row.end(), 0);
+        return;
+    }
+    if (!kLittleEndian || n % 8 != 0) {
+        scalarShiftRight(row, byte_shift, bit_shift);
+        return;
+    }
+    if (byte_shift > 0) {
+        std::memmove(row.data(), row.data() + byte_shift,
+                     n - byte_shift);
+        std::memset(row.data() + n - byte_shift, 0, byte_shift);
+    }
+    if (bit_shift > 0) {
+        const std::size_t words = n / 8;
+        for (std::size_t w = 0; w < words; ++w) {
+            const u64 cur = loadWord(row.data() + 8 * w);
+            const u64 hi =
+                w + 1 < words ? loadWord(row.data() + 8 * (w + 1))
+                                    << (64 - bit_shift)
+                              : 0;
+            storeWord(row.data() + 8 * w, (cur >> bit_shift) | hi);
+        }
+    }
+}
+
+} // namespace pluto::bulk

@@ -55,12 +55,30 @@ void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 [[noreturn]] void panic(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
-/** panic() unless the condition holds. */
+/**
+ * panic() unless the condition holds.
+ *
+ * Assert policy: PLUTO_ASSERT guards internal invariants on hot
+ * functional paths (packed-element bounds, span sizes) and compiles
+ * out entirely under NDEBUG, so Release builds pay nothing per
+ * element. User-input validation must use fatal(), and semantic
+ * checks that define simulator behavior (e.g. LUT-index range in a
+ * query) must use an explicit panic() — both stay active in every
+ * build type. CI keeps a debug-checked configuration (the ASan job
+ * builds without NDEBUG) so the asserts still run on every change.
+ */
+#ifdef NDEBUG
+#define PLUTO_ASSERT(cond, ...)                                          \
+    do {                                                                 \
+        (void)sizeof((cond));                                            \
+    } while (0)
+#else
 #define PLUTO_ASSERT(cond, ...)                                          \
     do {                                                                 \
         if (!(cond))                                                     \
             ::pluto::panic("assertion failed: %s: " #cond, __func__);    \
     } while (0)
+#endif
 
 } // namespace pluto
 

@@ -29,7 +29,7 @@ Bank::subarray(SubarrayIndex idx) const
 }
 
 Module::Module(const Geometry &geom)
-    : geom_(geom)
+    : geom_(geom), zeroRow_(geom.rowBytes, 0)
 {
     banks_.reserve(geom_.banks);
     for (u32 b = 0; b < geom_.banks; ++b)
@@ -75,6 +75,15 @@ std::vector<u8>
 Module::readRow(const RowAddress &addr) const
 {
     return bank(addr.bank).subarray(addr.subarray).readRow(addr.row);
+}
+
+std::span<const u8>
+Module::peekRow(const RowAddress &addr) const
+{
+    const u8 *p =
+        bank(addr.bank).subarray(addr.subarray).rowData(addr.row);
+    return p ? std::span<const u8>(p, geom_.rowBytes)
+             : std::span<const u8>(zeroRow_);
 }
 
 void

@@ -55,12 +55,21 @@ class Module
     /** Read-only snapshot of the row at `addr`. */
     std::vector<u8> readRow(const RowAddress &addr) const;
 
+    /**
+     * Zero-copy read-only view of the row at `addr`; untouched rows
+     * alias a shared all-zero row. The view stays valid across
+     * touches of other rows but not across writes to this row.
+     */
+    std::span<const u8> peekRow(const RowAddress &addr) const;
+
     /** Overwrite the row at `addr`. */
     void writeRow(const RowAddress &addr, std::span<const u8> data);
 
   private:
     Geometry geom_;
     std::vector<Bank> banks_;
+    /** Shared backing for peekRow() of never-touched rows. */
+    std::vector<u8> zeroRow_;
 };
 
 } // namespace pluto::dram

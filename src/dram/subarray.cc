@@ -42,6 +42,14 @@ Subarray::readRow(RowIndex idx) const
     return it->second;
 }
 
+const u8 *
+Subarray::rowData(RowIndex idx) const
+{
+    checkRow(idx);
+    const auto it = storage_.find(idx);
+    return it == storage_.end() ? nullptr : it->second.data();
+}
+
 void
 Subarray::writeRow(RowIndex idx, std::span<const u8> data)
 {

@@ -44,6 +44,13 @@ class Subarray
     /** Read-only snapshot of a row (all-zero if never touched). */
     std::vector<u8> readRow(RowIndex idx) const;
 
+    /**
+     * Zero-copy view of a row's storage, or nullptr if the row was
+     * never touched (reads as all-zero). The pointer stays valid
+     * across later row() touches of other rows (node-based storage).
+     */
+    const u8 *rowData(RowIndex idx) const;
+
     /** Overwrite a row's contents (data must be rowBytes long). */
     void writeRow(RowIndex idx, std::span<const u8> data);
 

@@ -36,8 +36,7 @@ InDramOps::lisaCopy(const std::vector<RowPair> &wave)
         if (src.bank != dst.bank)
             panic("LISA-RBM requires same bank: %s -> %s",
                   src.str().c_str(), dst.str().c_str());
-        const auto data = mod_.readRow(src);
-        mod_.writeRow(dst, data);
+        mod_.writeRow(dst, mod_.peekRow(src));
     }
     sched_.op("cmd.lisa", costs_.lisa, costs_.lisaEnergy, 1,
               static_cast<u32>(wave.size()));
@@ -49,7 +48,7 @@ InDramOps::bitwiseNot(const std::vector<RowPair> &wave)
     if (wave.empty())
         return;
     for (const auto &[src, dst] : wave) {
-        const auto data = mod_.readRow(src);
+        const auto data = mod_.peekRow(src);
         auto out = mod_.rowAt(dst);
         rowNot(data, out);
     }
@@ -67,8 +66,8 @@ InDramOps::bitwise(BitwiseOp op, const std::vector<RowTriple> &wave)
     if (op == BitwiseOp::Not)
         panic("use bitwiseNot() for unary NOT");
     for (const auto &t : wave) {
-        const auto a = mod_.readRow(t.a);
-        const auto b = mod_.readRow(t.b);
+        const auto a = mod_.peekRow(t.a);
+        const auto b = mod_.peekRow(t.b);
         auto out = mod_.rowAt(t.dst);
         switch (op) {
           case BitwiseOp::And:
@@ -105,8 +104,8 @@ InDramOps::traOr(const std::vector<RowTriple> &wave)
     if (wave.empty())
         return;
     for (const auto &t : wave) {
-        const auto a = mod_.readRow(t.a);
-        const auto b = mod_.readRow(t.b);
+        const auto a = mod_.peekRow(t.a);
+        const auto b = mod_.peekRow(t.b);
         auto out = mod_.rowAt(t.dst);
         rowOr(a, b, out);
     }

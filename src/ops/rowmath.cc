@@ -1,7 +1,6 @@
 #include "ops/rowmath.hh"
 
-#include <algorithm>
-
+#include "common/bitvec_bulk.hh"
 #include "common/logging.hh"
 
 namespace pluto::ops
@@ -21,8 +20,7 @@ void
 rowNot(std::span<const u8> src, std::span<u8> dst)
 {
     checkSizes(src.size(), dst.size());
-    for (std::size_t i = 0; i < src.size(); ++i)
-        dst[i] = static_cast<u8>(~src[i]);
+    bulk::bulkNot(src, dst);
 }
 
 void
@@ -30,8 +28,7 @@ rowAnd(std::span<const u8> a, std::span<const u8> b, std::span<u8> dst)
 {
     checkSizes(a.size(), b.size());
     checkSizes(a.size(), dst.size());
-    for (std::size_t i = 0; i < a.size(); ++i)
-        dst[i] = a[i] & b[i];
+    bulk::bulkAnd(a, b, dst);
 }
 
 void
@@ -39,8 +36,7 @@ rowOr(std::span<const u8> a, std::span<const u8> b, std::span<u8> dst)
 {
     checkSizes(a.size(), b.size());
     checkSizes(a.size(), dst.size());
-    for (std::size_t i = 0; i < a.size(); ++i)
-        dst[i] = a[i] | b[i];
+    bulk::bulkOr(a, b, dst);
 }
 
 void
@@ -48,8 +44,7 @@ rowXor(std::span<const u8> a, std::span<const u8> b, std::span<u8> dst)
 {
     checkSizes(a.size(), b.size());
     checkSizes(a.size(), dst.size());
-    for (std::size_t i = 0; i < a.size(); ++i)
-        dst[i] = a[i] ^ b[i];
+    bulk::bulkXor(a, b, dst);
 }
 
 void
@@ -57,8 +52,7 @@ rowXnor(std::span<const u8> a, std::span<const u8> b, std::span<u8> dst)
 {
     checkSizes(a.size(), b.size());
     checkSizes(a.size(), dst.size());
-    for (std::size_t i = 0; i < a.size(); ++i)
-        dst[i] = static_cast<u8>(~(a[i] ^ b[i]));
+    bulk::bulkXnor(a, b, dst);
 }
 
 void
@@ -68,59 +62,19 @@ rowMaj(std::span<const u8> a, std::span<const u8> b,
     checkSizes(a.size(), b.size());
     checkSizes(a.size(), c.size());
     checkSizes(a.size(), dst.size());
-    for (std::size_t i = 0; i < a.size(); ++i)
-        dst[i] = static_cast<u8>((a[i] & b[i]) | (a[i] & c[i]) |
-                                 (b[i] & c[i]));
+    bulk::bulkMaj(a, b, c, dst);
 }
 
 void
 rowShiftLeft(std::span<u8> row, u32 bits)
 {
-    const u32 byte_shift = bits / 8;
-    const u32 bit_shift = bits % 8;
-    const std::size_t n = row.size();
-    if (byte_shift >= n) {
-        std::fill(row.begin(), row.end(), 0);
-        return;
-    }
-    if (byte_shift > 0) {
-        for (std::size_t i = n; i-- > byte_shift;)
-            row[i] = row[i - byte_shift];
-        std::fill(row.begin(), row.begin() + byte_shift, 0);
-    }
-    if (bit_shift > 0) {
-        for (std::size_t i = n; i-- > 0;) {
-            const u8 lo = i > 0 ? static_cast<u8>(row[i - 1] >>
-                                                  (8 - bit_shift))
-                                : 0;
-            row[i] = static_cast<u8>((row[i] << bit_shift) | lo);
-        }
-    }
+    bulk::bulkShiftLeft(row, bits);
 }
 
 void
 rowShiftRight(std::span<u8> row, u32 bits)
 {
-    const u32 byte_shift = bits / 8;
-    const u32 bit_shift = bits % 8;
-    const std::size_t n = row.size();
-    if (byte_shift >= n) {
-        std::fill(row.begin(), row.end(), 0);
-        return;
-    }
-    if (byte_shift > 0) {
-        for (std::size_t i = 0; i + byte_shift < n; ++i)
-            row[i] = row[i + byte_shift];
-        std::fill(row.end() - byte_shift, row.end(), 0);
-    }
-    if (bit_shift > 0) {
-        for (std::size_t i = 0; i < n; ++i) {
-            const u8 hi = i + 1 < n ? static_cast<u8>(row[i + 1] <<
-                                                      (8 - bit_shift))
-                                    : 0;
-            row[i] = static_cast<u8>((row[i] >> bit_shift) | hi);
-        }
-    }
+    bulk::bulkShiftRight(row, bits);
 }
 
 } // namespace pluto::ops

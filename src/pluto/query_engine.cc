@@ -7,10 +7,23 @@ namespace pluto::core
 {
 
 QueryEngine::QueryEngine(dram::Module &mod, dram::CommandScheduler &sched,
-                         ops::InDramOps &ops, LutStore &store, Design design)
+                         ops::InDramOps &ops, LutStore &store, Design design,
+                         ScratchArena *arena)
     : mod_(mod), sched_(sched), ops_(ops), store_(store), design_(design),
-      traits_(DesignTraits::of(design))
+      traits_(DesignTraits::of(design)), arena_(arena ? *arena : own_)
 {
+}
+
+const bulk::LutGather &
+QueryEngine::gatherFor(const LutPlacement &p)
+{
+    const auto it = gather_.find(&p);
+    if (it != gather_.end())
+        return it->second;
+    return gather_
+        .emplace(&p, bulk::LutGather(p.lut.values(), p.lut.elemBits(),
+                                     p.lut.name()))
+        .first->second;
 }
 
 void
@@ -65,22 +78,14 @@ QueryEngine::applyFunctional(LutPlacement &p, const dram::RowAddress &src,
                              const dram::RowAddress &dst)
 {
     const u32 width = p.lut.elemBits();
-    const auto in = mod_.readRow(src);
+    const bulk::LutGather &gather = gatherFor(p);
+    // peekRow before rowAt: if src == dst and the row is untouched,
+    // the peek must observe the all-zero image, not the fresh storage.
+    const auto in = mod_.peekRow(src);
     auto out = mod_.rowAt(dst);
-    ConstElementView iv(in, width);
-    ElementView ov(out, width);
-    const u64 size = p.lut.size();
-    for (u64 i = 0; i < iv.size(); ++i) {
-        const u64 idx = iv.get(i);
-        if (idx >= size)
-            panic("LUT '%s': source slot %llu holds index %llu >= %llu",
-                  p.lut.name().c_str(),
-                  static_cast<unsigned long long>(i),
-                  static_cast<unsigned long long>(idx),
-                  static_cast<unsigned long long>(size));
-        ov.set(i, p.lut.at(idx));
-    }
-    sched_.stats().add("pluto.lookups", static_cast<double>(iv.size()));
+    const u64 slots = elementsPerBytes(in.size(), width);
+    gather.apply(in, out, slots);
+    sched_.stats().add("pluto.lookups", static_cast<double>(slots));
 }
 
 void
@@ -226,8 +231,10 @@ QueryEngine::queryStacked(const std::vector<LutPlacement *> &luts,
 
     // Functional: a slot's index is an absolute row of the stacked
     // region (i.e. already offset by its target LUT's base row); the
-    // owning LUT is the one whose [base, base+size) contains it.
-    const auto in = mod_.readRow(src);
+    // owning LUT is the one whose [base, base+size) contains it. The
+    // stacked set varies per call, so this path stays scalar; it is
+    // not on the campaign hot loops.
+    const auto in = mod_.peekRow(src);
     auto out = mod_.rowAt(dst);
     ConstElementView iv(in, width);
     ElementView ov(out, width);
@@ -283,7 +290,6 @@ QueryEngine::queryViaSweep(LutPlacement &p, const dram::RowAddress &src,
 {
     const auto &geom = mod_.geometry();
     const u32 width = p.lut.elemBits();
-    MatchLogic match(width);
 
     if (!p.loaded)
         panic("LUT '%s': sweep over a destroyed LUT", p.lut.name().c_str());
@@ -292,12 +298,12 @@ QueryEngine::queryViaSweep(LutPlacement &p, const dram::RowAddress &src,
               "image (LUT exceeds materializeLimitBytes)",
               p.lut.name().c_str());
 
-    const auto in = mod_.readRow(src);
+    const auto in = mod_.peekRow(src);
     // The FF buffer (BSA) / gated row buffer (GSA, GMC) accumulates
     // matched elements over the sweep, starting from all-zero
     // (precharged) state.
-    std::vector<u8> ff(geom.rowBytes, 0);
-    ElementView ffv(ff, width);
+    auto ff = arena_.bytes(ScratchArena::SweepFf, geom.rowBytes);
+    std::fill(ff.begin(), ff.end(), 0);
 
     for (u32 part = 0; part < p.partitionCount(); ++part) {
         auto &sub = mod_.subarrayAt(p.partitions[part]);
@@ -305,16 +311,13 @@ QueryEngine::queryViaSweep(LutPlacement &p, const dram::RowAddress &src,
             const u64 global =
                 static_cast<u64>(part) * p.rowsPerPartition + r;
             // Activate LUT row `global`: its element appears,
-            // replicated, in the pLUTo-enabled row buffer.
-            const auto lut_row = sub.readRow(p.baseRow + r);
-            ConstElementView lv(lut_row, width);
-            // The Match Logic compares every source slot against the
-            // activated row's index and closes matching switches.
-            const auto m = match.matches(in, global);
-            for (u64 s = 0; s < m.size(); ++s) {
-                if (m[s])
-                    ffv.set(s, lv.get(s));
-            }
+            // replicated, in the pLUTo-enabled row buffer. The Match
+            // Logic compares every source slot against the activated
+            // row's index and latches matching slots — one
+            // word-parallel select over the packed row.
+            const auto lut_row = mod_.peekRow(
+                p.partitions[part].rowAt(p.baseRow + r));
+            bulk::bulkMatchSelect(in, lut_row, ff, width, global);
             if (traits_.destructiveReads)
                 sub.destroyRow(p.baseRow + r);
         }

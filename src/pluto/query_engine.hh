@@ -17,9 +17,12 @@
 #ifndef PLUTO_PLUTO_QUERY_ENGINE_HH
 #define PLUTO_PLUTO_QUERY_ENGINE_HH
 
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/arena.hh"
+#include "common/bitvec_bulk.hh"
 #include "dram/module.hh"
 #include "dram/scheduler.hh"
 #include "ops/indram_ops.hh"
@@ -37,8 +40,14 @@ using QueryPair = std::pair<dram::RowAddress, dram::RowAddress>;
 class QueryEngine
 {
   public:
+    /**
+     * @param arena Scratch buffers for the functional paths; pass the
+     *        owning device's (worker-owned) arena, or nullptr to use
+     *        a private one.
+     */
     QueryEngine(dram::Module &mod, dram::CommandScheduler &sched,
-                ops::InDramOps &ops, LutStore &store, Design design);
+                ops::InDramOps &ops, LutStore &store, Design design,
+                ScratchArena *arena = nullptr);
 
     /** @return the hardware design this engine models. */
     Design design() const { return design_; }
@@ -107,12 +116,23 @@ class QueryEngine
     void applyFunctional(LutPlacement &p, const dram::RowAddress &src,
                          const dram::RowAddress &dst);
 
+    /** Word-parallel gather tables for `p`, built on first query. */
+    const bulk::LutGather &gatherFor(const LutPlacement &p);
+
     dram::Module &mod_;
     dram::CommandScheduler &sched_;
     ops::InDramOps &ops_;
     LutStore &store_;
     Design design_;
     DesignTraits traits_;
+    ScratchArena own_;
+    ScratchArena &arena_;
+    /**
+     * Per-placement gather tables. Placements are heap-stable and
+     * never removed from a LutStore, so the pointer key is safe for
+     * the engine's lifetime.
+     */
+    std::unordered_map<const LutPlacement *, bulk::LutGather> gather_;
 };
 
 } // namespace pluto::core

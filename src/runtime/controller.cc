@@ -1,6 +1,9 @@
 #include "runtime/controller.hh"
 
+#include <algorithm>
+
 #include "common/bitvec.hh"
+#include "common/bitvec_bulk.hh"
 #include "common/logging.hh"
 
 namespace pluto::runtime
@@ -125,7 +128,8 @@ Controller::execLutOp(const isa::Instruction &i)
               src.width, dst.width, p.lut.elemBits());
 
     const u32 salp = alloc_.salp();
-    std::vector<core::QueryPair> wave;
+    auto &wave = waveQuery_;
+    wave.clear();
     wave.reserve(salp);
     for (std::size_t r = 0; r < src.rows.size(); ++r) {
         wave.emplace_back(src.rows[r], dst.rows[r]);
@@ -150,7 +154,8 @@ Controller::execBitwise(const isa::Instruction &i)
 
     const u32 salp = alloc_.salp();
     if (i.op == Opcode::Not) {
-        std::vector<ops::RowPair> wave;
+        auto &wave = wavePairs_;
+        wave.clear();
         for (std::size_t r = 0; r < a.rows.size(); ++r) {
             wave.emplace_back(a.rows[r], dst.rows[r]);
             if (wave.size() == salp) {
@@ -164,7 +169,8 @@ Controller::execBitwise(const isa::Instruction &i)
 
     auto &b = rowRegs_.at(i.src2);
     checkCompatible(b, dst, "bitwise");
-    std::vector<ops::RowTriple> wave;
+    auto &wave = waveTriples_;
+    wave.clear();
     auto flush = [&] {
         if (wave.empty())
             return;
@@ -206,7 +212,8 @@ Controller::execShift(const isa::Instruction &i)
     const bool left =
         i.op == Opcode::BitShiftL || i.op == Opcode::ByteShiftL;
     const u32 salp = alloc_.salp();
-    std::vector<dram::RowAddress> wave;
+    auto &wave = waveRows_;
+    wave.clear();
     auto flush = [&] {
         if (wave.empty())
             return;
@@ -231,7 +238,8 @@ Controller::execMove(const isa::Instruction &i)
     auto &dst = rowRegs_.at(i.dst);
     checkCompatible(src, dst, "pluto_move");
     const u32 salp = alloc_.salp();
-    std::vector<ops::RowPair> wave;
+    auto &wave = wavePairs_;
+    wave.clear();
     for (std::size_t r = 0; r < src.rows.size(); ++r) {
         wave.emplace_back(src.rows[r], dst.rows[r]);
         if (wave.size() == salp) {
@@ -273,12 +281,17 @@ Controller::writeValues(i32 reg, std::span<const u64> values,
               static_cast<unsigned long long>(set.elements));
     for (std::size_t r = 0; r < set.rows.size(); ++r) {
         auto row = mod_.rowAt(set.rows[r]);
-        ElementView view(row, set.width);
         const u64 base = r * set.slotsPerRow;
-        for (u64 s = 0; s < set.slotsPerRow; ++s) {
-            const u64 idx = base + s;
-            view.set(s, idx < values.size() ? values[idx] : 0);
-        }
+        const u64 count =
+            base < values.size()
+                ? std::min<u64>(set.slotsPerRow, values.size() - base)
+                : 0;
+        bulk::packBulk(values.subspan(count ? base : 0, count),
+                       set.width, row);
+        // Missing values pack as zero, as the scalar path did.
+        const u64 used = (count * set.width + 7) / 8;
+        std::fill(row.begin() + static_cast<std::ptrdiff_t>(used),
+                  row.end(), 0);
     }
     if (charge_io) {
         const double bytes =
@@ -295,15 +308,29 @@ Controller::readValues(i32 reg, bool charge_io)
     if (it == rowRegs_.end())
         fatal("row register $prg%d not allocated", reg);
     auto &set = it->second;
-    std::vector<u64> out;
-    out.reserve(set.elements);
-    for (std::size_t r = 0; r < set.rows.size() && out.size() <
-         set.elements; ++r) {
-        const auto row = mod_.readRow(set.rows[r]);
-        ConstElementView view(row, set.width);
-        for (u64 s = 0; s < set.slotsPerRow && out.size() < set.elements;
-             ++s)
-            out.push_back(view.get(s));
+    std::vector<u64> out(set.elements);
+    readValuesInto(reg, out, charge_io);
+    return out;
+}
+
+void
+Controller::readValuesInto(i32 reg, std::span<u64> out, bool charge_io)
+{
+    const auto it = rowRegs_.find(reg);
+    if (it == rowRegs_.end())
+        fatal("row register $prg%d not allocated", reg);
+    auto &set = it->second;
+    if (out.size() > set.elements)
+        fatal("readValuesInto: %zu values > %llu allocated",
+              out.size(), static_cast<unsigned long long>(set.elements));
+    u64 got = 0;
+    for (std::size_t r = 0; r < set.rows.size() && got < out.size();
+         ++r) {
+        const u64 count =
+            std::min<u64>(set.slotsPerRow, out.size() - got);
+        bulk::unpackBulk(mod_.peekRow(set.rows[r]), set.width,
+                         out.subspan(got, count));
+        got += count;
     }
     if (charge_io) {
         const double bytes =
@@ -311,7 +338,6 @@ Controller::readValues(i32 reg, bool charge_io)
         sched_.op("host.read", bytes / 19.2,
                   bytes * sched_.energyParams().eIoPerByte);
     }
-    return out;
 }
 
 } // namespace pluto::runtime

@@ -78,6 +78,13 @@ class Controller
     /** Host-side read-back of a row register's element values. */
     std::vector<u64> readValues(i32 reg, bool charge_io = false);
 
+    /**
+     * Host-side read-back into a caller buffer (no allocation):
+     * fills `out` with the first out.size() element values.
+     */
+    void readValuesInto(i32 reg, std::span<u64> out,
+                        bool charge_io = false);
+
     /** @return the configured SALP wave width. */
     u32 salp() const { return alloc_.salp(); }
 
@@ -104,6 +111,17 @@ class Controller
 
     std::map<i32, RowSet> rowRegs_;
     std::map<i32, u32> saRegs_;
+
+    /**
+     * Grow-only wave staging buffers reused across instructions, so
+     * the per-instruction decode loops never allocate in steady
+     * state. Each is owned by exactly one exec* method and never
+     * outlives the call.
+     */
+    std::vector<core::QueryPair> waveQuery_;
+    std::vector<ops::RowPair> wavePairs_;
+    std::vector<ops::RowTriple> waveTriples_;
+    std::vector<dram::RowAddress> waveRows_;
 };
 
 } // namespace pluto::runtime

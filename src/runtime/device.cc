@@ -18,7 +18,8 @@ struct PlutoDevice::Impl
           sched(timing, energy, cfg.fawScale),
           ops(module, sched),
           store(module, sched, cfg.loadModel),
-          engine(module, sched, ops, store, cfg.design),
+          engine(module, sched, ops, store, cfg.design,
+                 cfg.arena ? cfg.arena : &ownArena),
           alloc(geom, cfg.salp ? cfg.salp : geom.defaultSalp),
           controller(module, sched, ops, store, engine, library, alloc,
                      cfg.loadMethod)
@@ -26,6 +27,8 @@ struct PlutoDevice::Impl
         sched.setModelRefresh(cfg.modelRefresh);
     }
 
+    /** Fallback when DeviceConfig::arena is not provided. */
+    ScratchArena ownArena;
     dram::Geometry geom;
     dram::TimingParams timing;
     dram::EnergyParams energy;
@@ -106,9 +109,18 @@ PlutoDevice::write(const VecHandle &v, std::span<const u64> values)
 std::vector<u64>
 PlutoDevice::read(const VecHandle &v)
 {
-    auto all = impl_->controller.readValues(v.reg);
-    all.resize(v.elements);
-    return all;
+    std::vector<u64> out(v.elements);
+    impl_->controller.readValuesInto(v.reg, out);
+    return out;
+}
+
+void
+PlutoDevice::readInto(const VecHandle &v, std::span<u64> out)
+{
+    if (out.size() > v.elements)
+        fatal("readInto: %zu values > %llu allocated", out.size(),
+              static_cast<unsigned long long>(v.elements));
+    impl_->controller.readValuesInto(v.reg, out);
 }
 
 LutHandle

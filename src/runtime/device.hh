@@ -22,6 +22,7 @@
 #include <optional>
 #include <string>
 
+#include "common/arena.hh"
 #include "runtime/controller.hh"
 
 namespace pluto::runtime
@@ -63,6 +64,15 @@ struct DeviceConfig
     core::LutLoadModel loadModel;
     /** How pluto_subarray_alloc loads LUT contents. */
     core::LutLoadMethod loadMethod = core::LutLoadMethod::FromMemory;
+    /**
+     * Scratch buffers for the functional hot paths. Campaign runners
+     * pass one arena per worker thread so every device a worker
+     * builds reuses the same grown buffers; nullptr gives the device
+     * a private arena. Not part of a device's simulated identity
+     * (cache keys ignore it). The arena must outlive the device and
+     * may only be shared by devices driven from one thread.
+     */
+    ScratchArena *arena = nullptr;
 };
 
 /** Execution statistics snapshot. */
@@ -109,6 +119,12 @@ class PlutoDevice
 
     /** Host read of a vector's element values. */
     std::vector<u64> read(const VecHandle &v);
+
+    /**
+     * Host read into a caller buffer (no allocation): fills `out`
+     * with the first out.size() <= v.elements element values.
+     */
+    void readInto(const VecHandle &v, std::span<u64> out);
 
     // ---- LUT management ----
 

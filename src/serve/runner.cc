@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/arena.hh"
 #include "common/logging.hh"
 #include "serve/cache.hh"
 #include "serve/simulator.hh"
@@ -97,10 +98,17 @@ ServiceRunner::run(const sim::RunOptions &opt,
     std::atomic<u64> hits{0};
     std::mutex progress_mu;
 
+    // One scratch arena per worker (see ScenarioRunner::run): each
+    // cell's device pool and calibration devices borrow the worker's
+    // arena; outcomes are arena-independent.
+    std::vector<ScratchArena> arenas(
+        sim::detail::resolveThreads(tasks.size(), opt.threads));
+
     sim::detail::forEachTask(
-        tasks.size(), opt.threads, [&](std::size_t i) {
+        tasks.size(), opt.threads, [&](std::size_t i, u32 worker) {
             const CellTask &t = tasks[i];
-            const sim::DeviceSpec &ds = cfg_.devices[t.device];
+            sim::DeviceSpec ds = cfg_.devices[t.device];
+            ds.config.arena = &arenas[worker];
             const sim::ServiceSpec &svc = cfg_.services[t.service];
             const auto mix = buildMix(cfg_, ds.config);
 

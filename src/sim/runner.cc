@@ -12,6 +12,7 @@
 #include <optional>
 #include <thread>
 
+#include "common/arena.hh"
 #include "common/logging.hh"
 #include "sim/cache.hh"
 
@@ -39,33 +40,38 @@ msSince(const std::chrono::steady_clock::time_point &t0)
 
 } // namespace
 
-void
-detail::forEachTask(std::size_t count, u32 threads,
-                    const std::function<void(std::size_t)> &fn)
+u32
+detail::resolveThreads(std::size_t count, u32 threads)
 {
     if (threads == 0)
         threads = std::max(1u, std::thread::hardware_concurrency());
-    threads = std::min<u32>(threads,
-                            std::max<std::size_t>(count, 1));
+    return std::min<u32>(threads, std::max<std::size_t>(count, 1));
+}
+
+void
+detail::forEachTask(std::size_t count, u32 threads,
+                    const std::function<void(std::size_t, u32)> &fn)
+{
+    threads = resolveThreads(count, threads);
 
     std::atomic<std::size_t> next{0};
-    const auto worker = [&]() {
+    const auto worker = [&](u32 w) {
         for (;;) {
             const std::size_t i =
                 next.fetch_add(1, std::memory_order_relaxed);
             if (i >= count)
                 return;
-            fn(i);
+            fn(i, w);
         }
     };
     if (threads == 1) {
-        worker();
+        worker(0);
         return;
     }
     std::vector<std::thread> pool;
     pool.reserve(threads);
     for (u32 i = 0; i < threads; ++i)
-        pool.emplace_back(worker);
+        pool.emplace_back(worker, i);
     for (auto &th : pool)
         th.join();
 }
@@ -139,8 +145,16 @@ ScenarioRunner::run(const RunOptions &opt,
     std::atomic<u64> hits{0};
     std::mutex progress_mu;
 
+    // One scratch arena per worker: every device a worker builds
+    // reuses the same grown functional-path buffers, so steady-state
+    // runs allocate nothing per query. Simulated results do not
+    // depend on the arena, so determinism across thread counts is
+    // unaffected.
+    std::vector<ScratchArena> arenas(
+        detail::resolveThreads(tasks.size(), opt.threads));
+
     detail::forEachTask(
-        tasks.size(), opt.threads, [&](std::size_t i) {
+        tasks.size(), opt.threads, [&](std::size_t i, u32 worker) {
             const RunTask &t = tasks[i];
             const DeviceSpec &ds = cfg_.devices[t.device];
             const WorkloadSpec &ws = cfg_.workloads[t.workload];
@@ -180,9 +194,11 @@ ScenarioRunner::run(const RunOptions &opt,
                 hits.fetch_add(1, std::memory_order_relaxed);
             } else {
                 // Per-run device and workload: nothing is shared
-                // between runs, so simulated results cannot depend
-                // on threading.
-                runtime::PlutoDevice dev(ds.config);
+                // between runs except the worker's scratch arena, so
+                // simulated results cannot depend on threading.
+                runtime::DeviceConfig cfg = ds.config;
+                cfg.arena = &arenas[worker];
+                runtime::PlutoDevice dev(cfg);
                 rec.result = w->run(dev, elements, ws.seed);
                 rec.wallMs =
                     opt.deterministic ? 0.0 : msSince(t0);

@@ -96,15 +96,20 @@ struct RunOptions
 namespace detail
 {
 
+/** Effective worker count forEachTask will use for `count` tasks. */
+u32 resolveThreads(std::size_t count, u32 threads);
+
 /**
  * Shared campaign scaffolding: execute `count` indexed tasks across
  * `threads` worker threads (0 = hardware concurrency, clamped to the
  * task count) pulling indices from one atomic queue. Both the batch
  * ScenarioRunner and serve::ServiceRunner run on this, so the
- * execution discipline cannot diverge between modes.
+ * execution discipline cannot diverge between modes. `fn` receives
+ * the task index and the worker index in [0, resolveThreads(...)),
+ * so workers can own per-thread state (e.g. a ScratchArena).
  */
 void forEachTask(std::size_t count, u32 threads,
-                 const std::function<void(std::size_t)> &fn);
+                 const std::function<void(std::size_t, u32)> &fn);
 
 } // namespace detail
 

@@ -10,7 +10,9 @@
 #include <cmath>
 #include <vector>
 
+#include "common/arena.hh"
 #include "common/bitvec.hh"
+#include "common/bitvec_bulk.hh"
 #include "common/fixed_point.hh"
 #include "common/random.hh"
 #include "common/stats.hh"
@@ -83,6 +85,266 @@ TEST(BitVec, PackUnpackRoundTrip)
     const auto packed = packElements(values, 4);
     EXPECT_EQ(packed.size(), 4u);
     EXPECT_EQ(unpackElements(packed, 4), values);
+}
+
+// ---- Bulk kernels: randomized equivalence vs. the scalar
+// ElementView reference across widths, unaligned counts and tails ----
+
+class BulkKernelWidths : public ::testing::TestWithParam<u32>
+{
+  protected:
+    /** Counts chosen to hit word boundaries, tails and odd sizes. */
+    std::vector<u64>
+    counts() const
+    {
+        return {1, 2, 3, 5, 7, 8, 9, 15, 16, 17, 63, 64, 65, 200, 257};
+    }
+};
+
+TEST_P(BulkKernelWidths, UnpackMatchesScalar)
+{
+    const u32 width = GetParam();
+    Rng rng(width * 11 + 1);
+    for (const u64 n : counts()) {
+        const u64 bytes = (n * width + 7) / 8;
+        std::vector<u8> buf(bytes + 3); // slack past the packed tail
+        for (auto &b : buf)
+            b = static_cast<u8>(rng.below(256));
+        ConstElementView view(std::span<const u8>(buf), width);
+        std::vector<u64> got(n);
+        bulk::unpackBulk(buf, width, got);
+        for (u64 i = 0; i < n; ++i)
+            EXPECT_EQ(got[i], view.get(i))
+                << "width " << width << " n " << n << " slot " << i;
+    }
+}
+
+TEST_P(BulkKernelWidths, PackMatchesScalar)
+{
+    const u32 width = GetParam();
+    Rng rng(width * 13 + 2);
+    for (const u64 n : counts()) {
+        std::vector<u64> values(n);
+        for (auto &v : values)
+            v = rng.next(); // packBulk must mask to `width` bits
+        const auto expect = packElements(
+            [&] {
+                // Scalar reference keeps only the low bits.
+                std::vector<u64> masked(values);
+                for (auto &v : masked)
+                    v &= width >= 64 ? ~0ull : (1ull << width) - 1;
+                return masked;
+            }(),
+            width);
+        std::vector<u8> got(expect.size(), 0xa5);
+        bulk::packBulk(values, width, got);
+        EXPECT_EQ(got, expect) << "width " << width << " n " << n;
+    }
+}
+
+TEST_P(BulkKernelWidths, GatherMatchesScalar)
+{
+    const u32 width = GetParam();
+    Rng rng(width * 17 + 3);
+    // Full LUTs and partial LUTs (bounds-checked byte paths differ).
+    const u64 domain = 1ull << std::min<u32>(width, 10);
+    for (const u64 lut_size : {domain, domain > 3 ? domain - 3 : 1}) {
+        std::vector<u64> lut(lut_size);
+        for (auto &v : lut)
+            v = rng.next();
+        const bulk::LutGather gather(lut, width, "prop");
+        const u64 mask = width >= 64 ? ~0ull : (1ull << width) - 1;
+        for (const u64 n : counts()) {
+            std::vector<u64> idx(n);
+            for (auto &v : idx)
+                v = rng.below(lut_size);
+            const auto src = packElements(idx, width);
+            std::vector<u8> dst((n * width + 7) / 8, 0);
+            gather.apply(src, dst, n);
+            ConstElementView out(std::span<const u8>(dst), width);
+            for (u64 i = 0; i < n; ++i)
+                EXPECT_EQ(out.get(i), lut[idx[i]] & mask)
+                    << "width " << width << " lut " << lut_size
+                    << " n " << n << " slot " << i;
+        }
+    }
+}
+
+TEST_P(BulkKernelWidths, GatherInPlaceAliasing)
+{
+    const u32 width = GetParam();
+    Rng rng(width * 19 + 4);
+    const u64 lut_size = 1ull << std::min<u32>(width, 8);
+    std::vector<u64> lut(lut_size);
+    for (auto &v : lut)
+        v = rng.next();
+    const bulk::LutGather gather(lut, width, "alias");
+    const u64 mask = width >= 64 ? ~0ull : (1ull << width) - 1;
+    const u64 n = 96;
+    std::vector<u64> idx(n);
+    for (auto &v : idx)
+        v = rng.below(lut_size);
+    auto buf = packElements(idx, width);
+    gather.apply(buf, buf, n); // src == dst, as in-place queries do
+    ConstElementView out(std::span<const u8>(buf), width);
+    for (u64 i = 0; i < n; ++i)
+        EXPECT_EQ(out.get(i), lut[idx[i]] & mask) << "slot " << i;
+}
+
+TEST_P(BulkKernelWidths, MatchSelectMatchesScalar)
+{
+    const u32 width = GetParam();
+    Rng rng(width * 23 + 5);
+    const u64 domain = 1ull << std::min<u32>(width, 10);
+    const u64 n = 64; // elements
+    std::vector<u64> src_vals(n), lut_vals(n), ff_vals(n);
+    for (u64 i = 0; i < n; ++i) {
+        src_vals[i] = rng.below(domain);
+        lut_vals[i] = rng.below(domain);
+        ff_vals[i] = rng.below(domain);
+    }
+    const auto src = packElements(src_vals, width);
+    const auto lut_row = packElements(lut_vals, width);
+    for (int round = 0; round < 8; ++round) {
+        const u64 target = rng.below(domain);
+        auto ff = packElements(ff_vals, width);
+        bulk::bulkMatchSelect(src, lut_row, ff, width, target);
+        ConstElementView out(std::span<const u8>(ff), width);
+        for (u64 i = 0; i < n; ++i) {
+            const u64 expect =
+                src_vals[i] == target ? lut_vals[i] : ff_vals[i];
+            EXPECT_EQ(out.get(i), expect)
+                << "width " << width << " target " << target
+                << " slot " << i;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, BulkKernelWidths,
+                         ::testing::Values(1, 2, 4, 8, 16, 32));
+
+TEST(BulkKernels, GatherPanicsOnOutOfRangeIndex)
+{
+    // A partial LUT must reject out-of-range indices exactly like the
+    // scalar query path, naming the offending slot.
+    std::vector<u64> lut(10); // 4-bit domain is 16: 10..15 invalid
+    const bulk::LutGather gather(lut, 4, "oob");
+    const std::vector<u64> idx = {1, 2, 12, 3};
+    const auto src = packElements(idx, 4);
+    std::vector<u8> dst(src.size(), 0);
+    EXPECT_DEATH(gather.apply(src, dst, idx.size()),
+                 "source slot 2 holds index 12 >= 10");
+}
+
+TEST(BulkKernels, RowOpsMatchScalarAtOddSizes)
+{
+    Rng rng(99);
+    for (const std::size_t n : {1ul, 7ul, 8ul, 13ul, 64ul, 100ul, 8197ul}) {
+        const auto a = rng.bytes(n), b = rng.bytes(n), c = rng.bytes(n);
+        std::vector<u8> got(n), expect(n);
+        bulk::bulkMaj(a, b, c, got);
+        for (std::size_t i = 0; i < n; ++i)
+            expect[i] = static_cast<u8>((a[i] & b[i]) | (a[i] & c[i]) |
+                                        (b[i] & c[i]));
+        EXPECT_EQ(got, expect) << "maj n=" << n;
+        bulk::bulkXnor(a, b, got);
+        for (std::size_t i = 0; i < n; ++i)
+            expect[i] = static_cast<u8>(~(a[i] ^ b[i]));
+        EXPECT_EQ(got, expect) << "xnor n=" << n;
+        bulk::bulkNot(a, got);
+        for (std::size_t i = 0; i < n; ++i)
+            expect[i] = static_cast<u8>(~a[i]);
+        EXPECT_EQ(got, expect) << "not n=" << n;
+    }
+}
+
+TEST(BulkKernels, ShiftsMatchByteReference)
+{
+    Rng rng(123);
+    // Word-multiple and odd row sizes; shifts crossing byte and word
+    // boundaries.
+    for (const std::size_t n : {8ul, 16ul, 64ul, 13ul, 8192ul}) {
+        for (const u32 bits : {1u, 3u, 8u, 9u, 63u, 64u, 65u, 200u}) {
+            auto row = rng.bytes(n);
+            // Byte-at-a-time reference (the former rowmath loop).
+            auto expect = row;
+            {
+                const u32 bs = bits / 8, rb = bits % 8;
+                if (bs >= n) {
+                    std::fill(expect.begin(), expect.end(), 0);
+                } else {
+                    if (bs > 0) {
+                        for (std::size_t i = n; i-- > bs;)
+                            expect[i] = expect[i - bs];
+                        std::fill(expect.begin(), expect.begin() + bs,
+                                  0);
+                    }
+                    if (rb > 0) {
+                        for (std::size_t i = n; i-- > 0;) {
+                            const u8 lo =
+                                i > 0 ? static_cast<u8>(
+                                            expect[i - 1] >> (8 - rb))
+                                      : 0;
+                            expect[i] = static_cast<u8>(
+                                (expect[i] << rb) | lo);
+                        }
+                    }
+                }
+            }
+            auto got = row;
+            bulk::bulkShiftLeft(got, bits);
+            EXPECT_EQ(got, expect) << "shl n=" << n << " b=" << bits;
+
+            // Right shift must invert the left shift of the high part:
+            // check against its own byte reference.
+            auto expect_r = row;
+            {
+                const u32 bs = bits / 8, rb = bits % 8;
+                if (bs >= n) {
+                    std::fill(expect_r.begin(), expect_r.end(), 0);
+                } else {
+                    if (bs > 0) {
+                        for (std::size_t i = 0; i + bs < n; ++i)
+                            expect_r[i] = expect_r[i + bs];
+                        std::fill(expect_r.end() - bs, expect_r.end(),
+                                  0);
+                    }
+                    if (rb > 0) {
+                        for (std::size_t i = 0; i < n; ++i) {
+                            const u8 hi =
+                                i + 1 < n ? static_cast<u8>(
+                                                expect_r[i + 1]
+                                                << (8 - rb))
+                                          : 0;
+                            expect_r[i] = static_cast<u8>(
+                                (expect_r[i] >> rb) | hi);
+                        }
+                    }
+                }
+            }
+            auto got_r = row;
+            bulk::bulkShiftRight(got_r, bits);
+            EXPECT_EQ(got_r, expect_r)
+                << "shr n=" << n << " b=" << bits;
+        }
+    }
+}
+
+TEST(ScratchArena, GrowOnlyAndStable)
+{
+    ScratchArena arena;
+    auto a = arena.bytes(ScratchArena::SweepFf, 64);
+    EXPECT_EQ(a.size(), 64u);
+    std::fill(a.begin(), a.end(), 0xcd);
+    // Shrinking request keeps capacity; same storage is reused.
+    auto b = arena.bytes(ScratchArena::SweepFf, 16);
+    EXPECT_EQ(b.size(), 16u);
+    EXPECT_EQ(arena.capacity(ScratchArena::SweepFf), 64u);
+    EXPECT_EQ(b.data(), a.data());
+    EXPECT_EQ(b[0], 0xcd); // contents persist (callers overwrite)
+    // Slots are independent.
+    auto c = arena.bytes(ScratchArena::BitPlane, 8);
+    EXPECT_NE(c.data(), a.data());
 }
 
 TEST(FixedPoint, Q17Basics)
