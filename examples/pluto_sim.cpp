@@ -1,133 +1,59 @@
 /**
  * @file
- * pluto_sim: the scenario engine CLI. Takes a scenario file (see
- * examples/scenarios/), runs the full variant x workload x repeat
- * cross product across a thread pool, prints a per-cell summary
- * table, and writes per-run CSV plus a JSON summary.
+ * pluto_sim: the campaign CLI. Takes a scenario file (see
+ * examples/scenarios/) and runs it in one of the registered campaign
+ * modes — all sharing the campaign core's thread-pool fan-out,
+ * sharding, JSONL caching and deterministic output discipline (see
+ * src/campaign/):
  *
- * With --service, the scenario's [service] sections run instead: the
- * request-level serving simulator (src/serve/) executes every
- * variant x service cell and reports tail-latency/throughput metrics.
+ *   (default)  batch    variant x workload x repeat simulation grid
+ *   --service  service  request-level serving simulator (src/serve/)
+ *   --nn       nn       quantized LeNet-5 inference grid (src/nn/)
  *
- * Usage:
- *   pluto_sim [options] SCENARIO.ini
- *     --threads N     worker threads (default: hardware concurrency)
- *     --out DIR       override the scenario's out_dir
- *     --service       run the [service] sections (serving simulator)
- *     --shard I/N     run only shard I of N (outputs suffixed
- *                     ".shardIofN"; combine shards via --cache-dir
- *                     and a final unsharded pass)
- *     --cache-dir DIR replay finished runs from / append them to a
- *                     JSONL result cache
- *     --deterministic zero wall-clock fields (byte-comparable output)
- *     --quiet         suppress per-run progress lines
- *     --list          list registered workload names and exit
- *     --list-workloads
- *                     print the workload registry table and exit
+ * All flag plumbing lives in campaign/cli; this file only registers
+ * the modes: each contributes its help text, banner, progress line,
+ * summary table and output sink. `pluto_sim --help` enumerates every
+ * mode from this registry.
  */
 
 #include <cstdio>
-#include <cstdlib>
-#include <functional>
-#include <string>
 
+#include "campaign/cli.hh"
 #include "common/table.hh"
+#include "nn/campaign.hh"
+#include "nn/pluto_qnn.hh"
 #include "serve/runner.hh"
 #include "sim/metrics.hh"
 #include "sim/runner.hh"
-#include "workloads/workload.hh"
 
 using namespace pluto;
+using campaign::CliInvocation;
+using campaign::finishCampaign;
 
 namespace
 {
 
-void
-usage()
+/** Shared "shard holds no cells" short-circuit. */
+bool
+emptyShard(std::size_t cells, const CliInvocation &inv)
 {
-    std::printf(
-        "usage: pluto_sim [options] SCENARIO.ini\n"
-        "  --threads N     worker threads (default: hardware "
-        "concurrency)\n"
-        "  --out DIR       override the scenario's out_dir\n"
-        "  --service       run the [service] sections (serving "
-        "simulator)\n"
-        "  --shard I/N     run only shard I of N (0-based)\n"
-        "  --cache-dir DIR replay/append a JSONL result cache\n"
-        "  --deterministic zero wall-clock fields in outputs\n"
-        "  --quiet         suppress per-run progress lines\n"
-        "  --list          list registered workload names and exit\n"
-        "  --list-workloads  print the workload registry table and "
-        "exit\n");
-}
-
-/** The --list-workloads registry table. */
-void
-printWorkloadTable()
-{
-    AsciiTable table({"workload", "default elems (ddr4)",
-                      "default elems (3ds)", "cpu ns/elem",
-                      "gpu ns/elem", "fpga ns/elem"});
-    for (const auto &name : workloads::workloadNames()) {
-        const auto w = workloads::createWorkload(name);
-        if (!w)
-            continue;
-        const auto rates = w->rates();
-        table.addRow(
-            {name,
-             std::to_string(
-                 w->defaultElements(dram::MemoryKind::Ddr4)),
-             std::to_string(
-                 w->defaultElements(dram::MemoryKind::Hmc3ds)),
-             fmtSig(rates.cpu), fmtSig(rates.gpu),
-             fmtSig(rates.fpga)});
-    }
-    std::printf("%s", table.render().c_str());
-}
-
-/**
- * Shared tail of both modes: wall/cache summary lines, shard-suffixed
- * output writing, verification exit code.
- */
-int
-finishReport(
-    const sim::RunOptions &opt, bool sharded, double wallMs,
-    u64 cacheHits, u64 cacheMisses, bool allVerified,
-    const std::function<std::string(const std::string &suffix,
-                                    std::vector<std::string> &written)>
-        &write)
-{
-    std::printf("wall       %.0f ms total\n", wallMs);
-    if (!opt.cacheDir.empty()) {
-        const u64 total = cacheHits + cacheMisses;
-        std::printf("cache_hits=%llu cache_misses=%llu "
-                    "hit_rate=%.1f%%\n",
-                    static_cast<unsigned long long>(cacheHits),
-                    static_cast<unsigned long long>(cacheMisses),
-                    total ? 100.0 * cacheHits / total : 0.0);
-    }
-
-    std::string suffix;
-    if (sharded)
-        suffix = ".shard" + std::to_string(opt.shardIndex) + "of" +
-                 std::to_string(opt.shardCount);
-    std::vector<std::string> written;
-    const std::string werr = write(suffix, written);
-    if (!werr.empty()) {
-        std::fprintf(stderr, "output error: %s\n", werr.c_str());
-        return 1;
-    }
-    for (const auto &p : written)
-        std::printf("wrote      %s\n", p.c_str());
-
-    return allVerified ? 0 : 2;
+    if (cells)
+        return false;
+    std::printf("shard %u/%u holds no runs; nothing to do\n",
+                inv.opt.shardIndex, inv.opt.shardCount);
+    return true;
 }
 
 /** Batch mode: run the variant x workload x repeat cross product. */
 int
-runBatch(const sim::SimConfig &cfg, const sim::RunOptions &opt,
-         bool sharded, bool quiet)
+runBatch(const sim::SimConfig &cfg, const CliInvocation &inv)
 {
+    if (cfg.workloads.empty()) {
+        std::fprintf(stderr,
+                     "batch mode: scenario declares no [workload] "
+                     "sections (nn-only scenario? use --nn)\n");
+        return 1;
+    }
     const sim::ScenarioRunner runner(cfg);
     const auto progress = [&](const sim::RunRecord &r, u64 done,
                               u64 total) {
@@ -142,31 +68,29 @@ runBatch(const sim::SimConfig &cfg, const sim::RunOptions &opt,
                      r.wallMs);
     };
     const auto report = runner.run(
-        opt, quiet ? sim::ScenarioRunner::Progress() : progress);
-    if (report.runs.empty()) {
-        std::printf("shard %u/%u holds no runs; nothing to do\n",
-                    opt.shardIndex, opt.shardCount);
+        inv.opt,
+        inv.quiet ? sim::ScenarioRunner::Progress() : progress);
+    if (emptyShard(report.runs.size(), inv))
         return 0;
-    }
 
     // Per-cell mean table (repeats folded together).
     AsciiTable table({"variant", "workload", "runs", "elements",
-                      "seed", "ns/elem", "pJ/elem", "vs CPU",
-                      "ok"});
+                      "seed", "ns/elem", "pJ/elem", "vs CPU", "ok"});
     for (const auto &c : sim::MetricsSink::aggregate(report)) {
         table.addRow({c.variant, c.workload, std::to_string(c.runs),
                       std::to_string(c.elements),
-                      std::to_string(c.seed),
-                      fmtSig(c.nsPerElem), fmtSig(c.pjPerElem),
+                      std::to_string(c.seed), fmtSig(c.nsPerElem),
+                      fmtSig(c.pjPerElem),
                       c.nsPerElem > 0.0
                           ? fmtX(c.rates.cpu / c.nsPerElem)
                           : "-",
                       c.verified ? "yes" : "NO"});
     }
     std::printf("\n%s\n", table.render().c_str());
-    return finishReport(
-        opt, sharded, report.wallMs, report.cacheHits,
-        report.cacheMisses, report.allVerified(),
+    return finishCampaign(
+        inv,
+        {report.wallMs, report.cacheHits, report.cacheMisses},
+        report.allVerified(),
         [&](const std::string &suffix,
             std::vector<std::string> &written) {
             return sim::MetricsSink::write(cfg, report, written,
@@ -176,8 +100,7 @@ runBatch(const sim::SimConfig &cfg, const sim::RunOptions &opt,
 
 /** Service mode: run the variant x service serving simulations. */
 int
-runService(const sim::SimConfig &cfg, const sim::RunOptions &opt,
-           bool sharded, bool quiet)
+runService(const sim::SimConfig &cfg, const CliInvocation &inv)
 {
     if (cfg.services.empty()) {
         std::fprintf(stderr,
@@ -185,6 +108,8 @@ runService(const sim::SimConfig &cfg, const sim::RunOptions &opt,
                      "sections\n");
         return 1;
     }
+    // An nn-only scenario (no [workload] request mix) is rejected by
+    // ServiceRunner::run itself, covering every caller.
 
     const serve::ServiceRunner runner(cfg);
     const auto progress = [&](const serve::ServiceRunRecord &r,
@@ -195,39 +120,90 @@ runService(const sim::SimConfig &cfg, const sim::RunOptions &opt,
                      static_cast<unsigned long long>(done),
                      static_cast<unsigned long long>(total),
                      r.variant.c_str(), r.service.c_str(),
-                     static_cast<unsigned long long>(
-                         r.out.requests),
+                     static_cast<unsigned long long>(r.out.requests),
                      r.out.p99Ms, r.out.throughputRps,
                      r.out.verified ? "ok" : "VERIFY FAILED");
     };
     const auto report = runner.run(
-        opt, quiet ? serve::ServiceRunner::Progress() : progress);
-    if (report.runs.empty()) {
-        std::printf("shard %u/%u holds no runs; nothing to do\n",
-                    opt.shardIndex, opt.shardCount);
+        inv.opt,
+        inv.quiet ? serve::ServiceRunner::Progress() : progress);
+    if (emptyShard(report.runs.size(), inv))
         return 0;
-    }
 
-    AsciiTable table({"variant", "service", "policy", "req",
-                     "req/s", "batch", "p50 ms", "p99 ms",
-                     "p99.9 ms", "util", "ok"});
+    AsciiTable table({"variant", "service", "policy", "req", "req/s",
+                      "batch", "p50 ms", "p99 ms", "p99.9 ms", "util",
+                      "ok"});
     for (const auto &r : report.runs)
         table.addRow({r.variant, r.service, r.policy,
                       std::to_string(r.out.requests),
                       fmtSig(r.out.throughputRps),
                       fmtSig(r.out.meanBatch, 3),
                       fmtSig(r.out.p50Ms), fmtSig(r.out.p99Ms),
-                      fmtSig(r.out.p999Ms),
-                      fmtPct(r.out.utilization),
+                      fmtSig(r.out.p999Ms), fmtPct(r.out.utilization),
                       r.out.verified ? "yes" : "NO"});
     std::printf("\n%s\n", table.render().c_str());
-    return finishReport(
-        opt, sharded, report.wallMs, report.cacheHits,
-        report.cacheMisses, report.allVerified(),
+    return finishCampaign(
+        inv,
+        {report.wallMs, report.cacheHits, report.cacheMisses},
+        report.allVerified(),
         [&](const std::string &suffix,
             std::vector<std::string> &written) {
             return serve::ServiceMetricsSink::write(
                 cfg, report.runs, report.wallMs, written, suffix);
+        });
+}
+
+/** NN mode: run the variant x nn inference grid. */
+int
+runNn(const sim::SimConfig &cfg, const CliInvocation &inv)
+{
+    if (cfg.nnCells.empty()) {
+        std::fprintf(stderr,
+                     "--nn: scenario declares no [nn] sections\n");
+        return 1;
+    }
+
+    const nn::NnRunner runner(cfg);
+    const auto progress = [&](const nn::NnRunRecord &r, u64 done,
+                              u64 total) {
+        std::fprintf(stderr,
+                     "[%llu/%llu] %s / %s: %.1f us/inf, %.2f "
+                     "uJ/inf, acc %.2f, %s\n",
+                     static_cast<unsigned long long>(done),
+                     static_cast<unsigned long long>(total),
+                     r.variant.c_str(), r.cell.c_str(),
+                     r.out.nsPerInference() * 1e-3,
+                     r.out.pjPerInference() * 1e-6, r.out.accuracy,
+                     r.out.verified ? "ok" : "VERIFY FAILED");
+    };
+    const auto report = runner.run(
+        inv.opt, inv.quiet ? nn::NnRunner::Progress() : progress);
+    if (emptyShard(report.runs.size(), inv))
+        return 0;
+
+    AsciiTable table({"variant", "cell", "bits", "images", "us/inf",
+                      "uJ/inf", "acc", "vs CPU", "ok"});
+    for (const auto &r : report.runs) {
+        const double nsInf = r.out.nsPerInference();
+        const auto hosts = nn::hostQnnCosts(r.bits, r.out.macs);
+        const double cpuNs = hosts.empty() ? 0.0 : hosts[0].timeNs;
+        table.addRow({r.variant, r.cell, std::to_string(r.bits),
+                      std::to_string(r.out.images),
+                      fmtSig(nsInf * 1e-3),
+                      fmtSig(r.out.pjPerInference() * 1e-6),
+                      fmtSig(r.out.accuracy, 3),
+                      nsInf > 0.0 ? fmtX(cpuNs / nsInf) : "-",
+                      r.out.verified ? "yes" : "NO"});
+    }
+    std::printf("\n%s\n", table.render().c_str());
+    return finishCampaign(
+        inv,
+        {report.wallMs, report.cacheHits, report.cacheMisses},
+        report.allVerified(),
+        [&](const std::string &suffix,
+            std::vector<std::string> &written) {
+            return nn::NnMetricsSink::write(cfg, report, written,
+                                            suffix);
         });
 }
 
@@ -236,106 +212,52 @@ runService(const sim::SimConfig &cfg, const sim::RunOptions &opt,
 int
 main(int argc, char **argv)
 {
-    std::string scenarioPath;
-    std::string outDir;
-    sim::RunOptions opt;
-    bool service = false;
-    bool sharded = false;
-    bool quiet = false;
-
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        auto next = [&]() -> const char * {
-            if (i + 1 >= argc) {
-                usage();
-                std::exit(1);
-            }
-            return argv[++i];
-        };
-        if (arg == "--list") {
-            for (const auto &name : workloads::workloadNames())
-                std::printf("%s\n", name.c_str());
-            return 0;
-        } else if (arg == "--list-workloads") {
-            printWorkloadTable();
-            return 0;
-        } else if (arg == "--threads") {
-            opt.threads = static_cast<u32>(std::atoi(next()));
-        } else if (arg == "--out") {
-            outDir = next();
-        } else if (arg == "--service") {
-            service = true;
-        } else if (arg == "--shard") {
-            const std::string spec = next();
-            unsigned idx = 0, cnt = 0;
-            char trail = 0;
-            if (std::sscanf(spec.c_str(), "%u/%u%c", &idx, &cnt,
-                            &trail) != 2) {
-                std::fprintf(stderr,
-                             "--shard wants I/N (e.g. 0/3), got "
-                             "'%s'\n",
-                             spec.c_str());
-                return 1;
-            }
-            opt.shardIndex = idx;
-            opt.shardCount = cnt;
-            sharded = true;
-        } else if (arg == "--cache-dir") {
-            opt.cacheDir = next();
-        } else if (arg == "--deterministic") {
-            opt.deterministic = true;
-        } else if (arg == "--quiet") {
-            quiet = true;
-        } else if (arg == "--help") {
-            usage();
-            return 0;
-        } else if (!arg.empty() && arg.front() == '-') {
-            usage();
-            return 1;
-        } else if (scenarioPath.empty()) {
-            scenarioPath = arg;
-        } else {
-            usage();
-            return 1;
-        }
-    }
-    if (scenarioPath.empty()) {
-        usage();
-        return 1;
-    }
-    const std::string opterr = opt.validate();
-    if (!opterr.empty()) {
-        std::fprintf(stderr, "--shard: %s\n", opterr.c_str());
-        return 1;
-    }
-
-    std::string err;
-    auto cfg = sim::SimConfig::load(scenarioPath, err);
-    if (!cfg) {
-        std::fprintf(stderr, "%s: %s\n", scenarioPath.c_str(),
-                     err.c_str());
-        return 1;
-    }
-    if (!outDir.empty())
-        cfg->outDir = outDir;
-
-    std::printf("scenario   %s (%s)\n", cfg->name.c_str(),
-                scenarioPath.c_str());
-    if (service)
-        std::printf("runs       %llu  (%zu variants x %zu "
-                    "services)\n",
-                    static_cast<unsigned long long>(
-                        cfg->totalServiceRuns()),
-                    cfg->devices.size(), cfg->services.size());
-    else
-        std::printf("runs       %llu  (%zu variants x %zu "
-                    "workloads)\n",
-                    static_cast<unsigned long long>(cfg->totalRuns()),
-                    cfg->devices.size(), cfg->workloads.size());
-    if (sharded)
-        std::printf("shard      %u/%u\n", opt.shardIndex,
-                    opt.shardCount);
-
-    return service ? runService(*cfg, opt, sharded, quiet)
-                   : runBatch(*cfg, opt, sharded, quiet);
+    const std::vector<campaign::Mode> modes = {
+        {"batch",
+         "",
+         "the variant x workload x repeat simulation grid",
+         {"reads [variant]/[workload] sections (sweepable)"},
+         [](const sim::SimConfig &cfg) {
+             char buf[96];
+             std::snprintf(buf, sizeof(buf),
+                           "%llu  (%zu variants x %zu workloads)",
+                           static_cast<unsigned long long>(
+                               cfg.totalRuns()),
+                           cfg.devices.size(), cfg.workloads.size());
+             return std::string(buf);
+         },
+         runBatch},
+        {"service",
+         "--service",
+         "the request-level serving simulator (tail latency, "
+         "batching policies)",
+         {"reads [service] sections; [workload] entries form the",
+          "request mix (weight/tenant keys)"},
+         [](const sim::SimConfig &cfg) {
+             char buf[96];
+             std::snprintf(buf, sizeof(buf),
+                           "%llu  (%zu variants x %zu services)",
+                           static_cast<unsigned long long>(
+                               cfg.totalServiceRuns()),
+                           cfg.devices.size(), cfg.services.size());
+             return std::string(buf);
+         },
+         runService},
+        {"nn",
+         "--nn",
+         "the quantized LeNet-5 inference grid (Table 7 workload)",
+         {"reads [nn] sections: bits (1|4), images, seed (all",
+          "sweepable)"},
+         [](const sim::SimConfig &cfg) {
+             char buf[96];
+             std::snprintf(buf, sizeof(buf),
+                           "%llu  (%zu variants x %zu nn cells)",
+                           static_cast<unsigned long long>(
+                               cfg.totalNnRuns()),
+                           cfg.devices.size(), cfg.nnCells.size());
+             return std::string(buf);
+         },
+         runNn},
+    };
+    return campaign::cliMain(argc, argv, modes);
 }

@@ -20,6 +20,7 @@ THREADS=""
 BIN=""
 OUT_DIR=""
 DETERMINISTIC=0
+MODE="batch"
 
 usage() {
   cat <<'EOF'
@@ -28,6 +29,7 @@ Usage:
 
 Options:
   --scenario PATH   Scenario file passed to pluto_sim (required)
+  --mode MODE       Campaign mode: batch (default), service, or nn
   --shards N        Shard process count (default: 3)
   --threads N       Worker threads per shard (default: pluto_sim's default)
   --pluto-sim PATH  pluto_sim binary (default: auto-detect in build/)
@@ -36,7 +38,7 @@ Options:
   -h, --help        Show this help
 
 Layout under --out-dir:
-  cache/<name>.cache.jsonl   shared JSONL result cache
+  cache/<name>.<mode>.cache.jsonl   shared JSONL result cache
   shards/                    per-shard outputs (suffixed .shardIofN)
   merged/                    merge-pass outputs (the campaign result)
 EOF
@@ -47,6 +49,7 @@ is_pos_int() { [[ "${1:-}" =~ ^[0-9]+$ ]] && [[ "$1" -ge 1 ]]; }
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --scenario) SCENARIO="${2:?--scenario needs a path}"; shift 2 ;;
+    --mode) MODE="${2:?--mode needs a value}"; shift 2 ;;
     --shards) SHARDS="${2:?--shards needs a value}"; shift 2 ;;
     --threads) THREADS="${2:?--threads needs a value}"; shift 2 ;;
     --pluto-sim) BIN="${2:?--pluto-sim needs a path}"; shift 2 ;;
@@ -63,6 +66,10 @@ is_pos_int "$SHARDS" || { echo "Error: --shards must be a positive integer" >&2;
 if [[ -n "$THREADS" ]]; then
   is_pos_int "$THREADS" || { echo "Error: --threads must be a positive integer" >&2; exit 2; }
 fi
+case "$MODE" in
+  batch|service|nn) ;;
+  *) echo "Error: --mode must be batch, service, or nn (got '$MODE')" >&2; exit 2 ;;
+esac
 
 if [[ -z "$BIN" ]]; then
   for cand in build/pluto_sim ./pluto_sim; do
@@ -76,6 +83,8 @@ mkdir -p "$OUT_DIR/shards" "$OUT_DIR/merged"
 echo "Output root: $OUT_DIR"
 
 COMMON=(--cache-dir "$OUT_DIR/cache" --quiet)
+[[ "$MODE" == "service" ]] && COMMON+=(--service)
+[[ "$MODE" == "nn" ]] && COMMON+=(--nn)
 [[ -n "$THREADS" ]] && COMMON+=(--threads "$THREADS")
 [[ "$DETERMINISTIC" -eq 1 ]] && COMMON+=(--deterministic)
 

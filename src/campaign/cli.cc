@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Campaign CLI driver (see cli.hh).
+ */
+
+#include "campaign/cli.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/table.hh"
+#include "workloads/workload.hh"
+
+namespace pluto::campaign
+{
+
+namespace
+{
+
+/** The full --help text, assembled from the mode registry. */
+void
+printHelp(const std::vector<Mode> &modes)
+{
+    std::printf(
+        "usage: pluto_sim [mode] [options] SCENARIO.ini\n"
+        "\n"
+        "options (all modes):\n"
+        "  --threads N     worker threads (default: hardware "
+        "concurrency)\n"
+        "  --out DIR       override the scenario's out_dir\n"
+        "  --shard I/N     run only shard I of N (0-based; outputs\n"
+        "                  suffixed .shardIofN; combine shards via\n"
+        "                  --cache-dir and a final unsharded pass)\n"
+        "  --cache-dir DIR replay/append a JSONL result cache\n"
+        "  --deterministic zero wall-clock fields in outputs\n"
+        "  --quiet         suppress per-cell progress lines\n"
+        "  --list          list registered workload names and exit\n"
+        "  --list-workloads  print the workload registry table and "
+        "exit\n"
+        "  --help          this text\n"
+        "\n"
+        "modes:\n");
+    for (const auto &m : modes) {
+        std::printf("  %-15s %s: %s\n",
+                    m.flag.empty() ? "(default)" : m.flag.c_str(),
+                    m.name.c_str(), m.summary.c_str());
+        for (const auto &note : m.notes)
+            std::printf("                  %s\n", note.c_str());
+    }
+}
+
+/** Short usage pointer for error paths (stderr). */
+void
+usageError(const char *fmt, const std::string &what)
+{
+    std::fprintf(stderr, fmt, what.c_str());
+    std::fprintf(stderr, "usage: pluto_sim [mode] [options] "
+                         "SCENARIO.ini  (--help for details)\n");
+}
+
+/** The --list-workloads registry table. */
+void
+printWorkloadTable()
+{
+    AsciiTable table({"workload", "default elems (ddr4)",
+                      "default elems (3ds)", "cpu ns/elem",
+                      "gpu ns/elem", "fpga ns/elem"});
+    for (const auto &name : workloads::workloadNames()) {
+        const auto w = workloads::createWorkload(name);
+        if (!w)
+            continue;
+        const auto rates = w->rates();
+        table.addRow(
+            {name,
+             std::to_string(
+                 w->defaultElements(dram::MemoryKind::Ddr4)),
+             std::to_string(
+                 w->defaultElements(dram::MemoryKind::Hmc3ds)),
+             fmtSig(rates.cpu), fmtSig(rates.gpu),
+             fmtSig(rates.fpga)});
+    }
+    std::printf("%s", table.render().c_str());
+}
+
+} // namespace
+
+int
+finishCampaign(
+    const CliInvocation &inv, const Stats &stats, bool allVerified,
+    const std::function<std::string(const std::string &suffix,
+                                    std::vector<std::string> &written)>
+        &write)
+{
+    std::printf("wall       %.0f ms total\n", stats.wallMs);
+    if (!inv.opt.cacheDir.empty()) {
+        const u64 total = stats.cacheHits + stats.cacheMisses;
+        std::printf("cache_hits=%llu cache_misses=%llu "
+                    "hit_rate=%.1f%%\n",
+                    static_cast<unsigned long long>(stats.cacheHits),
+                    static_cast<unsigned long long>(stats.cacheMisses),
+                    total ? 100.0 * stats.cacheHits / total : 0.0);
+    }
+
+    std::string suffix;
+    if (inv.sharded)
+        suffix = ".shard" + std::to_string(inv.opt.shardIndex) +
+                 "of" + std::to_string(inv.opt.shardCount);
+    std::vector<std::string> written;
+    const std::string werr = write(suffix, written);
+    if (!werr.empty()) {
+        std::fprintf(stderr, "output error: %s\n", werr.c_str());
+        return 1;
+    }
+    for (const auto &p : written)
+        std::printf("wrote      %s\n", p.c_str());
+
+    return allVerified ? 0 : 2;
+}
+
+int
+cliMain(int argc, char **argv, const std::vector<Mode> &modes)
+{
+    CliInvocation inv;
+    std::string outDir;
+    const Mode *mode = nullptr; // default resolved after parsing
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usageError("pluto_sim: %s needs a value\n", arg);
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        const auto modeFor = [&](const std::string &flag) {
+            for (const auto &m : modes)
+                if (!m.flag.empty() && m.flag == flag)
+                    return &m;
+            return static_cast<const Mode *>(nullptr);
+        };
+        if (arg == "--list") {
+            for (const auto &name : workloads::workloadNames())
+                std::printf("%s\n", name.c_str());
+            return 0;
+        } else if (arg == "--list-workloads") {
+            printWorkloadTable();
+            return 0;
+        } else if (arg == "--threads") {
+            inv.opt.threads = static_cast<u32>(std::atoi(next()));
+        } else if (arg == "--out") {
+            outDir = next();
+        } else if (arg == "--shard") {
+            const std::string spec = next();
+            unsigned idx = 0, cnt = 0;
+            char trail = 0;
+            if (std::sscanf(spec.c_str(), "%u/%u%c", &idx, &cnt,
+                            &trail) != 2) {
+                usageError("pluto_sim: --shard wants I/N (e.g. 0/3), "
+                           "got '%s'\n",
+                           spec);
+                return 1;
+            }
+            inv.opt.shardIndex = idx;
+            inv.opt.shardCount = cnt;
+            inv.sharded = true;
+        } else if (arg == "--cache-dir") {
+            inv.opt.cacheDir = next();
+        } else if (arg == "--deterministic") {
+            inv.opt.deterministic = true;
+        } else if (arg == "--quiet") {
+            inv.quiet = true;
+        } else if (arg == "--help") {
+            printHelp(modes);
+            return 0;
+        } else if (const Mode *m = modeFor(arg)) {
+            if (mode && mode != m) {
+                usageError("pluto_sim: mode flag '%s' conflicts with "
+                           "an earlier mode flag\n",
+                           arg);
+                return 1;
+            }
+            mode = m;
+        } else if (!arg.empty() && arg.front() == '-') {
+            usageError("pluto_sim: unknown flag '%s'\n", arg);
+            return 1;
+        } else if (inv.scenarioPath.empty()) {
+            inv.scenarioPath = arg;
+        } else {
+            usageError("pluto_sim: unexpected extra argument '%s'\n",
+                       arg);
+            return 1;
+        }
+    }
+    if (inv.scenarioPath.empty()) {
+        usageError("pluto_sim: %s\n", "missing scenario file");
+        return 1;
+    }
+    const std::string opterr = inv.opt.validate();
+    if (!opterr.empty()) {
+        usageError("pluto_sim: --shard: %s\n", opterr);
+        return 1;
+    }
+    if (!mode) {
+        for (const auto &m : modes)
+            if (m.flag.empty())
+                mode = &m;
+    }
+    if (!mode) {
+        std::fprintf(stderr, "pluto_sim: no default mode registered\n");
+        return 1;
+    }
+
+    std::string err;
+    auto cfg = sim::SimConfig::load(inv.scenarioPath, err);
+    if (!cfg) {
+        std::fprintf(stderr, "%s: %s\n", inv.scenarioPath.c_str(),
+                     err.c_str());
+        return 1;
+    }
+    if (!outDir.empty())
+        cfg->outDir = outDir;
+
+    std::printf("scenario   %s (%s)\n", cfg->name.c_str(),
+                inv.scenarioPath.c_str());
+    std::printf("runs       %s\n", mode->banner(*cfg).c_str());
+    if (inv.sharded)
+        std::printf("shard      %u/%u\n", inv.opt.shardIndex,
+                    inv.opt.shardCount);
+
+    return mode->run(*cfg, inv);
+}
+
+} // namespace pluto::campaign

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The campaign CLI driver library: everything mode-agnostic about
+ * `pluto_sim` lives here, so the binary itself collapses to mode
+ * registration + dispatch.
+ *
+ * The driver owns the shared flags (--threads / --shard /
+ * --cache-dir / --deterministic / --out / --quiet), the workload
+ * registry listings (--list / --list-workloads), scenario loading,
+ * the banner, and the shared report tail (wall/cache summary lines,
+ * shard-suffixed output writing, verification exit code). Modes
+ * register themselves with a selector flag, help text and a run
+ * callback; --help enumerates every registered mode, so no mode's
+ * flags are invisible.
+ *
+ * Exit codes: 0 success, 1 usage/config/output errors (every unknown
+ * flag included), 2 campaign ran but a cell failed verification.
+ */
+
+#ifndef PLUTO_CAMPAIGN_CLI_HH
+#define PLUTO_CAMPAIGN_CLI_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "campaign/runner.hh"
+#include "sim/config.hh"
+
+namespace pluto::campaign
+{
+
+/** One parsed pluto_sim invocation (mode-agnostic part). */
+struct CliInvocation
+{
+    std::string scenarioPath;
+    RunOptions opt;
+    /** --shard was given (outputs get a .shardIofN suffix). */
+    bool sharded = false;
+    /** Suppress per-cell progress lines. */
+    bool quiet = false;
+};
+
+/** One registered campaign mode. */
+struct Mode
+{
+    /** Registry name ("batch", "service", "nn"). */
+    std::string name;
+    /** Selector flag ("--service"); empty = the default mode. */
+    std::string flag;
+    /** One-line description shown in --help. */
+    std::string summary;
+    /** Further help lines (scenario sections and keys the mode
+     *  reads); printed indented under the mode in --help. */
+    std::vector<std::string> notes;
+    /** Banner cell count, e.g. "24  (4 variants x 3 workloads)". */
+    std::function<std::string(const sim::SimConfig &)> banner;
+    /** Execute the mode. @return the process exit code. */
+    std::function<int(const sim::SimConfig &, const CliInvocation &)>
+        run;
+};
+
+/**
+ * Shared tail of every mode: print the wall/cache summary, write the
+ * mode's outputs through `write` (which receives the shard suffix
+ * and appends written paths), and turn verification into the exit
+ * code. @return 0 ok, 1 write error, 2 verification failure.
+ */
+int finishCampaign(
+    const CliInvocation &inv, const Stats &stats, bool allVerified,
+    const std::function<std::string(const std::string &suffix,
+                                    std::vector<std::string> &written)>
+        &write);
+
+/**
+ * The pluto_sim main: parse flags, resolve the mode, load the
+ * scenario, print the banner and dispatch. `modes` must contain
+ * exactly one default mode (empty flag). @return the process exit
+ * code.
+ */
+int cliMain(int argc, char **argv, const std::vector<Mode> &modes);
+
+} // namespace pluto::campaign
+
+#endif // PLUTO_CAMPAIGN_CLI_HH

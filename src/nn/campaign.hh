@@ -1,0 +1,165 @@
+/**
+ * @file
+ * The NN campaign mode: quantized LeNet-5 inference (the paper's
+ * Table 7 flagship workload) as a thin client of the generic
+ * campaign core — the third mode after batch sim and serving, and
+ * the existence proof that adding a scenario kind no longer pays a
+ * full-stack tax.
+ *
+ * One cell is (device variant, [nn] spec): a batch of `images`
+ * synthetic MNIST digits is classified by a `bits`-bit LeNet-5 and
+ * the inference cost is charged through the device's query engine
+ * (one LUT load per batch, then query waves across all SALP lanes),
+ * so batch size amortizes LUT loading and the timing/energy follow
+ * the active design's Table 1 formulas. Cells are pure functions of
+ * (variant config, spec): outcomes are bit-identical across thread
+ * counts, shards and cache replays, exactly like the other modes —
+ * because the discipline is the campaign core's, not this file's.
+ */
+
+#ifndef PLUTO_NN_CAMPAIGN_HH
+#define PLUTO_NN_CAMPAIGN_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "campaign/cache.hh"
+#include "campaign/runner.hh"
+#include "sim/config.hh"
+
+namespace pluto::nn
+{
+
+/** Simulated outcome of one (variant, nn spec) cell. */
+struct NnOutcome
+{
+    /** Images classified (the batch size). */
+    u64 images = 0;
+    /** Multiply-accumulates per inference. */
+    u64 macs = 0;
+    /** Simulated batch total (LUT load + query waves + host), ns. */
+    double timeNs = 0.0;
+    /** Simulated batch energy, pJ. */
+    double energyPj = 0.0;
+    /** Fraction of images classified as their synthetic label. */
+    double accuracy = 0.0;
+    /** Re-inference with a fresh net reproduced every prediction. */
+    bool verified = false;
+    /** Host wall-clock of the run that computed the result. */
+    double wallMs = 0.0;
+
+    /** @return simulated time per inference, ns. */
+    double nsPerInference() const
+    {
+        return images ? timeNs / static_cast<double>(images) : 0.0;
+    }
+
+    /** @return simulated energy per inference, pJ. */
+    double pjPerInference() const
+    {
+        return images ? energyPj / static_cast<double>(images) : 0.0;
+    }
+};
+
+/** One --nn run: labels + spec echo + outcome. */
+struct NnRunRecord
+{
+    std::string variant;
+    /** Cell label from the scenario file ("lenet5/bits=1", ...). */
+    std::string cell;
+    u32 bits = 0;
+    u64 seed = 0;
+    NnOutcome out;
+    /** Outcome was replayed from the nn cache. */
+    bool fromCache = false;
+};
+
+/** Aggregated outcome of one --nn campaign (or one shard). */
+struct NnReport
+{
+    /** All cells, variant-major then nn-spec. */
+    std::vector<NnRunRecord> runs;
+    /** Host wall-clock of the whole campaign, milliseconds. */
+    double wallMs = 0.0;
+    /** Cells replayed from the cache / computed fresh. */
+    u64 cacheHits = 0;
+    u64 cacheMisses = 0;
+
+    /** @return true when every cell's inference check verified. */
+    bool allVerified() const;
+};
+
+/** JSONL codec of nn outcomes (see campaign/cache.hh). */
+struct NnCacheCodec
+{
+    static constexpr const char *kKind = "nn";
+    static std::string encodeBody(const NnOutcome &out);
+    static bool decode(const JsonValue &obj, NnOutcome &out);
+};
+
+/** Append-only JSONL outcome cache for one scenario's nn runs. */
+class NnCache
+    : public campaign::JsonlCache<NnOutcome, NnCacheCodec>
+{
+  public:
+    using JsonlCache::JsonlCache;
+
+    /** @return the content key of one (variant, nn spec) cell. */
+    static std::string key(const runtime::DeviceConfig &cfg,
+                           const sim::NnSpec &spec);
+};
+
+/** Batch executor for a scenario's nn experiments. */
+class NnRunner
+{
+  public:
+    /** Called after each finished cell (serialized; for progress). */
+    using Progress =
+        std::function<void(const NnRunRecord &, u64 done, u64 total)>;
+
+    explicit NnRunner(sim::SimConfig cfg);
+
+    /** @return the scenario being run. */
+    const sim::SimConfig &config() const { return cfg_; }
+
+    /**
+     * Execute this process's shard of the variant x nn grid under
+     * `opt` (which must validate()).
+     */
+    NnReport run(const campaign::RunOptions &opt,
+                 const Progress &progress = nullptr) const;
+
+  private:
+    sim::SimConfig cfg_;
+};
+
+/** Output writer for --nn mode results. */
+class NnMetricsSink
+{
+  public:
+    /** Column names of the nn CSV, in order. */
+    static std::vector<std::string> csvColumns();
+
+    /** @return the per-cell CSV document. */
+    static std::string renderCsv(const sim::SimConfig &cfg,
+                                 const NnReport &report);
+
+    /** @return the JSON summary document. */
+    static std::string renderJson(const sim::SimConfig &cfg,
+                                  const NnReport &report);
+
+    /**
+     * Write `<outDir>/<name><suffix>_nn_runs.csv` and
+     * `<outDir>/<name><suffix>_nn_summary.json`. On success @return
+     * empty string and append both paths to `written`.
+     */
+    static std::string write(const sim::SimConfig &cfg,
+                             const NnReport &report,
+                             std::vector<std::string> &written,
+                             const std::string &suffix = {});
+};
+
+} // namespace pluto::nn
+
+#endif // PLUTO_NN_CAMPAIGN_HH

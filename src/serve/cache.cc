@@ -1,16 +1,11 @@
 /**
  * @file
- * JSONL service-outcome cache (see cache.hh).
+ * Service-outcome cache codec (see cache.hh).
  */
 
 #include "serve/cache.hh"
 
-#include <filesystem>
-#include <fstream>
 #include <sstream>
-
-#include "common/emit.hh"
-#include "sim/cache.hh"
 
 namespace pluto::serve
 {
@@ -19,9 +14,7 @@ namespace
 {
 
 /** Bump when the serving model changes cached semantics. */
-constexpr u32 kServeCacheSchema = 1;
-
-using sim::fmtDoubleExact;
+constexpr u32 kServeSchema = 2;
 
 /** The scalar double fields of a ServiceOutcome, in JSON order. */
 struct Field
@@ -64,22 +57,14 @@ constexpr TenantField kTenantFields[] = {
 
 } // namespace
 
-ServiceCache::ServiceCache(std::string dir,
-                           const std::string &scenario)
-    : dir_(std::move(dir)),
-      path_(dir_ + "/" + scenario + ".serve.cache.jsonl")
-{
-}
-
 std::string
 ServiceCache::key(const runtime::DeviceConfig &cfg,
                   const sim::ServiceSpec &svc,
                   const std::vector<RequestClass> &mix)
 {
     std::ostringstream d;
-    d << "pluto-serve-cache-v" << kServeCacheSchema << '|'
-      << sim::deviceDescriptor(cfg) << '|' << svc.closedLoop << ','
-      << svc.uniformArrivals << ','
+    d << 'v' << kServeSchema << '|' << deviceDescriptor(cfg) << '|'
+      << svc.closedLoop << ',' << svc.uniformArrivals << ','
       << fmtDoubleExact(svc.ratePerSec) << ','
       << fmtDoubleExact(svc.durationMs) << ',' << svc.clients << ','
       << fmtDoubleExact(svc.thinkMs) << ','
@@ -89,146 +74,76 @@ ServiceCache::key(const runtime::DeviceConfig &cfg,
     for (const auto &c : mix)
         d << '|' << c.workload << ',' << c.elements << ',' << c.seed
           << ',' << c.tenant << ',' << fmtDoubleExact(c.weight);
-    return sim::fnv1aHex(d.str());
-}
-
-void
-ServiceCache::load()
-{
-    std::lock_guard<std::mutex> lock(mu_);
-    entries_.clear();
-    corrupt_ = 0;
-    std::ifstream in(path_, std::ios::binary);
-    if (!in)
-        return; // no cache yet
-    std::string line;
-    while (std::getline(in, line)) {
-        if (line.empty())
-            continue;
-        std::string err;
-        const auto v = JsonValue::parse(line, err);
-        if (!v || !v->isObject()) {
-            ++corrupt_;
-            continue;
-        }
-        const JsonValue *key = v->find("key");
-        const JsonValue *requests = v->find("requests");
-        const JsonValue *batches = v->find("batches");
-        const JsonValue *verified = v->find("verified");
-        const JsonValue *tenants = v->find("tenants");
-        bool ok = key && key->isString() && requests &&
-                  requests->isNumber() && batches &&
-                  batches->isNumber() && verified &&
-                  verified->isBool() && tenants &&
-                  tenants->isArray();
-        ServiceOutcome out;
-        if (ok) {
-            out.requests = static_cast<u64>(requests->asNumber());
-            out.batches = static_cast<u64>(batches->asNumber());
-            out.verified = verified->asBool();
-            for (const auto &f : kFields) {
-                const JsonValue *x = v->find(f.name);
-                if (!x || !x->isNumber()) {
-                    ok = false;
-                    break;
-                }
-                out.*(f.member) = x->asNumber();
-            }
-        }
-        if (ok) {
-            for (std::size_t i = 0; ok && i < tenants->size(); ++i) {
-                const JsonValue &tv = tenants->at(i);
-                const JsonValue *tenant = tv.find("tenant");
-                const JsonValue *treq = tv.find("requests");
-                if (!tv.isObject() || !tenant ||
-                    !tenant->isNumber() || !treq ||
-                    !treq->isNumber()) {
-                    ok = false;
-                    break;
-                }
-                TenantSummary t;
-                t.tenant = static_cast<u32>(tenant->asNumber());
-                t.requests = static_cast<u64>(treq->asNumber());
-                for (const auto &f : kTenantFields) {
-                    const JsonValue *x = tv.find(f.name);
-                    if (!x || !x->isNumber()) {
-                        ok = false;
-                        break;
-                    }
-                    t.*(f.member) = x->asNumber();
-                }
-                if (ok)
-                    out.tenants.push_back(t);
-            }
-        }
-        if (!ok) {
-            ++corrupt_;
-            continue;
-        }
-        entries_[key->asString()] = std::move(out); // last line wins
-    }
-}
-
-std::optional<ServiceOutcome>
-ServiceCache::lookup(const std::string &key) const
-{
-    std::lock_guard<std::mutex> lock(mu_);
-    const auto it = entries_.find(key);
-    if (it == entries_.end())
-        return std::nullopt;
-    return it->second;
-}
-
-std::size_t
-ServiceCache::entries() const
-{
-    std::lock_guard<std::mutex> lock(mu_);
-    return entries_.size();
+    return keyFor(d.str());
 }
 
 std::string
-ServiceCache::append(const std::string &key,
-                     const ServiceOutcome &out)
+ServiceCacheCodec::encodeBody(const ServiceOutcome &out)
 {
-    // Hand-formatted (like RunCache) so doubles round-trip exactly.
-    std::string line = "{\"key\":\"" + key + "\"";
-    line += ",\"requests\":" + std::to_string(out.requests);
-    line += ",\"batches\":" + std::to_string(out.batches);
+    // Hand-formatted (like the run codec) so doubles round-trip
+    // exactly.
+    std::string body = ",\"requests\":" + std::to_string(out.requests);
+    body += ",\"batches\":" + std::to_string(out.batches);
     for (const auto &f : kFields)
-        line += ",\"" + std::string(f.name) +
+        body += ",\"" + std::string(f.name) +
                 "\":" + fmtDoubleExact(out.*(f.member));
-    line += std::string(",\"verified\":") +
+    body += std::string(",\"verified\":") +
             (out.verified ? "true" : "false");
-    line += ",\"tenants\":[";
+    body += ",\"tenants\":[";
     for (std::size_t i = 0; i < out.tenants.size(); ++i) {
         const TenantSummary &t = out.tenants[i];
         if (i)
-            line += ",";
-        line += "{\"tenant\":" + std::to_string(t.tenant);
-        line += ",\"requests\":" + std::to_string(t.requests);
+            body += ",";
+        body += "{\"tenant\":" + std::to_string(t.tenant);
+        body += ",\"requests\":" + std::to_string(t.requests);
         for (const auto &f : kTenantFields)
-            line += ",\"" + std::string(f.name) +
+            body += ",\"" + std::string(f.name) +
                     "\":" + fmtDoubleExact(t.*(f.member));
-        line += "}";
+        body += "}";
     }
-    line += "]}\n";
+    body += "]";
+    return body;
+}
 
-    std::lock_guard<std::mutex> lock(mu_);
-    std::error_code ec;
-    std::filesystem::create_directories(dir_, ec);
-    if (ec)
-        return "cannot create cache directory '" + dir_ +
-               "': " + ec.message();
-    std::ofstream outf(path_, std::ios::binary | std::ios::app);
-    if (!outf)
-        return "cannot open cache file '" + path_ + "' for append";
-    outf.write(line.data(),
-               static_cast<std::streamsize>(line.size()));
-    outf.flush();
-    if (!outf)
-        return "append to '" + path_ + "' failed";
-    entries_[key] = out;
-    return {};
+bool
+ServiceCacheCodec::decode(const JsonValue &obj, ServiceOutcome &out)
+{
+    const JsonValue *requests = obj.find("requests");
+    const JsonValue *batches = obj.find("batches");
+    const JsonValue *verified = obj.find("verified");
+    const JsonValue *tenants = obj.find("tenants");
+    if (!requests || !requests->isNumber() || !batches ||
+        !batches->isNumber() || !verified || !verified->isBool() ||
+        !tenants || !tenants->isArray())
+        return false;
+    out.requests = static_cast<u64>(requests->asNumber());
+    out.batches = static_cast<u64>(batches->asNumber());
+    out.verified = verified->asBool();
+    for (const auto &f : kFields) {
+        const JsonValue *x = obj.find(f.name);
+        if (!x || !x->isNumber())
+            return false;
+        out.*(f.member) = x->asNumber();
+    }
+    for (std::size_t i = 0; i < tenants->size(); ++i) {
+        const JsonValue &tv = tenants->at(i);
+        const JsonValue *tenant = tv.find("tenant");
+        const JsonValue *treq = tv.find("requests");
+        if (!tv.isObject() || !tenant || !tenant->isNumber() ||
+            !treq || !treq->isNumber())
+            return false;
+        TenantSummary t;
+        t.tenant = static_cast<u32>(tenant->asNumber());
+        t.requests = static_cast<u64>(treq->asNumber());
+        for (const auto &f : kTenantFields) {
+            const JsonValue *x = tv.find(f.name);
+            if (!x || !x->isNumber())
+                return false;
+            t.*(f.member) = x->asNumber();
+        }
+        out.tenants.push_back(t);
+    }
+    return true;
 }
 
 } // namespace pluto::serve

@@ -1,69 +1,47 @@
 /**
  * @file
- * ServiceCache: content-addressed per-cell result cache of --service
- * mode, the serving counterpart of sim::RunCache.
+ * ServiceCache: the serving counterpart of sim::RunCache — a
+ * campaign::JsonlCache with the serve codec.
  *
  * One (device config, service spec, request mix) cell is identified
- * by a 64-bit FNV-1a hash over a canonical descriptor; outcomes live
- * in an append-only JSONL file (`<dir>/<scenario>.serve.cache.jsonl`)
- * with the same whole-line append discipline, torn-line tolerance
- * and last-wins load semantics as the run cache — so sharded service
- * campaigns share one cache and a merge pass replays every cell
- * bit-identically (doubles are stored with %.17g).
+ * by a content key over a canonical descriptor (namespaced `serve/`);
+ * outcomes share the campaign cache's on-disk discipline (append-only
+ * JSONL, torn-line tolerance, last-wins load, version header), so
+ * sharded service campaigns share one cache and a merge pass replays
+ * every cell bit-identically.
  */
 
 #ifndef PLUTO_SERVE_CACHE_HH
 #define PLUTO_SERVE_CACHE_HH
 
-#include <map>
-#include <mutex>
-#include <optional>
-#include <string>
 #include <vector>
 
+#include "campaign/cache.hh"
 #include "serve/loadgen.hh"
 #include "serve/metrics.hh"
 
 namespace pluto::serve
 {
 
+/** JSONL codec of service outcomes (see campaign/cache.hh). */
+struct ServiceCacheCodec
+{
+    static constexpr const char *kKind = "serve";
+    static std::string encodeBody(const ServiceOutcome &out);
+    static bool decode(const JsonValue &obj, ServiceOutcome &out);
+};
+
 /** Append-only JSONL outcome cache for one scenario's service runs. */
 class ServiceCache
+    : public campaign::JsonlCache<ServiceOutcome, ServiceCacheCodec>
 {
   public:
-    ServiceCache(std::string dir, const std::string &scenario);
+    using JsonlCache::JsonlCache;
 
     /** @return the content key of one (variant, service, mix) cell. */
     static std::string key(const runtime::DeviceConfig &cfg,
                            const sim::ServiceSpec &svc,
                            const std::vector<RequestClass> &mix);
-
-    /** Load the cache file (missing file = empty cache). */
-    void load();
-
-    /** Look up `key`; @return a copy of the cached outcome. */
-    std::optional<ServiceOutcome>
-    lookup(const std::string &key) const;
-
-    /** Append one outcome (thread-safe, whole-line writes). */
-    std::string append(const std::string &key,
-                       const ServiceOutcome &out);
-
-    /** @return loaded entry count. */
-    std::size_t entries() const;
-
-    /** @return lines skipped as corrupt during load(). */
-    u64 corruptLines() const { return corrupt_; }
-
-    /** @return the backing JSONL path. */
-    const std::string &path() const { return path_; }
-
-  private:
-    std::string dir_;
-    std::string path_;
-    mutable std::mutex mu_;
-    std::map<std::string, ServiceOutcome> entries_;
-    u64 corrupt_ = 0;
 };
 
 } // namespace pluto::serve

@@ -1,18 +1,14 @@
 /**
  * @file
- * Service-campaign execution across a worker pool (see runner.hh).
+ * Service-campaign execution on the campaign core (see runner.hh).
  */
 
 #include "serve/runner.hh"
 
-#include <atomic>
-#include <chrono>
 #include <mutex>
 #include <optional>
-#include <thread>
 #include <vector>
 
-#include "common/arena.hh"
 #include "common/logging.hh"
 #include "serve/cache.hh"
 #include "serve/simulator.hh"
@@ -29,14 +25,6 @@ struct CellTask
     u32 device = 0;
     u32 service = 0;
 };
-
-double
-msSince(const std::chrono::steady_clock::time_point &t0)
-{
-    return std::chrono::duration<double, std::milli>(
-               std::chrono::steady_clock::now() - t0)
-        .count();
-}
 
 } // namespace
 
@@ -64,20 +52,28 @@ ServiceRunner::run(const sim::RunOptions &opt,
     if (cfg_.services.empty())
         fatal("scenario '%s' declares no [service] sections",
               cfg_.name.c_str());
+    // The [workload] entries are the request mix; an nn-only
+    // scenario parses fine but cannot serve.
+    if (cfg_.workloads.empty())
+        fatal("scenario '%s' declares no [workload] sections "
+              "(service mode needs a request mix)",
+              cfg_.name.c_str());
 
     std::vector<CellTask> tasks;
     {
         u64 g = 0;
         for (u32 d = 0; d < cfg_.devices.size(); ++d)
             for (u32 s = 0; s < cfg_.services.size(); ++s, ++g)
-                if (g % opt.shardCount == opt.shardIndex)
+                if (opt.inShard(g))
                     tasks.push_back({d, s});
     }
 
     std::optional<ServiceCache> cache;
     if (!opt.cacheDir.empty()) {
         cache.emplace(opt.cacheDir, cfg_.name);
-        cache->load();
+        const std::string cerr = cache->load();
+        if (!cerr.empty())
+            fatal("service cache: %s", cerr.c_str());
     }
 
     // Calibration depends only on (variant config, mix), so every
@@ -91,28 +87,16 @@ ServiceRunner::run(const sim::RunOptions &opt,
     std::vector<VariantCal> cals(cfg_.devices.size());
 
     ServiceReport report;
-    report.runs.resize(tasks.size());
-
-    const auto campaign_t0 = std::chrono::steady_clock::now();
-    std::atomic<u64> done{0};
-    std::atomic<u64> hits{0};
-    std::mutex progress_mu;
-
-    // One scratch arena per worker (see ScenarioRunner::run): each
-    // cell's device pool and calibration devices borrow the worker's
-    // arena; outcomes are arena-independent.
-    std::vector<ScratchArena> arenas(
-        sim::detail::resolveThreads(tasks.size(), opt.threads));
-
-    sim::detail::forEachTask(
-        tasks.size(), opt.threads, [&](std::size_t i, u32 worker) {
+    const campaign::Stats stats = campaign::runCampaign(
+        tasks.size(), opt, report.runs,
+        [&](std::size_t i, ServiceRunRecord &rec,
+            ScratchArena &arena) {
             const CellTask &t = tasks[i];
             sim::DeviceSpec ds = cfg_.devices[t.device];
-            ds.config.arena = &arenas[worker];
+            ds.config.arena = &arena;
             const sim::ServiceSpec &svc = cfg_.services[t.service];
             const auto mix = buildMix(cfg_, ds.config);
 
-            ServiceRunRecord &rec = report.runs[i];
             rec.variant = ds.name;
             rec.service = svc.name;
             rec.policy = sim::batchPolicyName(svc.policy);
@@ -130,33 +114,27 @@ ServiceRunner::run(const sim::RunOptions &opt,
             if (hit) {
                 rec.out = *hit;
                 rec.fromCache = true;
-                hits.fetch_add(1, std::memory_order_relaxed);
-            } else {
-                VariantCal &vc = cals[t.device];
-                std::call_once(vc.once, [&]() {
-                    vc.cal = ServeSimulator::calibrateAll(
-                        ds.config, mix);
-                });
-                const ServeSimulator simulator(ds, svc, mix);
-                rec.out = simulator.run(&vc.cal);
-                if (cache) {
-                    const std::string err =
-                        cache->append(key, rec.out);
-                    if (!err.empty())
-                        warn("service cache: %s", err.c_str());
-                }
+                return true;
             }
-
-            const u64 n = done.fetch_add(1) + 1;
-            if (progress) {
-                std::lock_guard<std::mutex> lock(progress_mu);
-                progress(rec, n, tasks.size());
+            VariantCal &vc = cals[t.device];
+            std::call_once(vc.once, [&]() {
+                vc.cal =
+                    ServeSimulator::calibrateAll(ds.config, mix);
+            });
+            const ServeSimulator simulator(ds, svc, mix);
+            rec.out = simulator.run(&vc.cal);
+            if (cache) {
+                const std::string err = cache->append(key, rec.out);
+                if (!err.empty())
+                    warn("service cache: %s", err.c_str());
             }
-        });
+            return false;
+        },
+        progress);
 
-    report.cacheHits = hits.load();
-    report.cacheMisses = tasks.size() - report.cacheHits;
-    report.wallMs = opt.deterministic ? 0.0 : msSince(campaign_t0);
+    report.wallMs = stats.wallMs;
+    report.cacheHits = stats.cacheHits;
+    report.cacheMisses = stats.cacheMisses;
     return report;
 }
 

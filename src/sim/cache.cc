@@ -1,17 +1,11 @@
 /**
  * @file
- * JSONL run-result cache (see cache.hh).
+ * Batch-run cache codec (see cache.hh).
  */
 
 #include "sim/cache.hh"
 
-#include <cstdio>
-#include <filesystem>
-#include <fstream>
 #include <sstream>
-
-#include "common/emit.hh"
-#include "pluto/design.hh"
 
 namespace pluto::sim
 {
@@ -20,71 +14,46 @@ namespace
 {
 
 /** Bump when the timing/energy model changes cached semantics. */
-constexpr u32 kCacheSchema = 1;
-
-u64
-fnv1a(const std::string &s)
-{
-    u64 h = 0xcbf29ce484222325ULL;
-    for (const char c : s) {
-        h ^= static_cast<u8>(c);
-        h *= 0x100000001b3ULL;
-    }
-    return h;
-}
-
-/** %.17g: round-trips any double exactly through strtod. */
-std::string
-fmtExact(double v)
-{
-    char buf[40];
-    std::snprintf(buf, sizeof(buf), "%.17g", v);
-    return buf;
-}
+constexpr u32 kRunSchema = 2;
 
 } // namespace
 
 std::string
-fnv1aHex(const std::string &descriptor)
+RunCacheCodec::encodeBody(const CachedRun &run)
 {
-    char buf[20];
-    std::snprintf(buf, sizeof(buf), "%016llx",
-                  static_cast<unsigned long long>(fnv1a(descriptor)));
-    return buf;
+    // Hand-formatted so doubles are written with full (%.17g)
+    // precision regardless of the pretty-printer's style.
+    std::string body = ",\"elements\":" + std::to_string(run.elements);
+    body += ",\"time_ns\":" + fmtDoubleExact(run.timeNs);
+    body += ",\"energy_pj\":" + fmtDoubleExact(run.energyPj);
+    body += ",\"host_ns\":" + fmtDoubleExact(run.hostNs);
+    body += std::string(",\"verified\":") +
+            (run.verified ? "true" : "false");
+    body += ",\"wall_ms\":" + fmtDoubleExact(run.wallMs);
+    return body;
 }
 
-std::string
-fmtDoubleExact(double v)
+bool
+RunCacheCodec::decode(const JsonValue &obj, CachedRun &run)
 {
-    return fmtExact(v);
-}
-
-RunCache::RunCache(std::string dir, const std::string &scenario)
-    : dir_(std::move(dir)), path_(dir_ + "/" + scenario + ".cache.jsonl")
-{
-}
-
-std::string
-deviceDescriptor(const runtime::DeviceConfig &cfg)
-{
-    std::ostringstream d;
-    d << dram::memoryKindName(cfg.memory) << '|'
-      << core::designName(cfg.design) << '|' << cfg.salp << '|'
-      << fmtExact(cfg.fawScale) << '|' << cfg.modelRefresh << '|'
-      << static_cast<int>(cfg.loadMethod) << '|'
-      << fmtExact(cfg.loadModel.memoryBw) << ','
-      << fmtExact(cfg.loadModel.storageBw) << ','
-      << fmtExact(cfg.loadModel.generateNsPerElem) << ','
-      << cfg.loadModel.materializeLimitBytes << '|';
-    if (cfg.geometry) {
-        const auto &g = *cfg.geometry;
-        d << "geom:" << g.banks << ',' << g.subarraysPerBank << ','
-          << g.rowsPerSubarray << ',' << g.rowBytes << ','
-          << g.defaultSalp;
-    } else {
-        d << "geom:default";
-    }
-    return d.str();
+    const JsonValue *elements = obj.find("elements");
+    const JsonValue *timeNs = obj.find("time_ns");
+    const JsonValue *energyPj = obj.find("energy_pj");
+    const JsonValue *hostNs = obj.find("host_ns");
+    const JsonValue *verified = obj.find("verified");
+    const JsonValue *wallMs = obj.find("wall_ms");
+    if (!elements || !elements->isNumber() || !timeNs ||
+        !timeNs->isNumber() || !energyPj || !energyPj->isNumber() ||
+        !hostNs || !hostNs->isNumber() || !verified ||
+        !verified->isBool() || !wallMs || !wallMs->isNumber())
+        return false;
+    run.elements = static_cast<u64>(elements->asNumber());
+    run.timeNs = timeNs->asNumber();
+    run.energyPj = energyPj->asNumber();
+    run.hostNs = hostNs->asNumber();
+    run.verified = verified->asBool();
+    run.wallMs = wallMs->asNumber();
+    return true;
 }
 
 std::string
@@ -93,104 +62,9 @@ RunCache::key(const runtime::DeviceConfig &cfg,
               u32 repeat)
 {
     std::ostringstream d;
-    d << "pluto-sim-cache-v" << kCacheSchema << '|'
-      << deviceDescriptor(cfg) << '|' << workload << '|' << elements
-      << '|' << seed << '|' << repeat;
-    return fnv1aHex(d.str());
-}
-
-void
-RunCache::load()
-{
-    std::lock_guard<std::mutex> lock(mu_);
-    entries_.clear();
-    corrupt_ = 0;
-    std::ifstream in(path_, std::ios::binary);
-    if (!in)
-        return; // no cache yet
-    std::string line;
-    while (std::getline(in, line)) {
-        if (line.empty())
-            continue;
-        std::string err;
-        const auto v = JsonValue::parse(line, err);
-        if (!v || !v->isObject()) {
-            ++corrupt_;
-            continue;
-        }
-        const JsonValue *key = v->find("key");
-        const JsonValue *elements = v->find("elements");
-        const JsonValue *timeNs = v->find("time_ns");
-        const JsonValue *energyPj = v->find("energy_pj");
-        const JsonValue *hostNs = v->find("host_ns");
-        const JsonValue *verified = v->find("verified");
-        const JsonValue *wallMs = v->find("wall_ms");
-        if (!key || !key->isString() || !elements ||
-            !elements->isNumber() || !timeNs || !timeNs->isNumber() ||
-            !energyPj || !energyPj->isNumber() || !hostNs ||
-            !hostNs->isNumber() || !verified || !verified->isBool() ||
-            !wallMs || !wallMs->isNumber()) {
-            ++corrupt_;
-            continue;
-        }
-        CachedRun run;
-        run.elements = static_cast<u64>(elements->asNumber());
-        run.timeNs = timeNs->asNumber();
-        run.energyPj = energyPj->asNumber();
-        run.hostNs = hostNs->asNumber();
-        run.verified = verified->asBool();
-        run.wallMs = wallMs->asNumber();
-        entries_[key->asString()] = run; // last line wins
-    }
-}
-
-std::optional<CachedRun>
-RunCache::lookup(const std::string &key) const
-{
-    std::lock_guard<std::mutex> lock(mu_);
-    const auto it = entries_.find(key);
-    if (it == entries_.end())
-        return std::nullopt;
-    return it->second;
-}
-
-std::size_t
-RunCache::entries() const
-{
-    std::lock_guard<std::mutex> lock(mu_);
-    return entries_.size();
-}
-
-std::string
-RunCache::append(const std::string &key, const CachedRun &run)
-{
-    // Hand-formatted so doubles are written with full (%.17g)
-    // precision regardless of the pretty-printer's style.
-    std::string line = "{\"key\":\"" + key + "\"";
-    line += ",\"elements\":" + std::to_string(run.elements);
-    line += ",\"time_ns\":" + fmtExact(run.timeNs);
-    line += ",\"energy_pj\":" + fmtExact(run.energyPj);
-    line += ",\"host_ns\":" + fmtExact(run.hostNs);
-    line += std::string(",\"verified\":") +
-            (run.verified ? "true" : "false");
-    line += ",\"wall_ms\":" + fmtExact(run.wallMs);
-    line += "}\n";
-
-    std::lock_guard<std::mutex> lock(mu_);
-    std::error_code ec;
-    std::filesystem::create_directories(dir_, ec);
-    if (ec)
-        return "cannot create cache directory '" + dir_ +
-               "': " + ec.message();
-    std::ofstream out(path_, std::ios::binary | std::ios::app);
-    if (!out)
-        return "cannot open cache file '" + path_ + "' for append";
-    out.write(line.data(), static_cast<std::streamsize>(line.size()));
-    out.flush();
-    if (!out)
-        return "append to '" + path_ + "' failed";
-    entries_[key] = run;
-    return {};
+    d << 'v' << kRunSchema << '|' << deviceDescriptor(cfg) << '|'
+      << workload << '|' << elements << '|' << seed << '|' << repeat;
+    return keyFor(d.str());
 }
 
 } // namespace pluto::sim

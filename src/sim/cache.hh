@@ -1,50 +1,24 @@
 /**
  * @file
- * RunCache: content-addressed per-run result cache of the scenario
- * engine.
+ * RunCache: the batch scenario engine's content-addressed run cache —
+ * a campaign::JsonlCache with the sim codec.
  *
  * Every (device config, workload, elements, seed, repeat) run is
- * identified by a 64-bit FNV-1a content hash over a canonical
- * descriptor string. Results live in an append-only JSONL file
- * (`<dir>/<scenario>.cache.jsonl`), one object per line, so several
- * shard processes of one campaign may append concurrently and an
- * interrupted campaign resumes from whatever lines made it to disk.
- * Loading is last-wins per key and silently skips corrupt (e.g.
- * torn) lines, counting them.
- *
- * Simulated results are deterministic, so replaying a cache hit is
- * bit-identical to recomputation; doubles are stored with %.17g and
- * therefore round-trip exactly.
+ * identified by a content key over a canonical descriptor string
+ * (namespaced `sim/`, see campaign/cache.hh for the shared on-disk
+ * discipline: append-only JSONL, torn-line tolerance, last-wins
+ * load, version header). Simulated results are deterministic, so
+ * replaying a cache hit is bit-identical to recomputation.
  */
 
 #ifndef PLUTO_SIM_CACHE_HH
 #define PLUTO_SIM_CACHE_HH
 
-#include <map>
-#include <mutex>
-#include <optional>
-#include <string>
-
+#include "campaign/cache.hh"
 #include "runtime/device.hh"
 
 namespace pluto::sim
 {
-
-/**
- * @return the 16-hex-digit FNV-1a hash of `descriptor` — the content
- * key format shared by the batch run cache and the service cache.
- */
-std::string fnv1aHex(const std::string &descriptor);
-
-/** @return `v` formatted so it round-trips exactly (%.17g). */
-std::string fmtDoubleExact(double v);
-
-/**
- * @return the canonical descriptor string of a device configuration:
- * every field that can change a simulated result, in a fixed order.
- * Shared by all content keys that depend on the device.
- */
-std::string deviceDescriptor(const runtime::DeviceConfig &cfg);
 
 /** One cached simulated outcome (mirrors WorkloadResult + wall). */
 struct CachedRun
@@ -58,59 +32,30 @@ struct CachedRun
     double wallMs = 0.0;
 };
 
-/** Append-only JSONL result cache for one scenario. */
+/** JSONL codec of batch-run outcomes (see campaign/cache.hh). */
+struct RunCacheCodec
+{
+    static constexpr const char *kKind = "sim";
+    static std::string encodeBody(const CachedRun &run);
+    static bool decode(const JsonValue &obj, CachedRun &run);
+};
+
+/** Append-only JSONL result cache for one scenario's batch runs. */
 class RunCache
+    : public campaign::JsonlCache<CachedRun, RunCacheCodec>
 {
   public:
-    /**
-     * Cache for scenario `scenario` under directory `dir` (created
-     * if missing on first append).
-     */
-    RunCache(std::string dir, const std::string &scenario);
+    using JsonlCache::JsonlCache;
 
     /**
-     * @return the content hash ("run key", 16 hex digits) of one
-     * run. Everything that can change a simulated result
-     * participates: the full device configuration, the workload
-     * name, the resolved element count, the input seed and the
-     * repeat index, plus a schema version.
+     * @return the content key of one run. Everything that can change
+     * a simulated result participates: the full device
+     * configuration, the workload name, the resolved element count,
+     * the input seed and the repeat index, plus a schema version.
      */
     static std::string key(const runtime::DeviceConfig &cfg,
                            const std::string &workload, u64 elements,
                            u64 seed, u32 repeat);
-
-    /** Load the cache file (missing file = empty cache). */
-    void load();
-
-    /**
-     * Look up `key`. The returned copy (not a reference) keeps the
-     * caller safe from concurrent append() map mutations.
-     */
-    std::optional<CachedRun> lookup(const std::string &key) const;
-
-    /**
-     * Append one result (thread-safe; one whole line per write so
-     * concurrent shard appends do not interleave). @return empty
-     * string or an error description.
-     */
-    std::string append(const std::string &key, const CachedRun &run);
-
-    /** @return loaded entry count. */
-    std::size_t entries() const;
-
-    /** @return lines skipped as corrupt during load(). */
-    u64 corruptLines() const { return corrupt_; }
-
-    /** @return the backing JSONL path. */
-    const std::string &path() const { return path_; }
-
-  private:
-    std::string dir_;
-    std::string path_;
-    /** Guards entries_ (lookup from worker threads vs append). */
-    mutable std::mutex mu_;
-    std::map<std::string, CachedRun> entries_;
-    u64 corrupt_ = 0;
 };
 
 } // namespace pluto::sim

@@ -207,6 +207,27 @@ applyServiceKey(ServiceSpec &svc, const std::string &key,
     return {};
 }
 
+/** Apply one [nn] key. @return error text or empty. */
+std::string
+applyNnKey(NnSpec &nn, const std::string &key,
+           const std::string &value)
+{
+    if (key == "bits") {
+        if (!parseU32(value, nn.bits) ||
+            (nn.bits != 1 && nn.bits != 4))
+            return "bad bits '" + value + "' (1 | 4)";
+    } else if (key == "images") {
+        if (!parseU32(value, nn.images) || nn.images == 0)
+            return "bad images '" + value + "' (integer >= 1)";
+    } else if (key == "seed") {
+        if (!parseU64(value, nn.seed))
+            return "bad seed '" + value + "' (unsigned integer)";
+    } else {
+        return "unknown nn key '" + key + "'";
+    }
+    return {};
+}
+
 /** One `sweep KEY = v1, v2, ...` line, kept until expansion. */
 struct Sweep
 {
@@ -241,6 +262,15 @@ struct WorkloadDraft
 struct ServiceDraft
 {
     ServiceSpec spec;
+    std::vector<std::string> assigned;
+    std::vector<Sweep> sweeps;
+    int lineno = 0;
+};
+
+/** An [nn] section before grid expansion. */
+struct NnDraft
+{
+    NnSpec spec;
     std::vector<std::string> assigned;
     std::vector<Sweep> sweeps;
     int lineno = 0;
@@ -355,6 +385,12 @@ SimConfig::totalServiceRuns() const
     return static_cast<u64>(devices.size()) * services.size();
 }
 
+u64
+SimConfig::totalNnRuns() const
+{
+    return static_cast<u64>(devices.size()) * nnCells.size();
+}
+
 std::optional<SimConfig>
 SimConfig::parse(const std::string &text, std::string &error)
 {
@@ -366,6 +402,7 @@ SimConfig::parse(const std::string &text, std::string &error)
         Variant,
         Workload,
         Service,
+        Nn,
     };
 
     SimConfig cfg;
@@ -375,6 +412,7 @@ SimConfig::parse(const std::string &text, std::string &error)
     std::vector<VariantDraft> variants;
     std::vector<WorkloadDraft> workloads;
     std::vector<ServiceDraft> services;
+    std::vector<NnDraft> nnCells;
     Section section = Section::None;
     int lineno = 0;
 
@@ -450,6 +488,16 @@ SimConfig::parse(const std::string &text, std::string &error)
                 s.lineno = lineno;
                 services.push_back(std::move(s));
                 section = Section::Service;
+            } else if (head == "nn") {
+                NnDraft n;
+                n.spec.name = arg.empty() ? "nn" : arg;
+                for (const auto &other : nnCells)
+                    if (other.spec.name == n.spec.name)
+                        return fail("duplicate nn cell '" +
+                                    n.spec.name + "'");
+                n.lineno = lineno;
+                nnCells.push_back(std::move(n));
+                section = Section::Nn;
             } else {
                 return fail("unknown section [" + head + "]");
             }
@@ -633,11 +681,44 @@ SimConfig::parse(const std::string &text, std::string &error)
             }
             break;
           }
+          case Section::Nn: {
+            NnDraft &n = nnCells.back();
+            if (isSweep) {
+                if (sweepsKey(n.sweeps, key))
+                    return fail("duplicate sweep key '" + key + "'");
+                if (contains(n.assigned, key))
+                    return fail("'" + key +
+                                "' is both set and swept in this "
+                                "section");
+                for (const auto &v : sweep.values) {
+                    NnSpec scratch = n.spec;
+                    const std::string err =
+                        applyNnKey(scratch, key, v);
+                    if (!err.empty())
+                        return fail(err);
+                }
+                n.sweeps.push_back(std::move(sweep));
+            } else {
+                if (sweepsKey(n.sweeps, key))
+                    return fail("'" + key +
+                                "' is both set and swept in this "
+                                "section");
+                const std::string err =
+                    applyNnKey(n.spec, key, value);
+                if (!err.empty())
+                    return fail(err);
+                if (!contains(n.assigned, key))
+                    n.assigned.push_back(key);
+            }
+            break;
+          }
         }
     }
 
-    if (workloads.empty()) {
-        error = "scenario declares no [workload] sections";
+    // [workload] sections feed batch and service mode; an nn-only
+    // scenario legitimately has none.
+    if (workloads.empty() && nnCells.empty()) {
+        error = "scenario declares no [workload] or [nn] sections";
         return std::nullopt;
     }
     if (variants.empty()) {
@@ -759,6 +840,39 @@ SimConfig::parse(const std::string &text, std::string &error)
                                   "duplicate service '" + spec.name +
                                       "' after grid expansion");
             cfg.services.push_back(std::move(spec));
+        }
+    }
+
+    for (const auto &draft : nnCells) {
+        const u64 combos = gridSize(draft.sweeps);
+        if (combos == 0)
+            return failAt(draft.lineno,
+                          "sweep grid of nn cell '" +
+                              draft.spec.name +
+                              "' exceeds 4096 combinations");
+        for (u64 c = 0; c < combos; ++c) {
+            NnSpec spec = draft.spec;
+            u64 rest = c;
+            for (std::size_t k = 0; k < draft.sweeps.size(); ++k) {
+                u64 span = 1;
+                for (std::size_t j = k + 1; j < draft.sweeps.size();
+                     ++j)
+                    span *= draft.sweeps[j].values.size();
+                const Sweep &s = draft.sweeps[k];
+                const std::string &v =
+                    s.values[(rest / span) % s.values.size()];
+                rest %= span;
+                const std::string err = applyNnKey(spec, s.key, v);
+                if (!err.empty())
+                    return failAt(s.lineno, err);
+                spec.name += "/" + s.key + "=" + v;
+            }
+            for (const auto &other : cfg.nnCells)
+                if (other.name == spec.name)
+                    return failAt(draft.lineno,
+                                  "duplicate nn cell '" + spec.name +
+                                      "' after grid expansion");
+            cfg.nnCells.push_back(std::move(spec));
         }
     }
 

@@ -30,6 +30,12 @@
  * sections double as the request mix in service mode, weighted by
  * `weight` and attributed to `tenant`.
  *
+ * v4 adds the NN campaign: [nn NAME] sections describe quantized
+ * LeNet-5 inference cells (`bits`, `images`, `seed` — all sweepable)
+ * executed by src/nn/ in `pluto_sim --nn` mode. A scenario may be
+ * nn-only: [workload] sections are required only when a mode that
+ * consumes them (batch, service) will run.
+ *
  * Each section expands into the cross product of its sweep lists (in
  * declaration order, first key slowest), so one file expresses a
  * Figure-13-style campaign. Expanded variants are named
@@ -131,6 +137,26 @@ struct ServiceSpec
     u64 seed = 1;
 };
 
+/**
+ * One quantized-NN inference experiment (an [nn NAME] section). Runs
+ * against every device variant of the scenario in `pluto_sim --nn`
+ * mode: a batch of `images` synthetic MNIST digits is classified by
+ * a quantized LeNet-5 and the inference cost is charged through the
+ * device's query engine. Every key is sweepable, so one file
+ * expresses a batch-size x quantization x device grid.
+ */
+struct NnSpec
+{
+    /** Cell label used in reports ("lenet5/bits=1", ...). */
+    std::string name;
+    /** Quantization width: 1 (binary) or 4. */
+    u32 bits = 1;
+    /** Images classified per cell (the inference batch size). */
+    u32 images = 8;
+    /** Weight- and image-generation seed. */
+    u64 seed = 5;
+};
+
 /** A parsed scenario. */
 struct SimConfig
 {
@@ -146,12 +172,17 @@ struct SimConfig
     std::vector<WorkloadSpec> workloads;
     /** Serving experiments (may be empty; used by --service mode). */
     std::vector<ServiceSpec> services;
+    /** NN inference experiments (may be empty; used by --nn mode). */
+    std::vector<NnSpec> nnCells;
 
     /** @return total number of runs the scenario describes. */
     u64 totalRuns() const;
 
     /** @return variant x service cell count of --service mode. */
     u64 totalServiceRuns() const;
+
+    /** @return variant x nn cell count of --nn mode. */
+    u64 totalNnRuns() const;
 
     /**
      * Parse scenario `text`. On failure @return std::nullopt and set

@@ -1,18 +1,13 @@
 /**
  * @file
- * Scenario execution across a worker pool (see runner.hh).
+ * Batch scenario execution on the campaign core (see runner.hh).
  */
 
 #include "sim/runner.hh"
 
-#include <atomic>
 #include <chrono>
-#include <memory>
-#include <mutex>
 #include <optional>
-#include <thread>
 
-#include "common/arena.hh"
 #include "common/logging.hh"
 #include "sim/cache.hh"
 
@@ -30,51 +25,7 @@ struct RunTask
     u32 repeat = 0;
 };
 
-double
-msSince(const std::chrono::steady_clock::time_point &t0)
-{
-    return std::chrono::duration<double, std::milli>(
-               std::chrono::steady_clock::now() - t0)
-        .count();
-}
-
 } // namespace
-
-u32
-detail::resolveThreads(std::size_t count, u32 threads)
-{
-    if (threads == 0)
-        threads = std::max(1u, std::thread::hardware_concurrency());
-    return std::min<u32>(threads, std::max<std::size_t>(count, 1));
-}
-
-void
-detail::forEachTask(std::size_t count, u32 threads,
-                    const std::function<void(std::size_t, u32)> &fn)
-{
-    threads = resolveThreads(count, threads);
-
-    std::atomic<std::size_t> next{0};
-    const auto worker = [&](u32 w) {
-        for (;;) {
-            const std::size_t i =
-                next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= count)
-                return;
-            fn(i, w);
-        }
-    };
-    if (threads == 1) {
-        worker(0);
-        return;
-    }
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (u32 i = 0; i < threads; ++i)
-        pool.emplace_back(worker, i);
-    for (auto &th : pool)
-        th.join();
-}
 
 bool
 ScenarioReport::allVerified() const
@@ -86,18 +37,6 @@ ScenarioReport::allVerified() const
 }
 
 ScenarioRunner::ScenarioRunner(SimConfig cfg) : cfg_(std::move(cfg)) {}
-
-std::string
-RunOptions::validate() const
-{
-    if (shardCount == 0)
-        return "shard count must be >= 1";
-    if (shardIndex >= shardCount)
-        return "shard index " + std::to_string(shardIndex) +
-               " out of range (0.." + std::to_string(shardCount - 1) +
-               ")";
-    return {};
-}
 
 ScenarioReport
 ScenarioRunner::run(u32 threads, const Progress &progress) const
@@ -126,7 +65,7 @@ ScenarioRunner::run(const RunOptions &opt,
                 const u32 reps =
                     cfg_.workloads[w].repeats * cfg_.repeats;
                 for (u32 r = 0; r < reps; ++r, ++g)
-                    if (g % opt.shardCount == opt.shardIndex)
+                    if (opt.inShard(g))
                         tasks.push_back({d, w, r});
             }
     }
@@ -134,27 +73,15 @@ ScenarioRunner::run(const RunOptions &opt,
     std::optional<RunCache> cache;
     if (!opt.cacheDir.empty()) {
         cache.emplace(opt.cacheDir, cfg_.name);
-        cache->load();
+        const std::string cerr = cache->load();
+        if (!cerr.empty())
+            fatal("run cache: %s", cerr.c_str());
     }
 
     ScenarioReport report;
-    report.runs.resize(tasks.size());
-
-    const auto campaign_t0 = std::chrono::steady_clock::now();
-    std::atomic<u64> done{0};
-    std::atomic<u64> hits{0};
-    std::mutex progress_mu;
-
-    // One scratch arena per worker: every device a worker builds
-    // reuses the same grown functional-path buffers, so steady-state
-    // runs allocate nothing per query. Simulated results do not
-    // depend on the arena, so determinism across thread counts is
-    // unaffected.
-    std::vector<ScratchArena> arenas(
-        detail::resolveThreads(tasks.size(), opt.threads));
-
-    detail::forEachTask(
-        tasks.size(), opt.threads, [&](std::size_t i, u32 worker) {
+    const campaign::Stats stats = campaign::runCampaign(
+        tasks.size(), opt, report.runs,
+        [&](std::size_t i, RunRecord &rec, ScratchArena &arena) {
             const RunTask &t = tasks[i];
             const DeviceSpec &ds = cfg_.devices[t.device];
             const WorkloadSpec &ws = cfg_.workloads[t.workload];
@@ -165,7 +92,6 @@ ScenarioRunner::run(const RunOptions &opt,
                 ws.elements ? ws.elements
                             : w->defaultElements(ds.config.memory);
 
-            RunRecord &rec = report.runs[i];
             rec.variant = ds.name;
             rec.workload = ws.name;
             rec.repeat = t.repeat;
@@ -189,45 +115,38 @@ ScenarioRunner::run(const RunOptions &opt,
                 rec.result.energyPj = hit->energyPj;
                 rec.result.hostNs = hit->hostNs;
                 rec.result.verified = hit->verified;
-                rec.wallMs = hit->wallMs;
+                rec.wallMs = opt.deterministic ? 0.0 : hit->wallMs;
                 rec.fromCache = true;
-                hits.fetch_add(1, std::memory_order_relaxed);
-            } else {
-                // Per-run device and workload: nothing is shared
-                // between runs except the worker's scratch arena, so
-                // simulated results cannot depend on threading.
-                runtime::DeviceConfig cfg = ds.config;
-                cfg.arena = &arenas[worker];
-                runtime::PlutoDevice dev(cfg);
-                rec.result = w->run(dev, elements, ws.seed);
-                rec.wallMs =
-                    opt.deterministic ? 0.0 : msSince(t0);
-                if (cache) {
-                    CachedRun c;
-                    c.elements = rec.result.elements;
-                    c.timeNs = rec.result.timeNs;
-                    c.energyPj = rec.result.energyPj;
-                    c.hostNs = rec.result.hostNs;
-                    c.verified = rec.result.verified;
-                    c.wallMs = rec.wallMs;
-                    const std::string err = cache->append(key, c);
-                    if (!err.empty())
-                        warn("run cache: %s", err.c_str());
-                }
+                return true;
             }
-            if (opt.deterministic)
-                rec.wallMs = 0.0;
-
-            const u64 n = done.fetch_add(1) + 1;
-            if (progress) {
-                std::lock_guard<std::mutex> lock(progress_mu);
-                progress(rec, n, tasks.size());
+            // Per-run device and workload: nothing is shared between
+            // runs except the worker's scratch arena, so simulated
+            // results cannot depend on threading.
+            runtime::DeviceConfig cfg = ds.config;
+            cfg.arena = &arena;
+            runtime::PlutoDevice dev(cfg);
+            rec.result = w->run(dev, elements, ws.seed);
+            rec.wallMs =
+                opt.deterministic ? 0.0 : campaign::msSince(t0);
+            if (cache) {
+                CachedRun c;
+                c.elements = rec.result.elements;
+                c.timeNs = rec.result.timeNs;
+                c.energyPj = rec.result.energyPj;
+                c.hostNs = rec.result.hostNs;
+                c.verified = rec.result.verified;
+                c.wallMs = rec.wallMs;
+                const std::string err = cache->append(key, c);
+                if (!err.empty())
+                    warn("run cache: %s", err.c_str());
             }
-        });
+            return false;
+        },
+        progress);
 
-    report.cacheHits = hits.load();
-    report.cacheMisses = tasks.size() - report.cacheHits;
-    report.wallMs = opt.deterministic ? 0.0 : msSince(campaign_t0);
+    report.wallMs = stats.wallMs;
+    report.cacheHits = stats.cacheHits;
+    report.cacheMisses = stats.cacheMisses;
     return report;
 }
 

@@ -1,7 +1,7 @@
 /**
  * @file
- * ScenarioRunner: executes every run of a SimConfig across a thread
- * pool and aggregates results.
+ * ScenarioRunner: the batch campaign mode — a thin client of the
+ * generic campaign core (campaign/runner.hh).
  *
  * Each run is fully independent: it owns a freshly constructed
  * PlutoDevice (and therefore its own Module, CommandScheduler and
@@ -9,22 +9,12 @@
  * input generation is seeded per workload — so runs are embarrassingly
  * parallel, wall-clock drops near-linearly with cores, and the
  * *simulated* timing/energy of every run is bit-identical regardless
- * of thread count or completion order. Results are stored by
- * precomputed run index, keeping report order deterministic too.
- *
- * v2 adds campaign-scale execution:
- *  - sharding: `--shard i/n` executes only tasks whose global run
- *    index is congruent to i mod n, so a big grid spreads over
- *    processes or machines;
- *  - caching: with a cache directory set, finished runs append to a
- *    content-hashed JSONL cache (see cache.hh) and repeated or
- *    resumed campaigns replay hits bit-identically instead of
- *    recomputing. Running the shards first and then one unsharded
- *    pass over the same cache yields a merged report whose simulated
- *    results equal a cold unsharded run's bit for bit;
- *  - deterministic mode: zeroes host wall-clock fields (the only
- *    nondeterministic outputs), making emitted CSV/JSON byte-
- *    identical across runs — e.g. sharded+merged vs cold unsharded.
+ * of thread count or completion order. The campaign core supplies the
+ * thread-pool fan-out, per-worker scratch arenas, precomputed-index
+ * result ordering, `i % n` sharding, cache-hit accounting and
+ * `--deterministic` wall-clock zeroing; this mode supplies the task
+ * grid (variants x workloads x repeats), the RunCache codec and the
+ * per-run cell.
  */
 
 #ifndef PLUTO_SIM_RUNNER_HH
@@ -34,11 +24,15 @@
 #include <string>
 #include <vector>
 
+#include "campaign/runner.hh"
 #include "sim/config.hh"
 #include "workloads/workload.hh"
 
 namespace pluto::sim
 {
+
+/** Execution options of one campaign (shared by every mode). */
+using RunOptions = campaign::RunOptions;
 
 /** Result of one (variant, workload, repeat) run. */
 struct RunRecord
@@ -74,44 +68,6 @@ struct ScenarioReport
     /** @return true when every run passed functional verification. */
     bool allVerified() const;
 };
-
-/** Execution options of one ScenarioRunner::run invocation. */
-struct RunOptions
-{
-    /** Worker threads; 0 = hardware concurrency. */
-    u32 threads = 0;
-    /** This process executes run indices i with i % shardCount ==
-     *  shardIndex. */
-    u32 shardIndex = 0;
-    u32 shardCount = 1;
-    /** Result-cache directory; empty disables caching. */
-    std::string cacheDir;
-    /** Zero all host wall-clock fields in the report. */
-    bool deterministic = false;
-
-    /** @return empty string, or why the options are invalid. */
-    std::string validate() const;
-};
-
-namespace detail
-{
-
-/** Effective worker count forEachTask will use for `count` tasks. */
-u32 resolveThreads(std::size_t count, u32 threads);
-
-/**
- * Shared campaign scaffolding: execute `count` indexed tasks across
- * `threads` worker threads (0 = hardware concurrency, clamped to the
- * task count) pulling indices from one atomic queue. Both the batch
- * ScenarioRunner and serve::ServiceRunner run on this, so the
- * execution discipline cannot diverge between modes. `fn` receives
- * the task index and the worker index in [0, resolveThreads(...)),
- * so workers can own per-thread state (e.g. a ScratchArena).
- */
-void forEachTask(std::size_t count, u32 threads,
-                 const std::function<void(std::size_t, u32)> &fn);
-
-} // namespace detail
 
 /** Batch executor for one scenario. */
 class ScenarioRunner

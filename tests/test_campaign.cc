@@ -1,0 +1,382 @@
+/**
+ * @file
+ * Campaign-core tests: forEachTask edge cases (zero tasks, more
+ * threads than tasks, worker-index stability/uniqueness, exception
+ * propagation), the JsonlCache version header (legacy files load,
+ * future formats are rejected with a clear error), per-mode key
+ * namespacing (equal descriptors cannot collide across modes in a
+ * shared --cache-dir), and the NN campaign mode's sharded+cached
+ * byte-identity — the properties every mode inherits from the core.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "campaign/cache.hh"
+#include "campaign/runner.hh"
+#include "nn/campaign.hh"
+#include "serve/cache.hh"
+#include "sim/cache.hh"
+
+namespace pluto::campaign
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/** Fresh scratch directory per test. */
+std::string
+scratchDir(const std::string &name)
+{
+    const auto dir = (fs::temp_directory_path() / name).string();
+    fs::remove_all(dir);
+    return dir;
+}
+
+// ---- forEachTask ----
+
+TEST(ForEachTask, ZeroTasksRunsNothing)
+{
+    std::atomic<u64> calls{0};
+    forEachTask(0, 0, [&](std::size_t, u32) { calls.fetch_add(1); });
+    EXPECT_EQ(calls.load(), 0u);
+}
+
+TEST(ForEachTask, MoreThreadsThanTasksCoversEveryIndexOnce)
+{
+    // 64 requested workers, 5 tasks: the pool clamps to the task
+    // count and still runs every index exactly once.
+    EXPECT_EQ(resolveThreads(5, 64), 5u);
+    std::vector<std::atomic<u32>> ran(5);
+    forEachTask(5, 64, [&](std::size_t i, u32 w) {
+        EXPECT_LT(w, 5u);
+        ran[i].fetch_add(1);
+    });
+    for (const auto &r : ran)
+        EXPECT_EQ(r.load(), 1u);
+}
+
+TEST(ForEachTask, WorkerIndicesAreStableAndUnique)
+{
+    // Every OS thread must observe exactly one worker index, and no
+    // two threads may share one — the contract that makes per-worker
+    // ScratchArena slots race-free.
+    constexpr u32 kThreads = 4;
+    constexpr std::size_t kTasks = 400;
+    std::mutex mu;
+    std::map<std::thread::id, std::set<u32>> seen;
+    forEachTask(kTasks, kThreads, [&](std::size_t, u32 w) {
+        EXPECT_LT(w, kThreads);
+        std::lock_guard<std::mutex> lock(mu);
+        seen[std::this_thread::get_id()].insert(w);
+    });
+    std::set<u32> workers;
+    for (const auto &[tid, ws] : seen) {
+        EXPECT_EQ(ws.size(), 1u) << "thread saw several indices";
+        workers.insert(*ws.begin());
+    }
+    EXPECT_EQ(workers.size(), seen.size())
+        << "two threads shared a worker index";
+}
+
+TEST(ForEachTask, SingleThreadUsesWorkerZero)
+{
+    forEachTask(17, 1,
+                [&](std::size_t, u32 w) { EXPECT_EQ(w, 0u); });
+}
+
+TEST(ForEachTask, PropagatesWorkerExceptions)
+{
+    // A throwing cell must surface on the calling thread (not
+    // std::terminate) and stop the queue early. Non-throwing cells
+    // dawdle so the failure reliably outruns the healthy workers.
+    std::atomic<u64> calls{0};
+    const auto boom = [&](std::size_t i, u32) {
+        calls.fetch_add(1);
+        if (i == 3)
+            throw std::runtime_error("cell 3 failed");
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+    };
+    EXPECT_THROW(forEachTask(1000, 4, boom), std::runtime_error);
+    EXPECT_LT(calls.load(), 1000u) << "queue was not drained early";
+
+    // Single-threaded path propagates too, after exactly 4 cells.
+    calls.store(0);
+    EXPECT_THROW(forEachTask(10, 1, boom), std::runtime_error);
+    EXPECT_EQ(calls.load(), 4u);
+}
+
+TEST(RunCampaign, CountsHitsAndZerosWallUnderDeterminism)
+{
+    RunOptions opt;
+    opt.threads = 2;
+    opt.deterministic = true;
+    std::vector<int> records;
+    const Stats stats = runCampaign(
+        10, opt, records,
+        [&](std::size_t i, int &rec, ScratchArena &) {
+            rec = static_cast<int>(i) + 1;
+            return i % 2 == 0; // pretend even cells were cached
+        });
+    EXPECT_EQ(stats.cacheHits, 5u);
+    EXPECT_EQ(stats.cacheMisses, 5u);
+    EXPECT_EQ(stats.wallMs, 0.0);
+    ASSERT_EQ(records.size(), 10u);
+    for (std::size_t i = 0; i < records.size(); ++i)
+        EXPECT_EQ(records[i], static_cast<int>(i) + 1);
+}
+
+// ---- JsonlCache format versioning ----
+
+/** Minimal outcome + codec for format tests. */
+struct TinyOutcome
+{
+    double value = 0.0;
+};
+
+struct TinyCodec
+{
+    static constexpr const char *kKind = "tiny";
+    static std::string encodeBody(const TinyOutcome &out)
+    {
+        return ",\"value\":" + fmtDoubleExact(out.value);
+    }
+    static bool decode(const JsonValue &obj, TinyOutcome &out)
+    {
+        const JsonValue *v = obj.find("value");
+        if (!v || !v->isNumber())
+            return false;
+        out.value = v->asNumber();
+        return true;
+    }
+};
+
+using TinyCache = JsonlCache<TinyOutcome, TinyCodec>;
+
+TEST(JsonlCacheFormat, NewFilesLeadWithVersionHeader)
+{
+    const auto dir = scratchDir("pluto_campaign_header_test");
+    TinyCache cache(dir, "hdr");
+    ASSERT_TRUE(cache.append("aaaa", {1.5}).empty());
+
+    std::ifstream in(cache.path());
+    std::string first;
+    ASSERT_TRUE(std::getline(in, first));
+    EXPECT_EQ(first, "{\"cacheFormat\":2,\"kind\":\"tiny\"}");
+
+    TinyCache reader(dir, "hdr");
+    EXPECT_TRUE(reader.load().empty());
+    EXPECT_EQ(reader.entries(), 1u);
+    EXPECT_EQ(reader.corruptLines(), 0u);
+    EXPECT_EQ(reader.lookup("aaaa")->value, 1.5);
+    fs::remove_all(dir);
+}
+
+TEST(JsonlCacheFormat, AcceptsLegacyUnversionedFiles)
+{
+    // Pre-v2 cache files have no header: every line is an entry.
+    const auto dir = scratchDir("pluto_campaign_legacy_test");
+    fs::create_directories(dir);
+    {
+        std::ofstream out(dir + "/legacy.tiny.cache.jsonl",
+                          std::ios::binary);
+        out << "{\"key\":\"aaaa\",\"value\":0.25}\n";
+        out << "{\"key\":\"bbbb\",\"value\":4}\n";
+    }
+    TinyCache cache(dir, "legacy");
+    EXPECT_TRUE(cache.load().empty());
+    EXPECT_EQ(cache.entries(), 2u);
+    EXPECT_EQ(cache.corruptLines(), 0u);
+    EXPECT_EQ(cache.lookup("bbbb")->value, 4.0);
+    fs::remove_all(dir);
+}
+
+TEST(JsonlCacheFormat, RejectsFutureFormatsWithClearError)
+{
+    // A future writer's file must fail loudly, not dissolve into
+    // "every line is corrupt".
+    const auto dir = scratchDir("pluto_campaign_future_test");
+    fs::create_directories(dir);
+    {
+        std::ofstream out(dir + "/future.tiny.cache.jsonl",
+                          std::ios::binary);
+        out << "{\"cacheFormat\":99,\"kind\":\"tiny\"}\n";
+        out << "{\"key\":\"aaaa\",\"value\":1}\n";
+    }
+    TinyCache cache(dir, "future");
+    const std::string err = cache.load();
+    EXPECT_NE(err.find("cacheFormat 99"), std::string::npos) << err;
+    EXPECT_NE(err.find("formats <= 2"), std::string::npos) << err;
+    EXPECT_EQ(cache.entries(), 0u);
+    fs::remove_all(dir);
+}
+
+TEST(JsonlCacheFormat, DuplicateHeadersFromRacingCreatorsAreSkipped)
+{
+    // Two shard processes may both think they created the file; the
+    // loader must skip headers wherever they appear.
+    const auto dir = scratchDir("pluto_campaign_dup_header_test");
+    TinyCache writer(dir, "race");
+    ASSERT_TRUE(writer.append("aaaa", {1.0}).empty());
+    {
+        std::ofstream out(writer.path(),
+                          std::ios::binary | std::ios::app);
+        out << "{\"cacheFormat\":2,\"kind\":\"tiny\"}\n";
+        out << "{\"key\":\"bbbb\",\"value\":2}\n";
+    }
+    TinyCache reader(dir, "race");
+    EXPECT_TRUE(reader.load().empty());
+    EXPECT_EQ(reader.entries(), 2u);
+    EXPECT_EQ(reader.corruptLines(), 0u);
+    fs::remove_all(dir);
+}
+
+// ---- Per-mode key namespacing ----
+
+TEST(CacheNamespacing, EqualDescriptorsCannotCollideAcrossModes)
+{
+    // The same descriptor string keys different content per mode:
+    // a batch cell and a service cell that coincidentally describe
+    // themselves identically must hash to different keys, so a
+    // shared --cache-dir can never replay one as the other.
+    const std::string descriptor = "v1|identical-descriptor";
+    const auto simKey = sim::RunCache::keyFor(descriptor);
+    const auto serveKey = serve::ServiceCache::keyFor(descriptor);
+    const auto nnKey = nn::NnCache::keyFor(descriptor);
+    EXPECT_NE(simKey, serveKey);
+    EXPECT_NE(simKey, nnKey);
+    EXPECT_NE(serveKey, nnKey);
+
+    // And even with equal keys, the modes' files are disjoint in a
+    // shared directory.
+    const auto dir = scratchDir("pluto_campaign_ns_test");
+    sim::RunCache simCache(dir, "scn");
+    serve::ServiceCache serveCache(dir, "scn");
+    nn::NnCache nnCache(dir, "scn");
+    EXPECT_NE(simCache.path(), serveCache.path());
+    EXPECT_NE(simCache.path(), nnCache.path());
+    EXPECT_NE(serveCache.path(), nnCache.path());
+
+    // Concretely: store a batch outcome under simKey; the service
+    // and nn caches in the same directory must not see anything.
+    sim::CachedRun run;
+    run.elements = 7;
+    run.timeNs = 1.0 / 3.0;
+    ASSERT_TRUE(simCache.append(simKey, run).empty());
+    EXPECT_TRUE(serveCache.load().empty());
+    EXPECT_TRUE(nnCache.load().empty());
+    EXPECT_EQ(serveCache.entries(), 0u);
+    EXPECT_EQ(nnCache.entries(), 0u);
+    EXPECT_FALSE(serveCache.lookup(simKey));
+    EXPECT_FALSE(nnCache.lookup(simKey));
+    fs::remove_all(dir);
+}
+
+// ---- The NN mode inherits the campaign discipline ----
+
+/** Small 2-variant x 4-cell nn scenario. */
+sim::SimConfig
+nnScenario()
+{
+    std::string err;
+    const auto cfg = sim::SimConfig::parse(R"(
+[scenario]
+name = nn_unit
+[variant bsa]
+design = bsa
+[variant gsa]
+design = gsa
+[nn lenet]
+sweep bits = 1, 4
+images = 2
+)",
+                                           err);
+    EXPECT_TRUE(cfg) << err;
+    return *cfg;
+}
+
+TEST(NnCampaign, ShardedCachedRunsEqualColdRunByteForByte)
+{
+    const auto cfg = nnScenario();
+    const auto dir = scratchDir("pluto_campaign_nn_test");
+    const nn::NnRunner runner(cfg);
+
+    RunOptions opt;
+    opt.threads = 2;
+    opt.deterministic = true;
+    const auto cold = runner.run(opt);
+    ASSERT_EQ(cold.runs.size(), 4u);
+    EXPECT_TRUE(cold.allVerified());
+    EXPECT_EQ(cold.cacheHits, 0u);
+
+    // Three shards over a shared cache partition the grid...
+    opt.cacheDir = dir;
+    std::size_t shardRuns = 0;
+    for (u32 i = 0; i < 3; ++i) {
+        opt.shardIndex = i;
+        opt.shardCount = 3;
+        shardRuns += runner.run(opt).runs.size();
+    }
+    EXPECT_EQ(shardRuns, cold.runs.size());
+
+    // ...and the merge pass replays every cell, emitting the same
+    // bytes as the cold run.
+    opt.shardIndex = 0;
+    opt.shardCount = 1;
+    const auto merged = runner.run(opt);
+    EXPECT_EQ(merged.cacheHits, merged.runs.size());
+    EXPECT_EQ(nn::NnMetricsSink::renderCsv(cfg, merged),
+              nn::NnMetricsSink::renderCsv(cfg, cold));
+    EXPECT_EQ(nn::NnMetricsSink::renderJson(cfg, merged),
+              nn::NnMetricsSink::renderJson(cfg, cold));
+
+    // Thread-count independence of the emitted bytes.
+    RunOptions one;
+    one.threads = 1;
+    one.deterministic = true;
+    const auto serial = runner.run(one);
+    EXPECT_EQ(nn::NnMetricsSink::renderCsv(cfg, serial),
+              nn::NnMetricsSink::renderCsv(cfg, cold));
+    fs::remove_all(dir);
+}
+
+TEST(NnCampaign, ConfigParsesAndExpandsNnGrids)
+{
+    const auto cfg = nnScenario();
+    ASSERT_EQ(cfg.nnCells.size(), 2u);
+    EXPECT_EQ(cfg.nnCells[0].name, "lenet/bits=1");
+    EXPECT_EQ(cfg.nnCells[0].bits, 1u);
+    EXPECT_EQ(cfg.nnCells[1].name, "lenet/bits=4");
+    EXPECT_EQ(cfg.nnCells[1].bits, 4u);
+    EXPECT_EQ(cfg.nnCells[0].images, 2u);
+    EXPECT_EQ(cfg.totalNnRuns(), 4u);
+
+    // Bad keys fail with diagnostics, like every other section.
+    std::string err;
+    EXPECT_FALSE(
+        sim::SimConfig::parse("[nn x]\nbits = 3\n", err));
+    EXPECT_NE(err.find("bad bits"), std::string::npos) << err;
+    EXPECT_FALSE(
+        sim::SimConfig::parse("[nn x]\nwibble = 1\n", err));
+    EXPECT_NE(err.find("unknown nn key"), std::string::npos) << err;
+
+    // nn-only scenarios are legal; empty scenarios are not.
+    EXPECT_TRUE(sim::SimConfig::parse("[nn x]\nbits = 1\n", err));
+    EXPECT_FALSE(sim::SimConfig::parse("[scenario]\nname = x\n", err));
+    EXPECT_NE(err.find("[workload] or [nn]"), std::string::npos)
+        << err;
+}
+
+} // namespace
+} // namespace pluto::campaign
