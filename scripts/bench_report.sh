@@ -5,7 +5,10 @@
 # bench_batch_fastpath / bench_serve_policies invariants and the two
 # example campaigns, and emit BENCH_report.json mapping
 #   kernels:   benchmark name -> ns per element
-#   campaigns: binary/scenario name -> wall-clock seconds
+#   campaigns: binary/scenario name -> wall-clock seconds, plus (for
+#              the pluto_sim campaigns, via --metrics-out) the cache
+#              hit rate and the per-phase wall breakdown from the
+#              telemetry registry (campaign/phase/*)
 # so per-PR regressions show up as numbers, not anecdotes.
 #
 # With --check, additionally enforce the coarse perf gate: every bulk
@@ -96,28 +99,59 @@ wall bench_serve_policies "$BUILD_DIR/bench_serve_policies"
 if [ "$SKIP_CAMPAIGNS" -eq 0 ]; then
   wall sweep_designs "$BUILD_DIR/pluto_sim" \
     examples/scenarios/sweep_designs.ini \
-    --out "$workdir/sweep" --deterministic --quiet
+    --out "$workdir/sweep" --deterministic --quiet \
+    --metrics-out "$workdir/sweep_designs_metrics.json"
   wall service_saturation "$BUILD_DIR/pluto_sim" --service \
     examples/scenarios/service_saturation.ini \
-    --out "$workdir/serve" --deterministic --quiet
+    --out "$workdir/serve" --deterministic --quiet \
+    --metrics-out "$workdir/service_saturation_metrics.json"
 fi
 
 # ---- Emit BENCH_report.json ----
 
-{
-  echo '{'
-  echo '  "kernels": {'
-  awk '{ printf "%s    \"%s\": {\"ns_per_elem\": %s}", \
-         (NR > 1 ? ",\n" : ""), $1, $2 } END { print "" }' \
-    "$workdir/kernels.txt"
-  echo '  },'
-  echo '  "campaigns": {'
-  awk '{ printf "%s    \"%s\": {\"wall_s\": %s}", \
-         (NR > 1 ? ",\n" : ""), $1, $2 } END { print "" }' \
-    "$workdir/campaigns.txt"
-  echo '  }'
-  echo '}'
-} >"$OUT"
+# Campaigns that ran with --metrics-out additionally report the
+# campaign-cache hit rate and the per-phase wall breakdown
+# (counters.campaign.{cache,phase} in the telemetry JSON).
+python3 - "$workdir" "$OUT" <<'EOF'
+import json
+import os
+import sys
+
+workdir, out = sys.argv[1], sys.argv[2]
+
+kernels = {}
+with open(os.path.join(workdir, "kernels.txt")) as f:
+    for line in f:
+        name, ns = line.split()
+        kernels[name] = {"ns_per_elem": float(ns)}
+
+campaigns = {}
+with open(os.path.join(workdir, "campaigns.txt")) as f:
+    for line in f:
+        name, wall = line.split()
+        entry = {"wall_s": float(wall)}
+        mpath = os.path.join(workdir, name + "_metrics.json")
+        if os.path.exists(mpath):
+            with open(mpath) as mf:
+                tree = json.load(mf)["counters"].get("campaign", {})
+            cache = tree.get("cache", {})
+            hits = cache.get("hits", 0.0)
+            misses = cache.get("misses", 0.0)
+            if hits + misses > 0:
+                entry["cache_hit_rate"] = hits / (hits + misses)
+            phase = tree.get("phase", {})
+            if phase:
+                entry["phase_ms"] = {
+                    k: v for k, v in sorted(phase.items())
+                    if isinstance(v, (int, float))
+                }
+        campaigns[name] = entry
+
+with open(out, "w") as f:
+    json.dump({"kernels": kernels, "campaigns": campaigns}, f,
+              indent=2)
+    f.write("\n")
+EOF
 echo "wrote $OUT" >&2
 
 # ---- Coarse 1.0x gate: bulk must not be slower than scalar ----

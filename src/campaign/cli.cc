@@ -5,10 +5,16 @@
 
 #include "campaign/cli.hh"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 
+#include "common/emit.hh"
+#include "common/logging.hh"
 #include "common/table.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
 #include "workloads/workload.hh"
 
 namespace pluto::campaign
@@ -34,6 +40,12 @@ printHelp(const std::vector<Mode> &modes)
         "  --cache-dir DIR replay/append a JSONL result cache\n"
         "  --deterministic zero wall-clock fields in outputs\n"
         "  --quiet         suppress per-cell progress lines\n"
+        "  --trace FILE    write a Chrome trace-event JSON (host +\n"
+        "                  virtual-time tracks; open in Perfetto)\n"
+        "  --metrics-out FILE  write the hierarchical counter tree\n"
+        "                  as JSON after the campaign\n"
+        "  --log-level L   stderr threshold: info, warn (default),\n"
+        "                  error (alias: quiet)\n"
         "  --list          list registered workload names and exit\n"
         "  --list-workloads  print the workload registry table and "
         "exit\n"
@@ -106,7 +118,10 @@ finishCampaign(
         suffix = ".shard" + std::to_string(inv.opt.shardIndex) +
                  "of" + std::to_string(inv.opt.shardCount);
     std::vector<std::string> written;
+    const auto w0 = std::chrono::steady_clock::now();
     const std::string werr = write(suffix, written);
+    if (auto *sh = obs::shard())
+        sh->add("campaign/phase/write_ms", msSince(w0));
     if (!werr.empty()) {
         std::fprintf(stderr, "output error: %s\n", werr.c_str());
         return 1;
@@ -170,6 +185,20 @@ cliMain(int argc, char **argv, const std::vector<Mode> &modes)
             inv.opt.deterministic = true;
         } else if (arg == "--quiet") {
             inv.quiet = true;
+        } else if (arg == "--trace") {
+            inv.tracePath = next();
+        } else if (arg == "--metrics-out") {
+            inv.metricsPath = next();
+        } else if (arg == "--log-level") {
+            const std::string level = next();
+            LogLevel threshold;
+            if (!parseLogLevel(level, threshold)) {
+                usageError("pluto_sim: --log-level wants info, warn "
+                           "or error, got '%s'\n",
+                           level);
+                return 1;
+            }
+            setLogThreshold(threshold);
         } else if (arg == "--help") {
             printHelp(modes);
             return 0;
@@ -228,7 +257,67 @@ cliMain(int argc, char **argv, const std::vector<Mode> &modes)
         std::printf("shard      %u/%u\n", inv.opt.shardIndex,
                     inv.opt.shardCount);
 
-    return mode->run(*cfg, inv);
+    // Telemetry is side-band: counters and traces never feed back
+    // into simulated results, so enabling either leaves the mode's
+    // --deterministic outputs byte-identical.
+    auto &reg = obs::Registry::get();
+    const bool metricsOn =
+        !inv.metricsPath.empty() || !inv.tracePath.empty();
+    if (metricsOn) {
+        reg.reset();
+        reg.enable(true);
+    }
+    std::unique_ptr<obs::Tracer> tracer;
+    if (!inv.tracePath.empty()) {
+        tracer = std::make_unique<obs::Tracer>();
+        obs::Tracer::install(tracer.get());
+        tracer->setThreadName("main");
+    }
+
+    int rc = mode->run(*cfg, inv);
+
+    if (tracer) {
+        obs::Tracer::install(nullptr);
+        if (tracer->droppedCount() > 0)
+            warn("trace: %llu events dropped by the per-thread "
+                 "buffer cap",
+                 static_cast<unsigned long long>(
+                     tracer->droppedCount()));
+        const std::string terr = tracer->writeJson(inv.tracePath);
+        if (!terr.empty()) {
+            std::fprintf(stderr, "trace error: %s\n", terr.c_str());
+            if (rc == 0)
+                rc = 1;
+        } else {
+            std::printf("wrote      %s (%llu events)\n",
+                        inv.tracePath.c_str(),
+                        static_cast<unsigned long long>(
+                            tracer->eventCount()));
+        }
+    }
+    if (!inv.metricsPath.empty()) {
+        const std::string json = reg.renderJson(
+            {{"scenario", obs::argStr("", cfg->name).json},
+             {"scenario_file",
+              obs::argStr("", inv.scenarioPath).json},
+             {"mode", obs::argStr("", mode->name).json},
+             {"deterministic",
+              inv.opt.deterministic ? "true" : "false"}});
+        const std::string merr =
+            writeTextFile(inv.metricsPath, json);
+        if (!merr.empty()) {
+            std::fprintf(stderr, "metrics error: %s\n", merr.c_str());
+            if (rc == 0)
+                rc = 1;
+        } else {
+            std::printf("wrote      %s\n", inv.metricsPath.c_str());
+        }
+    }
+    if (metricsOn) {
+        reg.enable(false);
+        reg.reset();
+    }
+    return rc;
 }
 
 } // namespace pluto::campaign

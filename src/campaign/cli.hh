@@ -39,6 +39,10 @@ struct CliInvocation
     bool sharded = false;
     /** Suppress per-cell progress lines. */
     bool quiet = false;
+    /** --trace: Chrome trace-event JSON output path (empty = off). */
+    std::string tracePath;
+    /** --metrics-out: hierarchical counter JSON path (empty = off). */
+    std::string metricsPath;
 };
 
 /** One registered campaign mode. */

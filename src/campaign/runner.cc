@@ -9,6 +9,9 @@
 #include <exception>
 #include <thread>
 
+#include "obs/registry.hh"
+#include "obs/trace.hh"
+
 namespace pluto::campaign
 {
 
@@ -46,11 +49,26 @@ forEachTask(std::size_t count, u32 threads,
 {
     threads = resolveThreads(count, threads);
 
+    // Telemetry: grow the shard pool here (the coordinator), so the
+    // workers below can bind lock-free.
+    auto &reg = obs::Registry::get();
+    if (reg.enabled()) {
+        reg.ensureWorkers(threads);
+        reg.root().gaugeMax("campaign/workers",
+                            static_cast<double>(threads));
+    }
+
     std::atomic<std::size_t> next{0};
     std::mutex err_mu;
     std::exception_ptr first_error;
 
-    const auto worker = [&](u32 w) {
+    const auto worker = [&](u32 w, bool spawned) {
+        if (reg.enabled())
+            reg.bindThread(w);
+        if (spawned) {
+            if (auto *tr = obs::tracer())
+                tr->setThreadName("worker " + std::to_string(w));
+        }
         for (;;) {
             const std::size_t i =
                 next.fetch_add(1, std::memory_order_relaxed);
@@ -71,14 +89,20 @@ forEachTask(std::size_t count, u32 threads,
         }
     };
     if (threads == 1) {
-        worker(0);
+        worker(0, false);
     } else {
         std::vector<std::thread> pool;
         pool.reserve(threads);
         for (u32 i = 0; i < threads; ++i)
-            pool.emplace_back(worker, i);
+            pool.emplace_back(worker, i, true);
         for (auto &th : pool)
             th.join();
+    }
+    // Task boundary: the workers are gone (or, single-threaded, done),
+    // so folding their shards into the root needs no atomics.
+    if (reg.enabled()) {
+        reg.bindThreadToRoot();
+        reg.mergeWorkers();
     }
     if (first_error)
         std::rethrow_exception(first_error);

@@ -37,6 +37,8 @@
 
 #include "common/arena.hh"
 #include "common/types.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
 
 namespace pluto::campaign
 {
@@ -126,7 +128,19 @@ runCampaign(std::size_t count, const RunOptions &opt,
 
     forEachTask(count, opt.threads, [&](std::size_t i, u32 worker) {
         Record &rec = records[i];
-        if (cell(i, rec, arenas[worker]))
+        auto *tr = obs::tracer();
+        const double span0 = tr ? tr->nowNs() : 0.0;
+        const bool hit = cell(i, rec, arenas[worker]);
+        if (tr)
+            tr->hostSpan("cell", span0, tr->nowNs(),
+                         {obs::argNum("cell", static_cast<double>(i)),
+                          obs::argNum("cache_hit", hit ? 1.0 : 0.0)});
+        if (auto *sh = obs::shard()) {
+            sh->inc("campaign/cells");
+            sh->inc(hit ? "campaign/cache/hits"
+                        : "campaign/cache/misses");
+        }
+        if (hit)
             hits.fetch_add(1, std::memory_order_relaxed);
         const u64 n = done.fetch_add(1) + 1;
         if (progress) {
@@ -139,6 +153,11 @@ runCampaign(std::size_t count, const RunOptions &opt,
     stats.cacheHits = hits.load();
     stats.cacheMisses = count - stats.cacheHits;
     stats.wallMs = opt.deterministic ? 0.0 : msSince(t0);
+    // forEachTask rebound this thread to the root shard, so the
+    // phase-level wall lands there. Telemetry keeps the real wall
+    // even under --deterministic (metrics files are side-band).
+    if (auto *sh = obs::shard())
+        sh->add("campaign/phase/run_ms", msSince(t0));
     return stats;
 }
 

@@ -8,7 +8,7 @@ namespace pluto
 
 namespace
 {
-bool g_verbose = false;
+LogLevel g_threshold = LogLevel::Warn;
 
 void
 vreport(const char *tag, const char *fmt, va_list args)
@@ -20,21 +20,48 @@ vreport(const char *tag, const char *fmt, va_list args)
 } // namespace
 
 void
+setLogThreshold(LogLevel level)
+{
+    g_threshold = level;
+}
+
+LogLevel
+logThreshold()
+{
+    return g_threshold;
+}
+
+bool
+parseLogLevel(const std::string &name, LogLevel &out)
+{
+    if (name == "info") {
+        out = LogLevel::Inform;
+    } else if (name == "warn") {
+        out = LogLevel::Warn;
+    } else if (name == "error" || name == "quiet") {
+        out = LogLevel::Fatal;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+void
 setLogVerbose(bool verbose)
 {
-    g_verbose = verbose;
+    g_threshold = verbose ? LogLevel::Inform : LogLevel::Warn;
 }
 
 bool
 logVerbose()
 {
-    return g_verbose;
+    return g_threshold <= LogLevel::Inform;
 }
 
 void
 inform(const char *fmt, ...)
 {
-    if (!g_verbose)
+    if (g_threshold > LogLevel::Inform)
         return;
     va_list args;
     va_start(args, fmt);
@@ -45,10 +72,30 @@ inform(const char *fmt, ...)
 void
 warn(const char *fmt, ...)
 {
+    if (g_threshold > LogLevel::Warn)
+        return;
     va_list args;
     va_start(args, fmt);
     vreport("warn", fmt, args);
     va_end(args);
+}
+
+void
+warnOnceImpl(WarnOnceState &state, const char *fmt, ...)
+{
+    // One atomic increment per call; only the first caller prints
+    // (suppression also applies when warnings are below threshold —
+    // the count still advances so a later summary stays accurate).
+    const auto n = state.count.fetch_add(1, std::memory_order_relaxed);
+    if (n != 0 || g_threshold > LogLevel::Warn)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    vreport("warn", fmt, args);
+    va_end(args);
+    std::fprintf(stderr,
+                 "warn: (the preceding warning fires once; further "
+                 "occurrences at this site are suppressed)\n");
 }
 
 void

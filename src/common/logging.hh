@@ -11,6 +11,7 @@
 #ifndef PLUTO_COMMON_LOGGING_HH
 #define PLUTO_COMMON_LOGGING_HH
 
+#include <atomic>
 #include <cstdarg>
 #include <string>
 
@@ -26,7 +27,23 @@ enum class LogLevel
     Panic,
 };
 
-/** Global verbosity control: messages below this level are dropped. */
+/**
+ * Global threshold: messages below it are dropped. Inform prints
+ * everything; Warn (the default) drops inform(); Fatal additionally
+ * drops warn(). fatal()/panic() always print.
+ */
+void setLogThreshold(LogLevel level);
+
+/** @return the current threshold. */
+LogLevel logThreshold();
+
+/**
+ * Parse a --log-level value ("info", "warn", "error"/"quiet").
+ * @return true and set `out` on success.
+ */
+bool parseLogLevel(const std::string &name, LogLevel &out);
+
+/** Back-compat toggle: verbose = Inform threshold, else Warn. */
 void setLogVerbose(bool verbose);
 
 /** @return true if inform() messages are printed. */
@@ -40,6 +57,33 @@ void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
 /** Report a warning to stderr. Never stops the simulation. */
 void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * warn(), but each call site fires at most once per process — the
+ * tool for per-worker hot-path conditions that would otherwise spam
+ * stderr N-threads (or N-cells) times. Thread-safe; the first caller
+ * prints, every later call (any thread) is counted and dropped. The
+ * suppressed-repeat count is appended when the process already
+ * printed the site's message.
+ *
+ * Usage: warnOnce("service '%s': lanes clamped", name) fires once
+ * for the *call site*, not once per distinct message.
+ */
+#define warnOnce(...)                                                    \
+    do {                                                                 \
+        static ::pluto::WarnOnceState pluto_warn_once_state;             \
+        ::pluto::warnOnceImpl(pluto_warn_once_state, __VA_ARGS__);       \
+    } while (0)
+
+/** Per-call-site state behind warnOnce() (zero-initialized). */
+struct WarnOnceState
+{
+    std::atomic<unsigned long long> count{0};
+};
+
+/** Implementation detail of warnOnce(); use the macro. */
+void warnOnceImpl(WarnOnceState &state, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
 
 /**
  * Report a user-caused error and exit(1). Use for bad configuration or

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <sstream>
 
+#include "common/digest.hh"
 #include "common/logging.hh"
 
 namespace pluto
@@ -32,10 +32,30 @@ StatSet::merge(const StatSet &other)
 std::string
 StatSet::format() const
 {
-    std::ostringstream os;
-    for (const auto &[name, value] : counters_)
-        os << name << " = " << value << "\n";
-    return os.str();
+    std::string out;
+    for (const auto &[name, value] : counters_) {
+        out += name;
+        out += " = ";
+        out += fmtDoubleExact(value);
+        out += "\n";
+    }
+    return out;
+}
+
+std::string
+StatSet::formatJson() const
+{
+    std::string out = "{";
+    bool first = true;
+    for (const auto &[name, value] : counters_) {
+        out += first ? "\"" : ",\"";
+        first = false;
+        out += name;
+        out += "\":";
+        out += fmtDoubleExact(value);
+    }
+    out += "}";
+    return out;
 }
 
 double

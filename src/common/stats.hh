@@ -45,8 +45,18 @@ class StatSet
         return counters_;
     }
 
-    /** Render as "name = value" lines. */
+    /**
+     * Render as "name = value" lines. Values go through
+     * fmtDoubleExact so the text round-trips the doubles exactly and
+     * is locale/stream-state independent.
+     */
     std::string format() const;
+
+    /**
+     * Render as a flat JSON object {"name": value, ...} in name
+     * order, values via fmtDoubleExact.
+     */
+    std::string formatJson() const;
 
   private:
     std::map<std::string, double> counters_;

@@ -97,6 +97,10 @@ CommandScheduler::op(const char *stat, TimeNs latency,
             static_cast<u64>(num_acts) * static_cast<u64>(parallel);
         start = faw_.reserveBatch(now_, total_acts);
         stats_.add("dram.acts", static_cast<double>(total_acts));
+        // tFAW back-pressure: time the window pushed this command past
+        // its unconstrained issue point. Absent when unthrottled.
+        if (start > now_)
+            stats_.add("dram.tfaw_stall.ns", start - now_);
     }
     now_ = start + stretched(latency);
     energy_ += energy_per_unit * parallel;
@@ -113,16 +117,20 @@ CommandScheduler::sweep(const char *stat, u32 num_rows, TimeNs step_latency,
     PLUTO_ASSERT(parallel >= 1);
     const TimeNs begin = now_;
     const TimeNs step = stretched(step_latency);
+    TimeNs stall = 0.0;
     for (u32 r = 0; r < num_rows; ++r) {
         // All `parallel` subarrays activate their next LUT row in
         // lock-step; each activation reserves a tFAW slot.
         const TimeNs last_act = faw_.reserveBatch(now_, parallel);
+        stall += last_act - now_;
         now_ = last_act + step;
     }
     now_ += stretched(tail_latency);
     energy_ += (step_energy * num_rows + tail_energy) * parallel;
     stats_.add("dram.acts",
                static_cast<double>(num_rows) * parallel);
+    if (stall > 0.0)
+        stats_.add("dram.tfaw_stall.ns", stall);
     stats_.inc(stat);
     stats_.add(std::string(stat) + ".rows",
                static_cast<double>(num_rows));
@@ -163,6 +171,7 @@ CommandScheduler::burst(std::span<const BurstStep> steps, u64 reps)
         }
     }
 
+    TimeNs stall = 0.0;
     for (u64 k = 0; k < reps; ++k) {
         for (std::size_t s = 0; s < steps.size(); ++s) {
             const BurstStep &st = steps[s];
@@ -171,13 +180,16 @@ CommandScheduler::burst(std::span<const BurstStep> steps, u64 reps)
                 for (u32 r = 0; r < st.rows; ++r) {
                     const TimeNs last =
                         faw_.reserveBatch(now_, st.parallel);
+                    stall += last - now_;
                     now_ = last + p.lat;
                 }
                 now_ += p.tail;
             } else {
                 TimeNs start = now_;
-                if (st.numActs > 0)
+                if (st.numActs > 0) {
                     start = faw_.reserveBatch(now_, p.acts);
+                    stall += start - now_;
+                }
                 now_ = start + p.lat;
             }
             energy_ += p.e;
@@ -188,6 +200,8 @@ CommandScheduler::burst(std::span<const BurstStep> steps, u64 reps)
     // are integer-valued and stay below 2^53, so a single multiplied
     // add equals `reps` unit adds exactly; the ".ns" sums are the one
     // documented ulp-level divergence.
+    if (stall > 0.0)
+        stats_.add("dram.tfaw_stall.ns", stall);
     const double dreps = static_cast<double>(reps);
     for (std::size_t s = 0; s < steps.size(); ++s) {
         const BurstStep &st = steps[s];

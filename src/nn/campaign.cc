@@ -11,6 +11,7 @@
 
 #include "common/logging.hh"
 #include "nn/pluto_qnn.hh"
+#include "obs/registry.hh"
 
 namespace pluto::nn
 {
@@ -216,6 +217,14 @@ NnRunner::run(const campaign::RunOptions &opt,
             runtime::PlutoDevice dev(cfg);
             chargeBatch(dev, net, spec.images);
             const auto st = dev.stats();
+            if (auto *sh = obs::shard()) {
+                sh->inc("nn/cells");
+                sh->add("nn/images",
+                        static_cast<double>(spec.images));
+                sh->add("nn/macs", static_cast<double>(
+                                       net.totalMacs() * spec.images));
+                sh->absorb("device", st.counters);
+            }
 
             rec.out.images = spec.images;
             rec.out.macs = net.totalMacs();

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * obs::Tracer — a low-overhead span/event tracer exporting Chrome
+ * trace-event JSON (load the file at ui.perfetto.dev or
+ * chrome://tracing).
+ *
+ * Two clock domains, rendered as two trace "processes":
+ *
+ *  - pid 1 "host": host wall-clock spans (campaign workers, cache
+ *    I/O, report writing). Timestamps are nanoseconds since the
+ *    tracer's construction, one track per thread.
+ *  - pid 2 "virtual": the simulators' *virtual* time. Each simulated
+ *    timeline (one batch run's command stream, one serving-pool
+ *    device) allocates its own named track; events carry the
+ *    scheduler's simulated nanoseconds, so LUT reloads, query-wave
+ *    sweeps and per-device busy spans line up the way the modeled
+ *    hardware would execute them.
+ *
+ * Concurrency: events append to per-thread buffers (registered once
+ * per thread under a mutex, then written lock-free); buffers are
+ * merged and sorted at writeJson() time, after workers joined.
+ *
+ * Null-sink fast path: obs::tracer() is a plain global pointer —
+ * when no trace is requested every instrumentation site costs one
+ * branch, and nothing else. Tracing is side-band: it never feeds
+ * back into simulated results, so `--deterministic` campaign outputs
+ * are byte-identical with tracing on or off.
+ */
+
+#ifndef PLUTO_OBS_TRACE_HH
+#define PLUTO_OBS_TRACE_HH
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace pluto::obs
+{
+
+/** The two clock domains (trace pids). */
+constexpr u32 kHostPid = 1;
+constexpr u32 kVirtualPid = 2;
+
+/** One trace argument: key plus a pre-rendered raw JSON value. */
+struct TraceArg
+{
+    std::string key;
+    /** Raw JSON (callers use argNum/argStr to build it). */
+    std::string json;
+};
+
+/** @return a numeric trace argument. */
+TraceArg argNum(std::string key, double v);
+
+/** @return a string trace argument (escaped here). */
+TraceArg argStr(std::string key, const std::string &v);
+
+class Tracer
+{
+  public:
+    Tracer();
+    ~Tracer();
+
+    Tracer(const Tracer &) = delete;
+    Tracer &operator=(const Tracer &) = delete;
+
+    // ---- global installation (main thread) ----
+
+    /** @return the installed tracer, or nullptr when disabled. */
+    static Tracer *current();
+
+    /** Install `t` as the process tracer (nullptr uninstalls). */
+    static void install(Tracer *t);
+
+    // ---- host clock ----
+
+    /** @return host ns since tracer construction. */
+    double nowNs() const;
+
+    /** Name the calling thread's host track (thread_name metadata). */
+    void setThreadName(const std::string &name);
+
+    /** Complete host-clock span [t0Ns, t1Ns) on this thread's track. */
+    void hostSpan(const char *name, double t0Ns, double t1Ns,
+                  std::vector<TraceArg> args = {});
+
+    /** RAII host span: [construction, destruction). */
+    class Span
+    {
+      public:
+        /** No-op when no tracer is installed. */
+        explicit Span(const char *name,
+                      std::vector<TraceArg> args = {});
+        ~Span();
+
+        Span(const Span &) = delete;
+        Span &operator=(const Span &) = delete;
+
+      private:
+        Tracer *tracer_;
+        const char *name_;
+        double t0Ns_ = 0.0;
+        std::vector<TraceArg> args_;
+    };
+
+    // ---- virtual clock ----
+
+    /**
+     * Allocate a named virtual-time track (thread-safe; rare). Track
+     * ids order the tracks in the viewer.
+     */
+    u64 newVirtualTrack(const std::string &label);
+
+    /** Complete span [tsNs, tsNs+durNs) on virtual track `track`. */
+    void virtualSpan(u64 track, const std::string &name, double tsNs,
+                     double durNs, std::vector<TraceArg> args = {});
+
+    /** Instant event on virtual track `track`. */
+    void virtualInstant(u64 track, const std::string &name,
+                        double tsNs);
+
+    // ---- output ----
+
+    /** Total events recorded so far (drops excluded). */
+    u64 eventCount() const;
+
+    /** Events dropped by the per-thread buffer cap. */
+    u64 droppedCount() const;
+
+    /** @return the Chrome trace-event JSON document. */
+    std::string renderJson() const;
+
+    /**
+     * Write renderJson() to `path`. @return empty string on success,
+     * else a description of the failure.
+     */
+    std::string writeJson(const std::string &path) const;
+
+  private:
+    struct Event;
+    struct Buffer;
+
+    /** This thread's buffer (registers it on first use). */
+    Buffer &buffer();
+
+    std::chrono::steady_clock::time_point epoch_;
+    /** Process-unique id; the per-thread buffer cache keys on it, so
+     *  a new Tracer at a recycled address never sees stale buffers. */
+    u64 id_;
+    mutable std::mutex mu_;
+    std::vector<std::unique_ptr<Buffer>> buffers_;
+    std::vector<std::string> virtualTracks_;
+};
+
+/** @return the installed tracer, or nullptr (the one-branch path). */
+inline Tracer *
+tracer()
+{
+    return Tracer::current();
+}
+
+} // namespace pluto::obs
+
+#endif // PLUTO_OBS_TRACE_HH

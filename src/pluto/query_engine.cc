@@ -40,6 +40,10 @@ QueryEngine::chargeSweep(LutPlacement &p, u32 parallel)
         // copy per LUT row per lane (Table 1: LISA_RBM x N).
         sched_.op("pluto.lut_reload", t.lisaRbm * n, e.eLisa * n, n,
                   lanes);
+        // Cold reloads (non-GSA designs hitting an unloaded LUT) are
+        // worth distinguishing from GSA's every-query restores.
+        if (!traits_.reloadPerQuery)
+            sched_.stats().inc("pluto.lut_reload.cold");
         if (p.materialized)
             store_.materialize(p);
         p.loaded = true;

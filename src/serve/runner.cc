@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "obs/registry.hh"
 #include "serve/cache.hh"
 #include "serve/simulator.hh"
 
@@ -120,6 +121,8 @@ ServiceRunner::run(const sim::RunOptions &opt,
             std::call_once(vc.once, [&]() {
                 vc.cal =
                     ServeSimulator::calibrateAll(ds.config, mix);
+                if (auto *sh = obs::shard())
+                    sh->inc("serve/calibrations");
             });
             const ServeSimulator simulator(ds, svc, mix);
             rec.out = simulator.run(&vc.cal);

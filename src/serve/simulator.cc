@@ -11,6 +11,8 @@
 #include <memory>
 
 #include "common/logging.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
 #include "workloads/workload.hh"
 
 namespace pluto::serve
@@ -126,14 +128,37 @@ ServeSimulator::run(const Calibration *cal) const
     const bool verified = cal->verified;
 
     // ---- Device pool ----
+    auto *tr = obs::tracer();
+    std::vector<u64> tracks;
     std::vector<PoolDevice> pool(spec_.devices);
     for (auto &d : pool) {
         d.dev = std::make_unique<runtime::PlutoDevice>(
             variant_.config);
+        if (tr)
+            d.dev->scheduler().setTraceLimit(4096);
         d.lut = d.dev->loadLut(kCanonicalLut);
         // Warm the LUT residency, then zero the scheduler so busy
         // time starts from the virtual epoch.
         d.dev->lutOpTimedOnly(d.lut, 1, 1);
+        if (tr) {
+            // One virtual-time track per pool device. Warmup commands
+            // (the cold pluto.lut_load above) render at negative
+            // timestamps so the serving timeline still starts at 0.
+            const u64 track = tr->newVirtualTrack(
+                spec_.name + "/" + variant_.name + " dev" +
+                std::to_string(tracks.size()));
+            const TimeNs warmEnd = d.dev->scheduler().elapsed();
+            for (const auto &ev : d.dev->scheduler().trace())
+                tr->virtualSpan(track, "warmup/" + ev.name,
+                                ev.start - warmEnd,
+                                ev.end - ev.start);
+            tracks.push_back(track);
+        }
+        // Warmup commands (LUT load + first wave) are real device
+        // work: fold them into the counter hierarchy before the
+        // reset zeroes the scheduler for the serving epoch.
+        if (auto *sh = obs::shard())
+            sh->absorb("device", d.dev->stats().counters);
         d.dev->resetStats();
     }
     const u32 salp = pool.front().dev->salp();
@@ -160,6 +185,8 @@ ServeSimulator::run(const Calibration *cal) const
         const u32 cls = d.queue.front().cls;
         const ClassDemand &dem = demand[cls];
         const auto &sched = d.dev->scheduler();
+        if (tr)
+            d.dev->scheduler().setTraceLimit(4096); // fresh batch
         const TimeNs t0 = sched.elapsed();
         const double e0 = sched.energyTotal();
 
@@ -178,6 +205,21 @@ ServeSimulator::run(const Calibration *cal) const
             d.dev->hostWork(dem.hostNs * n);
 
         const TimeNs serviceNs = sched.elapsed() - t0;
+        if (tr) {
+            // The scheduler clock is contiguous across batches while
+            // the virtual clock has idle gaps, so each command event
+            // maps through the batch's own epoch.
+            const u64 track =
+                tracks[static_cast<std::size_t>(&d - pool.data())];
+            tr->virtualSpan(
+                track, mix_[cls].workload, now, serviceNs,
+                {obs::argNum("batch", static_cast<double>(n)),
+                 obs::argNum("class", static_cast<double>(cls))});
+            for (const auto &ev : sched.trace())
+                tr->virtualSpan(track, ev.name,
+                                now + (ev.start - t0),
+                                ev.end - ev.start);
+        }
         d.busy = true;
         d.wakeAt = kNever;
         d.freeAt = now + serviceNs;
@@ -287,7 +329,22 @@ ServeSimulator::run(const Calibration *cal) const
         busyNs += d.busyNs;
         energyPj += d.energyPj;
     }
-    return metrics.finish(spec_.devices, busyNs, energyPj, verified);
+    const ServiceOutcome outcome =
+        metrics.finish(spec_.devices, busyNs, energyPj, verified);
+    if (auto *sh = obs::shard()) {
+        sh->inc("serve/cells");
+        sh->add("serve/requests",
+                static_cast<double>(outcome.requests));
+        sh->add("serve/batches",
+                static_cast<double>(outcome.batches));
+        sh->add("serve/busy_ns", busyNs);
+        sh->add("serve/energy_pj", energyPj);
+        sh->gaugeMax("serve/pool_devices",
+                     static_cast<double>(spec_.devices));
+        for (const auto &d : pool)
+            sh->absorb("device", d.dev->stats().counters);
+    }
+    return outcome;
 }
 
 } // namespace pluto::serve

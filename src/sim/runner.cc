@@ -9,6 +9,8 @@
 #include <optional>
 
 #include "common/logging.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
 #include "sim/cache.hh"
 
 namespace pluto::sim
@@ -125,9 +127,28 @@ ScenarioRunner::run(const RunOptions &opt,
             runtime::DeviceConfig cfg = ds.config;
             cfg.arena = &arena;
             runtime::PlutoDevice dev(cfg);
+            auto *tr = obs::tracer();
+            if (tr)
+                dev.scheduler().setTraceLimit(4096);
             rec.result = w->run(dev, elements, ws.seed);
             rec.wallMs =
                 opt.deterministic ? 0.0 : campaign::msSince(t0);
+            if (auto *sh = obs::shard()) {
+                sh->inc("sim/runs");
+                sh->add("sim/elements",
+                        static_cast<double>(rec.result.elements));
+                sh->absorb("device", dev.stats().counters);
+            }
+            if (tr) {
+                // One virtual-time track per fresh run: the command
+                // stream as the modeled hardware would execute it.
+                const u64 track = tr->newVirtualTrack(
+                    ds.name + "/" + ws.name + " #" +
+                    std::to_string(t.repeat));
+                for (const auto &ev : dev.scheduler().trace())
+                    tr->virtualSpan(track, ev.name, ev.start,
+                                    ev.end - ev.start);
+            }
             if (cache) {
                 CachedRun c;
                 c.elements = rec.result.elements;

@@ -1,0 +1,422 @@
+/**
+ * @file
+ * Telemetry-layer tests: counter-shard merge semantics, StatSet
+ * absorption into the path hierarchy, the nested metrics JSON, the
+ * Chrome trace-event export (parses, host spans nest per thread,
+ * virtual-time tracks stay monotone), warnOnce() accounting — and
+ * the load-bearing contract: --deterministic campaign outputs are
+ * byte-identical with telemetry enabled vs disabled.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/emit.hh"
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
+#include "serve/metrics.hh"
+#include "serve/runner.hh"
+#include "sim/metrics.hh"
+#include "sim/runner.hh"
+
+namespace pluto::obs
+{
+namespace
+{
+
+/** RAII: enable the registry for one test, always restore. */
+struct RegistryScope
+{
+    RegistryScope()
+    {
+        Registry::get().reset();
+        Registry::get().enable(true);
+    }
+    ~RegistryScope()
+    {
+        Registry::get().enable(false);
+        Registry::get().reset();
+    }
+};
+
+TEST(CounterShard, MergeSumsCountersAndMaxesGauges)
+{
+    CounterShard a, b;
+    a.add("x/count", 2.0);
+    a.gaugeMax("x/peak", 5.0);
+    b.add("x/count", 3.0);
+    b.gaugeMax("x/peak", 4.0);
+    b.gaugeMax("x/other", 1.0);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.counters().at("x/count"), 5.0);
+    EXPECT_DOUBLE_EQ(a.gauges().at("x/peak"), 5.0);
+    EXPECT_DOUBLE_EQ(a.gauges().at("x/other"), 1.0);
+}
+
+TEST(CounterShard, AbsorbTranslatesDottedStatNames)
+{
+    StatSet stats;
+    stats.add("pluto.lut_reload", 3.0);
+    stats.add("pluto.lut_reload.ns", 90.0);
+    CounterShard sh;
+    sh.absorb("device", stats);
+    EXPECT_DOUBLE_EQ(sh.counters().at("device/pluto/lut_reload"),
+                     3.0);
+    EXPECT_DOUBLE_EQ(sh.counters().at("device/pluto/lut_reload/ns"),
+                     90.0);
+}
+
+TEST(Registry, WorkerShardsFoldIntoRootAtTaskBoundary)
+{
+    RegistryScope scope;
+    auto &reg = Registry::get();
+    ASSERT_NE(shard(), nullptr); // enable() bound us to the root
+    shard()->inc("main/ticks");
+
+    reg.ensureWorkers(2);
+    reg.worker(0).add("campaign/cells", 4.0);
+    reg.worker(1).add("campaign/cells", 6.0);
+    reg.worker(0).gaugeMax("campaign/peak", 1.0);
+    reg.worker(1).gaugeMax("campaign/peak", 7.0);
+
+    reg.mergeWorkers();
+    const CounterShard snap = reg.snapshot();
+    EXPECT_DOUBLE_EQ(snap.counters().at("campaign/cells"), 10.0);
+    EXPECT_DOUBLE_EQ(snap.counters().at("main/ticks"), 1.0);
+    EXPECT_DOUBLE_EQ(snap.gauges().at("campaign/peak"), 7.0);
+    EXPECT_TRUE(reg.worker(0).empty()); // cleared by the merge
+}
+
+TEST(Registry, ShardIsNullWhenDisabled)
+{
+    Registry::get().enable(false);
+    EXPECT_EQ(shard(), nullptr);
+}
+
+TEST(Registry, RenderJsonNestsPathsAndCountsDistinct)
+{
+    RegistryScope scope;
+    auto &reg = Registry::get();
+    // A path that is both a leaf and a subtree prefix must render
+    // the leaf under "total".
+    reg.root().add("a/b", 1.0);
+    reg.root().add("a/b/c", 2.0);
+    reg.root().add("x", 3.0);
+    reg.root().gaugeMax("g/peak", 4.0);
+
+    const std::string json =
+        reg.renderJson({{"mode", "\"test\""}});
+    std::string err;
+    const auto doc = JsonValue::parse(json, err);
+    ASSERT_TRUE(doc) << err << "\n" << json;
+
+    ASSERT_TRUE(doc->find("mode"));
+    EXPECT_EQ(doc->find("mode")->asString(), "test");
+    ASSERT_TRUE(doc->find("distinct_counters"));
+    EXPECT_DOUBLE_EQ(doc->find("distinct_counters")->asNumber(), 4.0);
+
+    const JsonValue *counters = doc->find("counters");
+    ASSERT_TRUE(counters && counters->isObject());
+    const JsonValue *a = counters->find("a");
+    ASSERT_TRUE(a && a->isObject());
+    const JsonValue *b = a->find("b");
+    ASSERT_TRUE(b && b->isObject());
+    ASSERT_TRUE(b->find("total"));
+    EXPECT_DOUBLE_EQ(b->find("total")->asNumber(), 1.0);
+    ASSERT_TRUE(b->find("c"));
+    EXPECT_DOUBLE_EQ(b->find("c")->asNumber(), 2.0);
+    ASSERT_TRUE(counters->find("x"));
+    EXPECT_DOUBLE_EQ(counters->find("x")->asNumber(), 3.0);
+    const JsonValue *g = counters->find("g");
+    ASSERT_TRUE(g && g->find("peak"));
+    EXPECT_DOUBLE_EQ(g->find("peak")->asNumber(), 4.0);
+}
+
+/** All non-metadata events of one trace document. */
+std::vector<const JsonValue *>
+traceEvents(const JsonValue &doc)
+{
+    std::vector<const JsonValue *> out;
+    const JsonValue *events = doc.find("traceEvents");
+    EXPECT_TRUE(events && events->isArray());
+    for (std::size_t i = 0; events && i < events->size(); ++i) {
+        const JsonValue &ev = events->at(i);
+        if (ev.find("ph") && ev.find("ph")->asString() != "M")
+            out.push_back(&ev);
+    }
+    return out;
+}
+
+TEST(Tracer, JsonParsesAndHostSpansNestPerThread)
+{
+    Tracer tracer;
+    Tracer::install(&tracer);
+    tracer.setThreadName("main");
+    {
+        Tracer::Span outer("outer");
+        {
+            Tracer::Span inner("inner",
+                               {argNum("k", 3.0),
+                                argStr("label", "a \"quoted\" one")});
+            (void)inner;
+        }
+    }
+    std::thread other([&]() {
+        tracer.setThreadName("other");
+        tracer.hostSpan("elsewhere", 10.0, 20.0);
+    });
+    other.join();
+    Tracer::install(nullptr);
+
+    std::string err;
+    const auto doc = JsonValue::parse(tracer.renderJson(), err);
+    ASSERT_TRUE(doc) << err;
+    EXPECT_EQ(tracer.droppedCount(), 0u);
+
+    const JsonValue *outer = nullptr, *inner = nullptr,
+                    *elsewhere = nullptr;
+    for (const JsonValue *ev : traceEvents(*doc)) {
+        const std::string name = ev->find("name")->asString();
+        if (name == "outer")
+            outer = ev;
+        else if (name == "inner")
+            inner = ev;
+        else if (name == "elsewhere")
+            elsewhere = ev;
+    }
+    ASSERT_TRUE(outer && inner && elsewhere);
+
+    // Same thread, properly nested; the other thread on its own tid.
+    EXPECT_DOUBLE_EQ(outer->find("tid")->asNumber(),
+                     inner->find("tid")->asNumber());
+    EXPECT_NE(outer->find("tid")->asNumber(),
+              elsewhere->find("tid")->asNumber());
+    const double o0 = outer->find("ts")->asNumber();
+    const double o1 = o0 + outer->find("dur")->asNumber();
+    const double i0 = inner->find("ts")->asNumber();
+    const double i1 = i0 + inner->find("dur")->asNumber();
+    EXPECT_LE(o0, i0);
+    EXPECT_LE(i1, o1);
+    ASSERT_TRUE(inner->find("args"));
+    EXPECT_DOUBLE_EQ(inner->find("args")->find("k")->asNumber(), 3.0);
+    EXPECT_EQ(inner->find("args")->find("label")->asString(),
+              "a \"quoted\" one");
+}
+
+TEST(Tracer, VirtualTrackIsMonotoneAndLabeled)
+{
+    Tracer tracer;
+    const u64 track = tracer.newVirtualTrack("gmc dev0");
+    // Emitted deliberately out of order: the exporter sorts per
+    // track, so the document reads monotone.
+    tracer.virtualSpan(track, "wave", 200.0, 50.0);
+    tracer.virtualSpan(track, "wave", 0.0, 100.0);
+    tracer.virtualInstant(track, "reload", 150.0);
+
+    std::string err;
+    const auto doc = JsonValue::parse(tracer.renderJson(), err);
+    ASSERT_TRUE(doc) << err;
+
+    double prev = -1e300;
+    std::size_t n = 0;
+    for (const JsonValue *ev : traceEvents(*doc)) {
+        ASSERT_DOUBLE_EQ(ev->find("pid")->asNumber(), kVirtualPid);
+        const double ts = ev->find("ts")->asNumber();
+        EXPECT_GE(ts, prev);
+        prev = ts;
+        ++n;
+        if (ev->find("ph")->asString() == "i")
+            EXPECT_TRUE(ev->find("s")); // instants carry a scope
+    }
+    EXPECT_EQ(n, 3u);
+
+    // Track label shows up as thread_name metadata on pid 2.
+    bool labeled = false;
+    const JsonValue *events = doc->find("traceEvents");
+    for (std::size_t i = 0; i < events->size(); ++i) {
+        const JsonValue &ev = events->at(i);
+        if (ev.find("ph")->asString() == "M" &&
+            ev.find("name")->asString() == "thread_name" &&
+            ev.find("pid")->asNumber() == kVirtualPid)
+            labeled = labeled || ev.find("args")
+                                         ->find("name")
+                                         ->asString() == "gmc dev0";
+    }
+    EXPECT_TRUE(labeled);
+}
+
+TEST(Logging, WarnOnceCountsEveryCallPrintsOnce)
+{
+    const LogLevel before = logThreshold();
+    setLogThreshold(LogLevel::Fatal); // keep test output clean
+    WarnOnceState state;
+    warnOnceImpl(state, "telemetry test warning %d", 1);
+    warnOnceImpl(state, "telemetry test warning %d", 2);
+    warnOnceImpl(state, "telemetry test warning %d", 3);
+    EXPECT_EQ(state.count.load(), 3u);
+    setLogThreshold(before);
+}
+
+TEST(Logging, ParseLogLevelNames)
+{
+    LogLevel out;
+    EXPECT_TRUE(parseLogLevel("info", out));
+    EXPECT_EQ(out, LogLevel::Inform);
+    EXPECT_TRUE(parseLogLevel("warn", out));
+    EXPECT_EQ(out, LogLevel::Warn);
+    EXPECT_TRUE(parseLogLevel("error", out));
+    EXPECT_EQ(out, LogLevel::Fatal);
+    EXPECT_TRUE(parseLogLevel("quiet", out));
+    EXPECT_EQ(out, LogLevel::Fatal);
+    EXPECT_FALSE(parseLogLevel("loud", out));
+}
+
+TEST(StatSet, FormatRoundTripsDoubles)
+{
+    StatSet s;
+    s.add("a.third", 1.0 / 3.0);
+    s.add("b.count", 7.0);
+    const std::string text = s.format();
+    EXPECT_NE(text.find("a.third = 0.3333333333333333"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("b.count = 7"), std::string::npos);
+
+    std::string err;
+    const auto doc = JsonValue::parse(s.formatJson(), err);
+    ASSERT_TRUE(doc) << err;
+    EXPECT_DOUBLE_EQ(doc->find("a.third")->asNumber(), 1.0 / 3.0);
+    EXPECT_DOUBLE_EQ(doc->find("b.count")->asNumber(), 7.0);
+}
+
+/** A small sim campaign scenario (2 variants x 2 workload cells). */
+sim::SimConfig
+simScenario()
+{
+    std::string err;
+    const auto cfg = sim::SimConfig::parse(R"(
+[scenario]
+name = obs_sim
+[variant v]
+sweep design = gsa, gmc
+[workload ADD4]
+elements = 4096
+[workload CRC-8]
+elements = 2048
+)",
+                                           err);
+    EXPECT_TRUE(cfg) << err;
+    return *cfg;
+}
+
+/** A tiny service scenario: one pool, two rates. */
+sim::SimConfig
+serviceScenario()
+{
+    std::string err;
+    const auto cfg = sim::SimConfig::parse(R"(
+[scenario]
+name = obs_serve
+[device]
+design = gmc
+salp = 64
+[workload ColorGrade]
+elements = 2048
+tenant = 0
+[service sat]
+mode = open
+arrivals = poisson
+duration_ms = 2
+policy = adaptive
+batch = 8
+devices = 2
+lanes = 16
+seed = 7
+sweep rate = 4000, 16000
+)",
+                                           err);
+    EXPECT_TRUE(cfg) << err;
+    return *cfg;
+}
+
+TEST(Determinism, SimOutputsByteIdenticalWithTelemetry)
+{
+    const auto cfg = simScenario();
+    sim::RunOptions opt;
+    opt.threads = 2;
+    opt.deterministic = true;
+    const sim::ScenarioRunner runner(cfg);
+
+    Registry::get().enable(false);
+    const auto plain = runner.run(opt);
+    const std::string plainCsv =
+        sim::MetricsSink::renderCsv(cfg, plain);
+    const std::string plainJson =
+        sim::MetricsSink::renderJson(cfg, plain);
+
+    RegistryScope scope;
+    Tracer tracer;
+    Tracer::install(&tracer);
+    const auto traced = runner.run(opt);
+    Tracer::install(nullptr);
+
+    EXPECT_EQ(plainCsv, sim::MetricsSink::renderCsv(cfg, traced));
+    EXPECT_EQ(plainJson, sim::MetricsSink::renderJson(cfg, traced));
+
+    // The side-band actually collected something meaningful.
+    const CounterShard snap = Registry::get().snapshot();
+    EXPECT_GE(snap.counters().size(), 20u);
+    EXPECT_DOUBLE_EQ(snap.counters().at("campaign/cells"), 4.0);
+    EXPECT_GT(snap.counters().at("device/dram/acts"), 0.0);
+    EXPECT_GT(tracer.eventCount(), 0u);
+}
+
+TEST(Determinism, ServiceOutputsByteIdenticalWithTelemetry)
+{
+    const auto cfg = serviceScenario();
+    sim::RunOptions opt;
+    opt.threads = 2;
+    opt.deterministic = true;
+    const serve::ServiceRunner runner(cfg);
+
+    Registry::get().enable(false);
+    const auto plain = runner.run(opt);
+    const std::string plainCsv =
+        serve::ServiceMetricsSink::renderCsv(cfg, plain.runs);
+    const std::string plainJson = serve::ServiceMetricsSink::renderJson(
+        cfg, plain.runs, plain.wallMs);
+
+    RegistryScope scope;
+    Tracer tracer;
+    Tracer::install(&tracer);
+    const auto traced = runner.run(opt);
+    Tracer::install(nullptr);
+
+    EXPECT_EQ(plainCsv, serve::ServiceMetricsSink::renderCsv(
+                            cfg, traced.runs));
+    EXPECT_EQ(plainJson,
+              serve::ServiceMetricsSink::renderJson(cfg, traced.runs,
+                                                    traced.wallMs));
+
+    const CounterShard snap = Registry::get().snapshot();
+    EXPECT_GT(snap.counters().at("serve/requests"), 0.0);
+    EXPECT_GT(snap.counters().at("serve/batches"), 0.0);
+
+    // The virtual-time domain carries per-device busy spans.
+    std::string err;
+    const auto doc = JsonValue::parse(tracer.renderJson(), err);
+    ASSERT_TRUE(doc) << err;
+    bool sawVirtual = false;
+    for (const JsonValue *ev : traceEvents(*doc))
+        sawVirtual = sawVirtual ||
+                     ev->find("pid")->asNumber() == kVirtualPid;
+    EXPECT_TRUE(sawVirtual);
+}
+
+} // namespace
+} // namespace pluto::obs
