@@ -22,7 +22,13 @@ using namespace pluto::bench;
 namespace
 {
 
-constexpr u64 kQueries = 1000;
+/*
+ * 250 queries is enough to amortize setup and keep the per-cmd/batch
+ * ratio stable while fitting the release-bench CI budget (1000 took
+ * ~55 s of wall there); the bit-identity assertion is per-cell and
+ * does not depend on the count.
+ */
+constexpr u64 kQueries = 250;
 constexpr u32 kParallel = 16;
 
 double

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Campaign cache replay: wall-clock of JsonlCache::load() over a
+ * populated cache in both encodings (--cache-format jsonl vs
+ * binary), plus round-trip identity. Example scenarios hold a
+ * handful of cells, far too few to time parsing, so this bench
+ * synthesizes a campaign-sized cache (50k outcomes) per format,
+ * reloads each, and requires every entry to round-trip exactly —
+ * doubles included — before reporting the speedup. Machine-readable
+ * lines (`cache_replay,<format>,<entries>,<load_ms>,<bytes>`) feed
+ * scripts/bench_report.sh.
+ */
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cmath>
+#include <filesystem>
+
+#include "bench_common.hh"
+#include "sim/cache.hh"
+
+using namespace pluto;
+using namespace pluto::bench;
+
+namespace
+{
+
+constexpr u64 kEntries = 50000;
+
+using Cache =
+    campaign::JsonlCache<sim::CachedRun, sim::RunCacheCodec>;
+
+double
+msSince(const std::chrono::steady_clock::time_point &t0)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/** Deterministic synthetic outcome with bit-twiddly doubles. */
+sim::CachedRun
+makeRun(u64 i)
+{
+    sim::CachedRun r;
+    r.elements = 1024 + i;
+    r.timeNs = 1e6 / (static_cast<double>(i) + 3.0);
+    r.energyPj = std::sqrt(static_cast<double>(i) + 7.0) * 1e3;
+    r.hostNs = static_cast<double>(i) * 0.125 + 0.001;
+    r.verified = (i % 7) != 0;
+    r.wallMs = static_cast<double>(i % 97) * 1.5e-2;
+    return r;
+}
+
+bool
+sameRun(const sim::CachedRun &a, const sim::CachedRun &b)
+{
+    return a.elements == b.elements && a.timeNs == b.timeNs &&
+           a.energyPj == b.energyPj && a.hostNs == b.hostNs &&
+           a.verified == b.verified && a.wallMs == b.wallMs;
+}
+
+struct FormatResult
+{
+    double loadMs = 0.0;
+    u64 bytes = 0;
+    bool ok = false;
+};
+
+FormatResult
+runFormat(const std::string &dir, campaign::CacheFormat fmt)
+{
+    FormatResult res;
+    {
+        Cache writer(dir, "replay", fmt);
+        for (u64 i = 0; i < kEntries; ++i) {
+            const std::string err =
+                writer.append(Cache::keyFor(std::to_string(i)),
+                              makeRun(i));
+            if (!err.empty()) {
+                std::fprintf(stderr, "append: %s\n", err.c_str());
+                return res;
+            }
+        }
+    }
+
+    Cache reader(dir, "replay", fmt);
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::string err = reader.load();
+    res.loadMs = msSince(t0);
+    if (!err.empty()) {
+        std::fprintf(stderr, "load: %s\n", err.c_str());
+        return res;
+    }
+    std::error_code ec;
+    res.bytes = std::filesystem::file_size(reader.path(), ec);
+
+    if (reader.entries() != kEntries ||
+        reader.corruptLines() != 0) {
+        std::fprintf(stderr, "%s: %zu/%llu entries, %llu corrupt\n",
+                     campaign::cacheFormatName(fmt),
+                     reader.entries(),
+                     static_cast<unsigned long long>(kEntries),
+                     static_cast<unsigned long long>(
+                         reader.corruptLines()));
+        return res;
+    }
+    for (u64 i = 0; i < kEntries; ++i) {
+        const auto hit =
+            reader.lookup(Cache::keyFor(std::to_string(i)));
+        if (!hit || !sameRun(*hit, makeRun(i))) {
+            std::fprintf(stderr,
+                         "%s: entry %llu failed round-trip\n",
+                         campaign::cacheFormatName(fmt),
+                         static_cast<unsigned long long>(i));
+            return res;
+        }
+    }
+    res.ok = true;
+    return res;
+}
+
+} // namespace
+
+int
+main()
+{
+    section("Campaign cache replay: load() wall-clock, jsonl vs "
+            "binary encoding");
+
+    const auto base =
+        std::filesystem::temp_directory_path() /
+        ("pluto_bench_cache_replay_" +
+         std::to_string(static_cast<unsigned long>(getpid())));
+    bool ok = true;
+    AsciiTable t({"format", "entries", "file MB", "load ms"});
+    double jsonlMs = 0.0, binaryMs = 0.0;
+    for (const auto fmt : {campaign::CacheFormat::Jsonl,
+                           campaign::CacheFormat::Binary}) {
+        const std::string dir =
+            (base / campaign::cacheFormatName(fmt)).string();
+        const FormatResult res = runFormat(dir, fmt);
+        ok = ok && res.ok;
+        (fmt == campaign::CacheFormat::Jsonl ? jsonlMs : binaryMs) =
+            res.loadMs;
+        t.addRow({campaign::cacheFormatName(fmt),
+                  std::to_string(kEntries),
+                  fmtSig(static_cast<double>(res.bytes) / 1e6),
+                  fmtSig(res.loadMs)});
+        std::printf("cache_replay,%s,%llu,%.3f,%llu\n",
+                    campaign::cacheFormatName(fmt),
+                    static_cast<unsigned long long>(kEntries),
+                    res.loadMs,
+                    static_cast<unsigned long long>(res.bytes));
+    }
+    std::printf("%s", t.render().c_str());
+    if (binaryMs > 0.0)
+        std::printf("\nbinary replay speedup over jsonl: %s\n",
+                    fmtX(jsonlMs / binaryMs).c_str());
+
+    std::error_code ec;
+    std::filesystem::remove_all(base, ec);
+
+    if (!ok) {
+        std::fprintf(stderr, "FAIL: cache replay round-trip\n");
+        return 1;
+    }
+    return 0;
+}

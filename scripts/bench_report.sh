@@ -2,29 +2,43 @@
 #
 # Machine-readable perf trajectory for the simulator itself: run the
 # scalar-vs-bulk kernel microbenches plus the exit-code-enforced
-# bench_batch_fastpath / bench_serve_policies invariants and the two
-# example campaigns, and emit BENCH_report.json mapping
-#   kernels:   benchmark name -> ns per element
-#   campaigns: binary/scenario name -> wall-clock seconds, plus (for
-#              the pluto_sim campaigns, via --metrics-out) the cache
-#              hit rate and the per-phase wall breakdown from the
-#              telemetry registry (campaign/phase/*)
-# so per-PR regressions show up as numbers, not anecdotes.
+# bench_batch_fastpath / bench_serve_policies invariants, the cache
+# replay bench (jsonl vs binary load) and the two example campaigns,
+# and emit BENCH_report.json mapping
+#   kernels:      benchmark name -> ns per element
+#   campaigns:    binary/scenario name -> wall-clock seconds, plus
+#                 (for the pluto_sim campaigns, via --metrics-out) the
+#                 cache hit rate and per-phase wall breakdown
+#   cache_replay: per-format load() wall of a 50k-entry cache
 #
-# With --check, additionally enforce the coarse perf gate: every bulk
-# kernel must be at least as fast (ns/elem) as its scalar pair — a
-# 1.0x floor, deliberately far below the measured speedups, so the
-# gate cannot flake on a noisy runner.
+# Every run is also APPENDED to BENCH_history.jsonl as one JSON line
+# keyed by git SHA + UTC date (same-SHA reruns replace their line),
+# so the per-PR perf trajectory accumulates instead of being
+# overwritten. The recorded series is what the gate learns from:
+#
+# With --check, enforce per-kernel floors derived from history: each
+# bulk kernel must reach at least max(1.0, 0.5 * min recorded
+# speedup) over its scalar pair — a kernel that has demonstrably run
+# at 8x for several PRs fails the gate long before it decays back to
+# 1.0x, while 0.5x headroom plus the min() keeps a noisy runner from
+# flaking. The binary cache encoding must likewise not load slower
+# than jsonl once both have been measured.
+#
+# Measurements a given build does not support (no bench_cache_replay
+# binary, no --simd-tier flag: builds predating them) are skipped
+# gracefully, so the script can replay history onto older checkouts.
 #
 # Examples:
 #   ./scripts/bench_report.sh
 #   ./scripts/bench_report.sh --build-dir build-rel --check
+#   ./scripts/bench_report.sh --no-history   # measurement only
 #
 
 set -euo pipefail
 
 BUILD_DIR="build"
 OUT="BENCH_report.json"
+HISTORY="BENCH_history.jsonl"
 CHECK=0
 SKIP_CAMPAIGNS=0
 
@@ -36,7 +50,9 @@ Usage:
 Options:
   --build-dir DIR    Build tree holding the bench binaries (default: build)
   --out FILE         Report path (default: BENCH_report.json)
-  --check            Fail unless every bulk kernel is >= 1.0x its scalar pair
+  --history FILE     Trajectory path (default: BENCH_history.jsonl)
+  --no-history       Do not append this run to the trajectory
+  --check            Enforce the per-kernel floors derived from history
   --skip-campaigns   Skip the pluto_sim example campaigns (quick mode)
   -h, --help         Show this help
 EOF
@@ -46,6 +62,8 @@ while [ $# -gt 0 ]; do
   case "$1" in
     --build-dir) BUILD_DIR="$2"; shift 2 ;;
     --out) OUT="$2"; shift 2 ;;
+    --history) HISTORY="$2"; shift 2 ;;
+    --no-history) HISTORY=""; shift ;;
     --check) CHECK=1; shift ;;
     --skip-campaigns) SKIP_CAMPAIGNS=1; shift ;;
     -h|--help) usage; exit 0 ;;
@@ -61,6 +79,21 @@ fi
 
 workdir=$(mktemp -d)
 trap 'rm -rf "$workdir"' EXIT
+
+# ---- Run identity: git SHA + date key the history line ----
+
+GIT_SHA=$(git rev-parse HEAD 2>/dev/null || echo unknown)
+GIT_DIRTY=0
+[ -n "$(git status --porcelain 2>/dev/null)" ] && GIT_DIRTY=1
+RUN_DATE=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+
+# The SIMD dispatch tier, when this build can report it (--simd-tier
+# postdates the first history entries; skip silently on older builds).
+SIMD_TIER=""
+if [ -x "$BUILD_DIR/pluto_sim" ] &&
+   "$BUILD_DIR/pluto_sim" --help 2>/dev/null | grep -q -- --simd-tier; then
+  SIMD_TIER=$("$BUILD_DIR/pluto_sim" --simd-tier)
+fi
 
 # ---- Kernel pairs: ns/elem from the benchmark CSV output ----
 
@@ -96,6 +129,17 @@ wall() { # wall NAME CMD...
 wall bench_batch_fastpath "$BUILD_DIR/bench_batch_fastpath"
 wall bench_serve_policies "$BUILD_DIR/bench_serve_policies"
 
+# ---- Cache replay: jsonl-vs-binary load() (newer builds only) ----
+
+: >"$workdir/replay.txt"
+if [ -x "$BUILD_DIR/bench_cache_replay" ]; then
+  echo "running bench_cache_replay (jsonl vs binary load)..." >&2
+  "$BUILD_DIR/bench_cache_replay" >"$workdir/replay_out.txt"
+  grep '^cache_replay,' "$workdir/replay_out.txt" >"$workdir/replay.txt" || true
+else
+  echo "skipping cache replay ($BUILD_DIR/bench_cache_replay not built)" >&2
+fi
+
 if [ "$SKIP_CAMPAIGNS" -eq 0 ]; then
   wall sweep_designs "$BUILD_DIR/pluto_sim" \
     examples/scenarios/sweep_designs.ini \
@@ -107,17 +151,16 @@ if [ "$SKIP_CAMPAIGNS" -eq 0 ]; then
     --metrics-out "$workdir/service_saturation_metrics.json"
 fi
 
-# ---- Emit BENCH_report.json ----
+# ---- Emit report + history line, then gate against the series ----
 
-# Campaigns that ran with --metrics-out additionally report the
-# campaign-cache hit rate and the per-phase wall breakdown
-# (counters.campaign.{cache,phase} in the telemetry JSON).
-python3 - "$workdir" "$OUT" <<'EOF'
+python3 - "$workdir" "$OUT" "$HISTORY" "$GIT_SHA" "$GIT_DIRTY" \
+    "$RUN_DATE" "$SIMD_TIER" "$CHECK" <<'EOF'
 import json
 import os
 import sys
 
-workdir, out = sys.argv[1], sys.argv[2]
+(workdir, out, history, sha, dirty, date, tier, check) = sys.argv[1:9]
+check = check == "1"
 
 kernels = {}
 with open(os.path.join(workdir, "kernels.txt")) as f:
@@ -147,39 +190,121 @@ with open(os.path.join(workdir, "campaigns.txt")) as f:
                 }
         campaigns[name] = entry
 
+# cache_replay,<format>,<entries>,<load_ms>,<bytes>
+replay = {}
+with open(os.path.join(workdir, "replay.txt")) as f:
+    for line in f:
+        parts = line.strip().split(",")
+        if len(parts) == 5:
+            replay[parts[1]] = {
+                "entries": int(parts[2]),
+                "load_ms": float(parts[3]),
+                "file_bytes": int(parts[4]),
+            }
+
+report = {"kernels": kernels, "campaigns": campaigns}
+if replay:
+    report["cache_replay"] = replay
 with open(out, "w") as f:
-    json.dump({"kernels": kernels, "campaigns": campaigns}, f,
-              indent=2)
+    json.dump(report, f, indent=2)
     f.write("\n")
+print("wrote %s" % out, file=sys.stderr)
+
+
+def speedups(entry_kernels):
+    """Scalar/bulk ns ratio per kernel pair of one history entry."""
+    ratios = {}
+    for name, k in entry_kernels.items():
+        if "Scalar/" not in name:
+            continue
+        bulk = name.replace("Scalar", "Bulk")
+        if bulk in entry_kernels:
+            num = k["ns_per_elem"]
+            den = entry_kernels[bulk]["ns_per_elem"]
+            if den > 0:
+                ratios[bulk] = num / den
+    return ratios
+
+
+# History: replace any line of the same SHA (CI reruns), else append.
+prior = []
+if history:
+    if os.path.exists(history):
+        with open(history) as f:
+            for line in f:
+                line = line.strip()
+                if line:
+                    prior.append(json.loads(line))
+    entry = {
+        "sha": sha,
+        "date": date,
+        "dirty": dirty == "1",
+        "kernels": {k: v["ns_per_elem"] for k, v in kernels.items()},
+        "campaigns": {k: v["wall_s"] for k, v in campaigns.items()},
+    }
+    if tier:
+        entry["simd_tier"] = tier
+    if replay:
+        entry["cache_replay"] = {
+            k: v["load_ms"] for k, v in replay.items()
+        }
+    kept = [e for e in prior if e.get("sha") != sha]
+    with open(history, "w") as f:
+        for e in kept + [entry]:
+            f.write(json.dumps(e, sort_keys=True) + "\n")
+    print("appended %s (%d entries)" % (history, len(kept) + 1),
+          file=sys.stderr)
+
+if not check:
+    sys.exit(0)
+
+# ---- Perf gate: floors derived from the recorded series ----
+#
+# Floor per kernel pair = max(1.0, 0.5 * min speedup ever recorded
+# for it by OTHER shas) — self-measurements never lower the bar, and
+# a pair with no history gates at the old coarse 1.0x.
+floors = {}
+for e in prior:
+    if e.get("sha") == sha:
+        continue
+    ek = {n: {"ns_per_elem": v} for n, v in e.get("kernels", {}).items()}
+    for bulk, ratio in speedups(ek).items():
+        floors[bulk] = min(floors.get(bulk, ratio), ratio)
+
+fail = False
+now = speedups(kernels)
+for bulk in sorted(now):
+    floor = max(1.0, 0.5 * floors.get(bulk, 2.0))
+    ratio = now[bulk]
+    scalar = bulk.replace("Bulk", "Scalar")
+    print("%-24s %8.4f ns/elem  %-24s %8.4f ns/elem  %7.2fx"
+          " (floor %.2fx)"
+          % (scalar, kernels[scalar]["ns_per_elem"], bulk,
+             kernels[bulk]["ns_per_elem"], ratio, floor))
+    if ratio < floor:
+        print("FAIL: %s at %.2fx is below its %.2fx floor"
+              % (bulk, ratio, floor))
+        fail = True
+for scalar in sorted(kernels):
+    if "Scalar/" in scalar and \
+       scalar.replace("Scalar", "Bulk") not in kernels:
+        print("missing bulk pair for %s" % scalar)
+        fail = True
+
+if "jsonl" in replay and "binary" in replay:
+    jms = replay["jsonl"]["load_ms"]
+    bms = replay["binary"]["load_ms"]
+    ratio = jms / bms if bms > 0 else 0.0
+    print("%-24s %8.2f ms      %-24s %8.2f ms      %7.2fx"
+          " (floor 1.00x)"
+          % ("cache_replay jsonl", jms, "cache_replay binary", bms,
+             ratio))
+    if ratio < 1.0:
+        print("FAIL: binary cache loads slower than jsonl")
+        fail = True
+
+if fail:
+    sys.exit(1)
+print("perf gate passed: every kernel above its history-derived floor",
+      file=sys.stderr)
 EOF
-echo "wrote $OUT" >&2
-
-# ---- Coarse 1.0x gate: bulk must not be slower than scalar ----
-
-if [ "$CHECK" -eq 1 ]; then
-  awk '
-    { ns[$1] = $2 }
-    END {
-      fail = 0
-      for (name in ns) {
-        if (name !~ /^BM_[A-Za-z]+Scalar\//)
-          continue
-        bulk = name
-        sub(/Scalar/, "Bulk", bulk)
-        if (!(bulk in ns)) {
-          printf "missing bulk pair for %s\n", name
-          fail = 1
-          continue
-        }
-        ratio = ns[name] / ns[bulk]
-        printf "%-22s %10.3f ns/elem  %-22s %10.3f ns/elem  %6.2fx\n", \
-               name, ns[name], bulk, ns[bulk], ratio
-        if (ratio < 1.0) {
-          printf "FAIL: %s is slower than %s\n", bulk, name
-          fail = 1
-        }
-      }
-      exit fail
-    }' "$workdir/kernels.txt"
-  echo "perf gate passed: every bulk kernel >= 1.0x its scalar pair" >&2
-fi

@@ -4,6 +4,7 @@
 #include <bit>
 #include <cstring>
 
+#include "common/bitvec_bulk.hh"
 #include "common/logging.hh"
 #include "ops/rowmath.hh"
 
@@ -56,19 +57,11 @@ BitSerialEngine::write(const VerticalVec &v, std::span<const u64> values)
               static_cast<unsigned long long>(v.elements));
     const auto &geom = mod_.geometry();
     auto row = arena_.bytes(ScratchArena::BitPlane, geom.rowBytes);
-    const u64 n = values.size();
     for (u32 j = 0; j < v.bits; ++j) {
         std::fill(row.begin(), row.end(), 0);
-        // Transpose one bit plane, one packed byte (8 elements) per
-        // iteration.
-        for (u64 base = 0; base < n; base += 8) {
-            const u64 lim = std::min<u64>(8, n - base);
-            u8 b = 0;
-            for (u64 k = 0; k < lim; ++k)
-                b |= static_cast<u8>(((values[base + k] >> j) & 1)
-                                     << k);
-            row[base / 8] = b;
-        }
+        // Transpose one bit plane (SIMD-dispatched; writes the
+        // leading ceil(n/8) bytes, the rest of the row stays zero).
+        bulk::bitPlane(values, j, row);
         storePlane(v, j, row);
         // One transposed row crosses the channel per bit plane.
         sched_.op("bitserial.write_plane",

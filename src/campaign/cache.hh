@@ -19,6 +19,19 @@
  * written by a future format with a clear error instead of silently
  * skipping every line as corrupt.
  *
+ * Format v3 is the optional binary encoding (--cache-format binary):
+ * the same file path, but after an ASCII JSON header line that also
+ * carries `"encoding":"binary"`, entries are length-prefixed
+ * checksummed records ([u32 len][u32 fnv1a32][key string][codec
+ * body]) instead of JSON lines. Records are still append-only whole
+ * writes (shard-merge compatible), doubles travel as raw bits (so
+ * replay is exactly as bit-identical as JSONL's %.17g), and because
+ * the header is a JSON line at the same path, a JSONL-only or older
+ * build that opens a binary cache hits the versioned-format error
+ * above instead of silently recomputing. Mixing formats in either
+ * direction produces a clear error naming the --cache-format value
+ * to pass.
+ *
  * Modes plug in through a Codec type:
  *
  *   struct Codec {
@@ -31,17 +44,23 @@
  *     static std::string encodeBody(const Outcome &out);
  *     // Parse one entry object; false = corrupt line.
  *     static bool decode(const JsonValue &obj, Outcome &out);
+ *     // Binary twins of the two above (field order is the schema).
+ *     static void encodeBinary(const Outcome &out, BinWriter &w);
+ *     static bool decodeBinary(BinReader &r, Outcome &out);
  *   };
  */
 
 #ifndef PLUTO_CAMPAIGN_CACHE_HH
 #define PLUTO_CAMPAIGN_CACHE_HH
 
+#include <bit>
+#include <cstring>
 #include <functional>
 #include <map>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "common/digest.hh"
 #include "common/emit.hh"
@@ -51,6 +70,111 @@ namespace pluto::campaign
 
 /** On-disk JSONL cache format this build reads and writes. */
 constexpr u32 kCacheFormat = 2;
+
+/**
+ * On-disk format of the binary encoding. Deliberately above
+ * kCacheFormat: a build that predates the binary cache rejects such
+ * a file through its ordinary future-format check instead of
+ * skipping every record as corrupt and silently recomputing.
+ */
+constexpr u32 kBinaryCacheFormat = 3;
+
+/** Cache file encoding selected per campaign (--cache-format). */
+enum class CacheFormat : u8
+{
+    Jsonl = 0,
+    Binary = 1,
+};
+
+/** @return "jsonl" or "binary". */
+const char *cacheFormatName(CacheFormat f);
+
+/** Parse a --cache-format value; false = unrecognised. */
+bool parseCacheFormat(const std::string &s, CacheFormat &out);
+
+/**
+ * Little-endian byte-buffer writer for binary cache bodies. Doubles
+ * travel as raw IEEE-754 bits, so every value round-trips exactly.
+ */
+class BinWriter
+{
+  public:
+    void putU32(u32 v) { putRaw(&v, sizeof(v)); }
+    void putU64(u64 v) { putRaw(&v, sizeof(v)); }
+    void putF64(double v) { putU64(std::bit_cast<u64>(v)); }
+    void putBool(bool v) { buf_.push_back(v ? '\1' : '\0'); }
+    void putString(const std::string &s)
+    {
+        putU32(static_cast<u32>(s.size()));
+        buf_.append(s);
+    }
+
+    const std::string &bytes() const { return buf_; }
+
+  private:
+    void putRaw(const void *p, std::size_t n)
+    {
+        static_assert(std::endian::native == std::endian::little,
+                      "binary cache assumes little-endian storage");
+        buf_.append(static_cast<const char *>(p), n);
+    }
+
+    std::string buf_;
+};
+
+/**
+ * Bounds-checked reader over one binary record body. Every getter
+ * returns false (and stops advancing) once the record is exhausted,
+ * so codecs can chain reads and check once.
+ */
+class BinReader
+{
+  public:
+    explicit BinReader(std::string_view data) : data_(data) {}
+
+    bool getU32(u32 &v) { return getRaw(&v, sizeof(v)); }
+    bool getU64(u64 &v) { return getRaw(&v, sizeof(v)); }
+    bool getF64(double &v)
+    {
+        u64 bits;
+        if (!getU64(bits))
+            return false;
+        v = std::bit_cast<double>(bits);
+        return true;
+    }
+    bool getBool(bool &v)
+    {
+        if (pos_ >= data_.size())
+            return false;
+        v = data_[pos_++] != '\0';
+        return true;
+    }
+    bool getString(std::string &s)
+    {
+        u32 len;
+        if (!getU32(len) || data_.size() - pos_ < len)
+            return false;
+        s.assign(data_.substr(pos_, len));
+        pos_ += len;
+        return true;
+    }
+
+    /** @return true when the whole record was consumed. */
+    bool atEnd() const { return pos_ == data_.size(); }
+
+  private:
+    bool getRaw(void *p, std::size_t n)
+    {
+        if (data_.size() - pos_ < n)
+            return false;
+        std::memcpy(p, data_.data() + pos_, n);
+        pos_ += n;
+        return true;
+    }
+
+    std::string_view data_;
+    std::size_t pos_ = 0;
+};
 
 namespace detail
 {
@@ -77,6 +201,32 @@ std::string appendJsonlLine(const std::string &dir,
                             const std::string &kind,
                             const std::string &line);
 
+/**
+ * Load one binary (v3) cache file: verify the header, then call
+ * `onEntry(key, body)` per checksummed record, counting bad records
+ * in `corrupt` (framing damage ends the scan at that point — with
+ * whole-record appends that only happens at a torn tail). A missing
+ * file is an empty cache; a JSONL or future-format file @return a
+ * non-empty error naming the fix.
+ */
+std::string
+loadBinaryCache(const std::string &path, const std::string &kind,
+                u64 &corrupt,
+                const std::function<bool(const std::string &key,
+                                         BinReader &body)> &onEntry);
+
+/**
+ * Append one [len][checksum][key][body] record, creating directory
+ * and binary header like appendJsonlLine. One whole write per
+ * record, so concurrent shard appends do not interleave.
+ * @return empty string or an error description.
+ */
+std::string appendBinaryRecord(const std::string &dir,
+                               const std::string &path,
+                               const std::string &kind,
+                               const std::string &key,
+                               const std::string &body);
+
 } // namespace detail
 
 /** Append-only JSONL outcome cache for one scenario and mode. */
@@ -86,12 +236,17 @@ class JsonlCache
   public:
     /**
      * Cache for scenario `scenario` under directory `dir` (created
-     * if missing on first append).
+     * if missing on first append), stored in `format`. Both formats
+     * share one path per scenario/kind: a cache directory holds one
+     * encoding per cell, and opening it with the other --cache-format
+     * fails loudly instead of recomputing.
      */
-    JsonlCache(std::string dir, const std::string &scenario)
+    JsonlCache(std::string dir, const std::string &scenario,
+               CacheFormat format = CacheFormat::Jsonl)
         : dir_(std::move(dir)),
           path_(dir_ + "/" + scenario + "." + Codec::kKind +
-                ".cache.jsonl")
+                ".cache.jsonl"),
+          format_(format)
     {
     }
 
@@ -115,6 +270,16 @@ class JsonlCache
         std::lock_guard<std::mutex> lock(mu_);
         entries_.clear();
         corrupt_ = 0;
+        if (format_ == CacheFormat::Binary)
+            return detail::loadBinaryCache(
+                path_, Codec::kKind, corrupt_,
+                [&](const std::string &key, BinReader &body) {
+                    Outcome out;
+                    if (!Codec::decodeBinary(body, out))
+                        return false;
+                    entries_[key] = std::move(out); // last wins
+                    return true;
+                });
         return detail::loadJsonlCache(
             path_, corrupt_,
             [&](const std::string &key, const JsonValue &obj) {
@@ -146,12 +311,22 @@ class JsonlCache
      */
     std::string append(const std::string &key, const Outcome &out)
     {
+        std::string err;
+        if (format_ == CacheFormat::Binary) {
+            BinWriter body;
+            Codec::encodeBinary(out, body);
+            std::lock_guard<std::mutex> lock(mu_);
+            err = detail::appendBinaryRecord(dir_, path_, Codec::kKind,
+                                             key, body.bytes());
+            if (err.empty())
+                entries_[key] = out;
+            return err;
+        }
         const std::string line =
             "{\"key\":\"" + key + "\"" + Codec::encodeBody(out) +
             "}\n";
         std::lock_guard<std::mutex> lock(mu_);
-        const std::string err = detail::appendJsonlLine(
-            dir_, path_, Codec::kKind, line);
+        err = detail::appendJsonlLine(dir_, path_, Codec::kKind, line);
         if (err.empty())
             entries_[key] = out;
         return err;
@@ -167,12 +342,16 @@ class JsonlCache
     /** @return lines skipped as corrupt during load(). */
     u64 corruptLines() const { return corrupt_; }
 
-    /** @return the backing JSONL path. */
+    /** @return the backing cache file path (shared by formats). */
     const std::string &path() const { return path_; }
+
+    /** @return the encoding this cache reads and writes. */
+    CacheFormat format() const { return format_; }
 
   private:
     std::string dir_;
     std::string path_;
+    CacheFormat format_ = CacheFormat::Jsonl;
     /** Guards entries_ (lookup from worker threads vs append). */
     mutable std::mutex mu_;
     std::map<std::string, Outcome> entries_;

@@ -10,6 +10,7 @@
 #include <cstdlib>
 #include <memory>
 
+#include "common/cpuid.hh"
 #include "common/emit.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
@@ -37,7 +38,11 @@ printHelp(const std::vector<Mode> &modes)
         "  --shard I/N     run only shard I of N (0-based; outputs\n"
         "                  suffixed .shardIofN; combine shards via\n"
         "                  --cache-dir and a final unsharded pass)\n"
-        "  --cache-dir DIR replay/append a JSONL result cache\n"
+        "  --cache-dir DIR replay/append a result cache\n"
+        "  --cache-format F  cache file encoding: jsonl (default,\n"
+        "                  readable, merge-friendly) or binary\n"
+        "                  (length-prefixed records, faster replay);\n"
+        "                  a cache dir holds one encoding per cell\n"
         "  --deterministic zero wall-clock fields in outputs\n"
         "  --quiet         suppress per-cell progress lines\n"
         "  --trace FILE    write a Chrome trace-event JSON (host +\n"
@@ -49,6 +54,9 @@ printHelp(const std::vector<Mode> &modes)
         "  --list          list registered workload names and exit\n"
         "  --list-workloads  print the workload registry table and "
         "exit\n"
+        "  --simd-tier     print the active SIMD dispatch tier\n"
+        "                  (scalar/ssse3/avx2; see PLUTO_NO_SIMD) "
+        "and exit\n"
         "  --help          this text\n"
         "\n"
         "modes:\n");
@@ -181,6 +189,17 @@ cliMain(int argc, char **argv, const std::vector<Mode> &modes)
             inv.sharded = true;
         } else if (arg == "--cache-dir") {
             inv.opt.cacheDir = next();
+        } else if (arg == "--cache-format") {
+            const std::string fmt = next();
+            if (!parseCacheFormat(fmt, inv.opt.cacheFormat)) {
+                usageError("pluto_sim: --cache-format wants jsonl or "
+                           "binary, got '%s'\n",
+                           fmt);
+                return 1;
+            }
+        } else if (arg == "--simd-tier") {
+            std::printf("%s\n", simd::tierName(simd::tier()));
+            return 0;
         } else if (arg == "--deterministic") {
             inv.opt.deterministic = true;
         } else if (arg == "--quiet") {

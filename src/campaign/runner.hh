@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "campaign/cache.hh"
 #include "common/arena.hh"
 #include "common/types.hh"
 #include "obs/registry.hh"
@@ -54,6 +55,8 @@ struct RunOptions
     u32 shardCount = 1;
     /** Result-cache directory; empty disables caching. */
     std::string cacheDir;
+    /** Cache file encoding under cacheDir (--cache-format). */
+    CacheFormat cacheFormat = CacheFormat::Jsonl;
     /** Zero all host wall-clock fields in the report. */
     bool deterministic = false;
 

@@ -5,7 +5,14 @@
 #include <cstring>
 
 #include "common/bitvec.hh"
+#include "common/cpuid.hh"
 #include "common/logging.hh"
+
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define PLUTO_X86_SIMD 1
+#include <immintrin.h>
+#endif
 
 namespace pluto::bulk
 {
@@ -30,6 +37,360 @@ storeWord(u8 *p, u64 v)
     std::memcpy(p, &v, sizeof(v));
 }
 
+#ifdef PLUTO_X86_SIMD
+
+/*
+ * SIMD kernels. Each processes a whole-block prefix of the input and
+ * returns how much it handled; the scalar code resumes from there, so
+ * tails and odd counts always go through the oracle path. Block sizes
+ * are chosen so the returned count lands on a packed-byte boundary.
+ *
+ * All kernels are compiled with per-function target attributes (the
+ * translation unit itself stays baseline) and are only ever invoked
+ * when simd::tier() says the instruction set is present.
+ */
+
+/**
+ * Nibble-table gather, 16 packed bytes per step: for widths 1/2/4
+ * with a full-domain LUT, byteMap[b] == nib[b & 15] | nib[b >> 4]
+ * << 4, so a byte translation is two `pshufb` lookups. nib entries
+ * fit in 4 bits, so the 16-lane left shift cannot carry into the
+ * neighbouring byte.
+ */
+__attribute__((target("ssse3"))) std::size_t
+nibGatherSsse3(const u8 *in, u8 *out, std::size_t n_bytes,
+               const u8 *nib)
+{
+    const __m128i tbl =
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(nib));
+    const __m128i lo_mask = _mm_set1_epi8(0x0f);
+    std::size_t i = 0;
+    for (; i + 16 <= n_bytes; i += 16) {
+        const __m128i v = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(in + i));
+        const __m128i lo = _mm_and_si128(v, lo_mask);
+        const __m128i hi =
+            _mm_and_si128(_mm_srli_epi16(v, 4), lo_mask);
+        const __m128i r = _mm_or_si128(
+            _mm_shuffle_epi8(tbl, lo),
+            _mm_slli_epi16(_mm_shuffle_epi8(tbl, hi), 4));
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(out + i), r);
+    }
+    return i;
+}
+
+/** AVX2 variant of nibGatherSsse3: 32 packed bytes per step. */
+__attribute__((target("avx2"))) std::size_t
+nibGatherAvx2(const u8 *in, u8 *out, std::size_t n_bytes,
+              const u8 *nib)
+{
+    const __m256i tbl = _mm256_broadcastsi128_si256(
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(nib)));
+    const __m256i lo_mask = _mm256_set1_epi8(0x0f);
+    std::size_t i = 0;
+    for (; i + 32 <= n_bytes; i += 32) {
+        const __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(in + i));
+        const __m256i lo = _mm256_and_si256(v, lo_mask);
+        const __m256i hi =
+            _mm256_and_si256(_mm256_srli_epi16(v, 4), lo_mask);
+        const __m256i r = _mm256_or_si256(
+            _mm256_shuffle_epi8(tbl, lo),
+            _mm256_slli_epi16(_mm256_shuffle_epi8(tbl, hi), 4));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(out + i), r);
+    }
+    return i;
+}
+
+/**
+ * Narrow 4 masked u64 lanes to the low 4 bytes of an xmm: byte j of
+ * each lane is selected per-lane with `vpshufb` (lane 0 keeps bytes
+ * 0/8 at positions 0-1, lane 1 places them at 2-3), then the two
+ * 128-bit halves are ORed together.
+ */
+__attribute__((target("avx2"))) __m128i
+narrow4To32(__m256i a)
+{
+    const __m256i idx = _mm256_setr_epi8(
+        0, 8, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1,
+        -1, -1, 0, 8, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1);
+    const __m256i s = _mm256_shuffle_epi8(a, idx);
+    return _mm_or_si128(_mm256_castsi256_si128(s),
+                        _mm256_extracti128_si256(s, 1));
+}
+
+/** Narrow 16 u64 values (masked to the low byte) into one xmm. */
+__attribute__((target("avx2"))) __m128i
+narrow16To128(const u64 *v, __m256i mask)
+{
+    const __m128i b0 = narrow4To32(_mm256_and_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i *>(v)),
+        mask));
+    const __m128i b1 = narrow4To32(_mm256_and_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i *>(v + 4)),
+        mask));
+    const __m128i b2 = narrow4To32(_mm256_and_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i *>(v + 8)),
+        mask));
+    const __m128i b3 = narrow4To32(_mm256_and_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i *>(v + 12)),
+        mask));
+    const __m128i d01 = _mm_unpacklo_epi32(b0, b1);
+    const __m128i d23 = _mm_unpacklo_epi32(b2, b3);
+    return _mm_unpacklo_epi64(d01, d23);
+}
+
+/**
+ * Pack 16 values per step at widths 1/2/4/8: narrow to 16 bytes,
+ * then log2(8/width) field-merge rounds fold neighbouring bytes'
+ * fields together before a final `pshufb` compaction. Emits exactly
+ * 2*width bytes per step.
+ */
+__attribute__((target("avx2"))) std::size_t
+packAvx2(const u64 *values, std::size_t n, u32 width, u8 *dst)
+{
+    const __m256i mask =
+        _mm256_set1_epi64x(static_cast<long long>((1ull << width) - 1));
+    const std::size_t out_step = 2 * width;
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16, dst += out_step) {
+        __m128i b = narrow16To128(values + i, mask);
+        switch (width) {
+          case 8:
+            _mm_storeu_si128(reinterpret_cast<__m128i *>(dst), b);
+            break;
+          case 4: {
+            b = _mm_or_si128(b, _mm_srli_epi16(b, 4));
+            b = _mm_and_si128(b, _mm_set1_epi16(0x00ff));
+            const __m128i pick = _mm_setr_epi8(
+                0, 2, 4, 6, 8, 10, 12, 14,
+                -1, -1, -1, -1, -1, -1, -1, -1);
+            _mm_storel_epi64(reinterpret_cast<__m128i *>(dst),
+                             _mm_shuffle_epi8(b, pick));
+            break;
+          }
+          case 2: {
+            b = _mm_or_si128(b, _mm_srli_epi16(b, 6));
+            b = _mm_and_si128(b, _mm_set1_epi16(0x00ff));
+            b = _mm_or_si128(b, _mm_srli_epi32(b, 12));
+            b = _mm_and_si128(b, _mm_set1_epi32(0xff));
+            const __m128i pick = _mm_setr_epi8(
+                0, 4, 8, 12, -1, -1, -1, -1,
+                -1, -1, -1, -1, -1, -1, -1, -1);
+            const u32 w = static_cast<u32>(
+                _mm_cvtsi128_si32(_mm_shuffle_epi8(b, pick)));
+            std::memcpy(dst, &w, 4);
+            break;
+          }
+          case 1: {
+            b = _mm_or_si128(b, _mm_srli_epi16(b, 7));
+            b = _mm_and_si128(b, _mm_set1_epi16(0x00ff));
+            b = _mm_or_si128(b, _mm_srli_epi32(b, 14));
+            b = _mm_and_si128(b, _mm_set1_epi32(0xff));
+            b = _mm_or_si128(b, _mm_srli_epi64(b, 28));
+            dst[0] = static_cast<u8>(
+                static_cast<u64>(_mm_cvtsi128_si64(b)));
+            dst[1] = static_cast<u8>(
+                static_cast<u64>(_mm_extract_epi64(b, 1)));
+            break;
+          }
+        }
+    }
+    return i;
+}
+
+/** Widen 16 byte-sized fields in an xmm to 16 u64s. */
+__attribute__((target("avx2"))) void
+widen16To64(__m128i f, u64 *out)
+{
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(out),
+                        _mm256_cvtepu8_epi64(f));
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(out + 4),
+                        _mm256_cvtepu8_epi64(_mm_srli_si128(f, 4)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(out + 8),
+                        _mm256_cvtepu8_epi64(_mm_srli_si128(f, 8)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(out + 12),
+                        _mm256_cvtepu8_epi64(_mm_srli_si128(f, 12)));
+}
+
+/**
+ * Unpack widths 1-32, 16 values per step (8 for width 16, 4 for
+ * width 32): expand the packed fields to one byte each — nibble
+ * interleave (w4), masked shifts + byte/word interleaves (w2), or a
+ * `pshufb` broadcast + bit test (w1) — then zero-extend to u64.
+ * Shift-induced cross-byte pollution is masked off before use.
+ */
+__attribute__((target("avx2"))) std::size_t
+unpackAvx2(const u8 *in, u32 width, std::size_t n, u64 *out)
+{
+    std::size_t i = 0;
+    switch (width) {
+      case 8:
+        for (; i + 16 <= n; i += 16)
+            widen16To64(_mm_loadu_si128(
+                            reinterpret_cast<const __m128i *>(in + i)),
+                        out + i);
+        break;
+      case 16:
+        for (; i + 8 <= n; i += 8) {
+            const __m128i v = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(in + 2 * i));
+            _mm256_storeu_si256(
+                reinterpret_cast<__m256i *>(out + i),
+                _mm256_cvtepu16_epi64(v));
+            _mm256_storeu_si256(
+                reinterpret_cast<__m256i *>(out + i + 4),
+                _mm256_cvtepu16_epi64(_mm_srli_si128(v, 8)));
+        }
+        break;
+      case 32:
+        for (; i + 4 <= n; i += 4)
+            _mm256_storeu_si256(
+                reinterpret_cast<__m256i *>(out + i),
+                _mm256_cvtepu32_epi64(_mm_loadu_si128(
+                    reinterpret_cast<const __m128i *>(in + 4 * i))));
+        break;
+      case 4: {
+        const __m128i m = _mm_set1_epi8(0x0f);
+        for (; i + 16 <= n; i += 16) {
+            const __m128i v = _mm_loadl_epi64(
+                reinterpret_cast<const __m128i *>(in + i / 2));
+            const __m128i lo = _mm_and_si128(v, m);
+            const __m128i hi =
+                _mm_and_si128(_mm_srli_epi16(v, 4), m);
+            widen16To64(_mm_unpacklo_epi8(lo, hi), out + i);
+        }
+        break;
+      }
+      case 2: {
+        const __m128i m = _mm_set1_epi8(0x03);
+        for (; i + 16 <= n; i += 16) {
+            u32 w;
+            std::memcpy(&w, in + i / 4, 4);
+            const __m128i v =
+                _mm_cvtsi32_si128(static_cast<int>(w));
+            const __m128i f0 = _mm_and_si128(v, m);
+            const __m128i f1 =
+                _mm_and_si128(_mm_srli_epi16(v, 2), m);
+            const __m128i f2 =
+                _mm_and_si128(_mm_srli_epi16(v, 4), m);
+            const __m128i f3 =
+                _mm_and_si128(_mm_srli_epi16(v, 6), m);
+            const __m128i t01 = _mm_unpacklo_epi8(f0, f1);
+            const __m128i t23 = _mm_unpacklo_epi8(f2, f3);
+            widen16To64(_mm_unpacklo_epi16(t01, t23), out + i);
+        }
+        break;
+      }
+      case 1: {
+        const __m128i rep = _mm_setr_epi8(
+            0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1, 1, 1);
+        const __m128i bits = _mm_setr_epi8(
+            1, 2, 4, 8, 16, 32, 64, static_cast<char>(-128),
+            1, 2, 4, 8, 16, 32, 64, static_cast<char>(-128));
+        const __m128i ones = _mm_set1_epi8(1);
+        for (; i + 16 <= n; i += 16) {
+            u16 w;
+            std::memcpy(&w, in + i / 8, 2);
+            __m128i v = _mm_cvtsi32_si128(w);
+            v = _mm_shuffle_epi8(v, rep);
+            const __m128i f = _mm_and_si128(
+                _mm_cmpeq_epi8(_mm_and_si128(v, bits), bits), ones);
+            widen16To64(f, out + i);
+        }
+        break;
+      }
+    }
+    return i;
+}
+
+/**
+ * Match+latch for widths 1/2/4 via the same nibble trick as the
+ * gather: mnib maps a nibble to the per-field latch mask (each field
+ * mask is at most 0x0f wide, so the shift is carry-safe), then
+ * ff = (ff & ~mask) | (lut & mask) blends 32 bytes per step.
+ */
+__attribute__((target("avx2"))) std::size_t
+matchSelectNibAvx2(const u8 *src, const u8 *lut, u8 *ff,
+                   std::size_t n, const u8 *mnib)
+{
+    const __m256i tbl = _mm256_broadcastsi128_si256(
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(mnib)));
+    const __m256i lo_mask = _mm256_set1_epi8(0x0f);
+    std::size_t i = 0;
+    for (; i + 32 <= n; i += 32) {
+        const __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(src + i));
+        const __m256i lo = _mm256_and_si256(v, lo_mask);
+        const __m256i hi =
+            _mm256_and_si256(_mm256_srli_epi16(v, 4), lo_mask);
+        const __m256i mb = _mm256_or_si256(
+            _mm256_shuffle_epi8(tbl, lo),
+            _mm256_slli_epi16(_mm256_shuffle_epi8(tbl, hi), 4));
+        const __m256i f = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(ff + i));
+        const __m256i l = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(lut + i));
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i *>(ff + i),
+            _mm256_or_si256(_mm256_andnot_si256(mb, f),
+                            _mm256_and_si256(mb, l)));
+    }
+    return i;
+}
+
+/** Match+latch for width 8: whole-byte compare against row_index. */
+__attribute__((target("avx2"))) std::size_t
+matchSelect8Avx2(const u8 *src, const u8 *lut, u8 *ff,
+                 std::size_t n, u8 row_index)
+{
+    const __m256i key =
+        _mm256_set1_epi8(static_cast<char>(row_index));
+    std::size_t i = 0;
+    for (; i + 32 <= n; i += 32) {
+        const __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(src + i));
+        const __m256i mb = _mm256_cmpeq_epi8(v, key);
+        const __m256i f = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(ff + i));
+        const __m256i l = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(lut + i));
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i *>(ff + i),
+            _mm256_or_si256(_mm256_andnot_si256(mb, f),
+                            _mm256_and_si256(mb, l)));
+    }
+    return i;
+}
+
+/**
+ * Bit-plane transpose, 8 values (one output byte) per step: shift
+ * the wanted bit into the sign position and harvest the four sign
+ * bits of each ymm with `vmovmskpd`.
+ */
+__attribute__((target("avx2"))) std::size_t
+bitPlaneAvx2(const u64 *v, std::size_t n, u32 bit, u8 *out)
+{
+    const int sh = 63 - static_cast<int>(bit);
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256i a = _mm256_slli_epi64(
+            _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(v + i)),
+            sh);
+        const __m256i b = _mm256_slli_epi64(
+            _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(v + i + 4)),
+            sh);
+        const int m0 = _mm256_movemask_pd(_mm256_castsi256_pd(a));
+        const int m1 = _mm256_movemask_pd(_mm256_castsi256_pd(b));
+        out[i / 8] = static_cast<u8>(m0 | (m1 << 4));
+    }
+    return i;
+}
+
+#endif // PLUTO_X86_SIMD
+
 } // namespace
 
 void
@@ -41,18 +402,24 @@ unpackBulk(std::span<const u8> data, u32 width, std::span<u64> out)
     PLUTO_ASSERT(n <= elementsPerBytes(data.size(), width));
     const u8 *in = data.data();
 
+    u64 done = 0;
+#ifdef PLUTO_X86_SIMD
+    if (simd::tier() >= simd::Tier::Avx2)
+        done = unpackAvx2(in, width, n, out.data());
+#endif
+
     switch (width) {
       case 8:
-        for (u64 i = 0; i < n; ++i)
+        for (u64 i = done; i < n; ++i)
             out[i] = in[i];
         return;
       case 16:
-        for (u64 i = 0; i < n; ++i)
+        for (u64 i = done; i < n; ++i)
             out[i] = static_cast<u64>(in[2 * i]) |
                      static_cast<u64>(in[2 * i + 1]) << 8;
         return;
       case 32:
-        for (u64 i = 0; i < n; ++i)
+        for (u64 i = done; i < n; ++i)
             out[i] = static_cast<u64>(in[4 * i]) |
                      static_cast<u64>(in[4 * i + 1]) << 8 |
                      static_cast<u64>(in[4 * i + 2]) << 16 |
@@ -63,12 +430,13 @@ unpackBulk(std::span<const u8> data, u32 width, std::span<u64> out)
     }
 
     // Sub-byte widths: expand one packed byte (8/width elements) per
-    // iteration instead of per-element bit arithmetic.
+    // iteration instead of per-element bit arithmetic. `done` is a
+    // multiple of 16, so the resume point is byte-aligned.
     const u32 per = 8 / width;
     const u8 mask = static_cast<u8>((1u << width) - 1);
     const u64 full = n / per;
-    u64 o = 0;
-    for (u64 i = 0; i < full; ++i) {
+    u64 o = done;
+    for (u64 i = done / per; i < full; ++i) {
         const u8 b = in[i];
         for (u32 f = 0; f < per; ++f)
             out[o++] = (b >> (f * width)) & mask;
@@ -89,9 +457,15 @@ packBulk(std::span<const u64> values, u32 width, std::span<u8> out)
     PLUTO_ASSERT((n * width + 7) / 8 <= out.size());
     u8 *dst = out.data();
 
+    u64 done = 0;
+#ifdef PLUTO_X86_SIMD
+    if (width <= 8 && simd::tier() >= simd::Tier::Avx2)
+        done = packAvx2(values.data(), n, width, dst);
+#endif
+
     switch (width) {
       case 8:
-        for (u64 i = 0; i < n; ++i)
+        for (u64 i = done; i < n; ++i)
             dst[i] = static_cast<u8>(values[i]);
         return;
       case 16:
@@ -112,11 +486,13 @@ packBulk(std::span<const u64> values, u32 width, std::span<u8> out)
         break;
     }
 
+    // `done` is a multiple of 16, so the scalar resume point below is
+    // byte-aligned for every sub-byte width.
     const u32 per = 8 / width;
     const u8 mask = static_cast<u8>((1u << width) - 1);
     const u64 full = n / per;
-    u64 i = 0;
-    for (u64 b = 0; b < full; ++b) {
+    u64 i = done;
+    for (u64 b = done / per; b < full; ++b) {
         u8 acc = 0;
         for (u32 f = 0; f < per; ++f, ++i)
             acc |= static_cast<u8>((values[i] & mask) << (f * width));
@@ -166,6 +542,22 @@ LutGather::LutGather(std::span<const u64> values, u32 width,
     byteMap_.resize(256, 0);
     if (partial)
         byteOk_.resize(256, 1);
+    else {
+        // Full-domain sub-byte LUT: also build the 16-entry nibble
+        // translation the SIMD gather shuffles through. Entries stay
+        // within 4 bits, which the gather's shift step relies on.
+        const u32 per_nib = 4 / width_;
+        for (u32 nb = 0; nb < 16; ++nb) {
+            u8 acc = 0;
+            for (u32 f = 0; f < per_nib; ++f) {
+                const u64 idx = (nb >> (f * width_)) & mask;
+                acc |= static_cast<u8>((values[idx] & mask)
+                                       << (f * width_));
+            }
+            nib_[nb] = acc;
+        }
+        hasNib_ = true;
+    }
     for (u32 b = 0; b < 256; ++b) {
         u8 acc = 0;
         for (u32 f = 0; f < per; ++f) {
@@ -264,7 +656,17 @@ LutGather::apply(std::span<const u8> src, std::span<u8> dst,
     const u32 per = 8 / width_;
     const u64 full = count / per;
     if (byteOk_.empty()) {
-        for (u64 i = 0; i < full; ++i)
+        u64 done = 0;
+#ifdef PLUTO_X86_SIMD
+        if (hasNib_) {
+            const simd::Tier t = simd::tier();
+            if (t >= simd::Tier::Avx2)
+                done = nibGatherAvx2(in, out, full, nib_);
+            else if (t >= simd::Tier::Ssse3)
+                done = nibGatherSsse3(in, out, full, nib_);
+        }
+#endif
+        for (u64 i = done; i < full; ++i)
             out[i] = byteMap_[in[i]];
     } else {
         for (u64 i = 0; i < full; ++i) {
@@ -327,7 +729,35 @@ bulkMatchSelect(std::span<const u8> src, std::span<const u8> lut_row,
         }
         m[b] = acc;
     }
-    for (u64 i = 0; i < n; ++i) {
+
+    u64 done = 0;
+#ifdef PLUTO_X86_SIMD
+    if (simd::tier() >= simd::Tier::Avx2) {
+        if (width == 8) {
+            if (row_index < 256)
+                done = matchSelect8Avx2(src.data(), lut_row.data(),
+                                        ff.data(), n,
+                                        static_cast<u8>(row_index));
+        } else {
+            // Sub-byte: the latch-mask table factors into nibbles
+            // exactly like the gather LUT (per-field masks fit in a
+            // nibble), so reuse the pshufb blend.
+            u8 mnib[16];
+            const u32 per_nib = 4 / width;
+            for (u32 nb = 0; nb < 16; ++nb) {
+                u8 acc = 0;
+                for (u32 f = 0; f < per_nib; ++f) {
+                    if (((nb >> (f * width)) & mask) == row_index)
+                        acc |= static_cast<u8>(mask << (f * width));
+                }
+                mnib[nb] = acc;
+            }
+            done = matchSelectNibAvx2(src.data(), lut_row.data(),
+                                      ff.data(), n, mnib);
+        }
+    }
+#endif
+    for (u64 i = done; i < n; ++i) {
         const u8 mb = m[src[i]];
         ff[i] = static_cast<u8>((ff[i] & ~mb) | (lut_row[i] & mb));
     }
@@ -526,6 +956,28 @@ bulkShiftRight(std::span<u8> row, u32 bits)
                               : 0;
             storeWord(row.data() + 8 * w, (cur >> bit_shift) | hi);
         }
+    }
+}
+
+void
+bitPlane(std::span<const u64> values, u32 bit, std::span<u8> out)
+{
+    PLUTO_ASSERT(bit < 64);
+    const std::size_t n = values.size();
+    PLUTO_ASSERT(out.size() >= (n + 7) / 8);
+    const u64 *v = values.data();
+
+    std::size_t i = 0;
+#ifdef PLUTO_X86_SIMD
+    if (simd::tier() >= simd::Tier::Avx2)
+        i = bitPlaneAvx2(v, n, bit, out.data());
+#endif
+    for (; i < n; i += 8) {
+        const std::size_t lim = std::min<std::size_t>(8, n - i);
+        u8 b = 0;
+        for (std::size_t k = 0; k < lim; ++k)
+            b |= static_cast<u8>(((v[i + k] >> bit) & 1) << k);
+        out[i / 8] = b;
     }
 }
 

@@ -19,11 +19,26 @@
  *  - bulkMatchSelect is the word-parallel Match Logic + FF-latch step
  *    of the sweep emulation;
  *  - bulkNot/And/Or/Xor/Xnor/Maj and bulkShiftLeft/Right are the
- *    row-wide ops over u64 spans backing ops/rowmath.
+ *    row-wide ops over u64 spans backing ops/rowmath;
+ *  - bitPlane extracts one bit plane of a u64 array into a packed
+ *    row (the transpose step of the bit-serial baseline).
  *
- * All kernels are bit-exact drop-ins for the scalar ElementView
- * reference; tests/test_common.cc holds randomized equivalence
- * property tests across widths, unaligned counts and tails.
+ * The hot kernels additionally carry explicit SIMD paths, selected
+ * at runtime through simd::tier() (common/cpuid.hh):
+ *
+ *  - LutGather and bulkMatchSelect at widths 1/2/4 use `pshufb`
+ *    16-byte nibble-table gathers (SSSE3 16 B/iteration, AVX2
+ *    32 B/iteration): any sub-byte LUT whose domain is full factors
+ *    into a nibble->nibble map, so two shuffles translate 16 packed
+ *    bytes — 32/64/128 elements — per step;
+ *  - packBulk/unpackBulk at widths <= 8 use AVX2 narrowing/widening
+ *    (unpack also at 16/32), bitPlane uses AVX2 sign-bit extraction.
+ *
+ * The scalar paths are kept verbatim as the fallback and as the
+ * property-test oracle: every SIMD path is bit-exact against them
+ * (tests/test_common.cc forces each tier via simd::overrideTier and
+ * re-runs the randomized equivalence suites across widths, unaligned
+ * counts, tails and aliasing), so dispatch can never change results.
  */
 
 #ifndef PLUTO_COMMON_BITVEC_BULK_HH
@@ -91,6 +106,14 @@ class LutGather
     u64 size_;
     std::string name_;
     /**
+     * width < 8 with a full LUT: nibble-expansion table (nib_[n] =
+     * translation of the 4/width elements packed in nibble n), the
+     * 16-byte `pshufb` operand of the SIMD gather. Satisfies
+     * byteMap_[b] == nib_[b & 15] | nib_[b >> 4] << 4.
+     */
+    u8 nib_[16] = {};
+    bool hasNib_ = false;
+    /**
      * width <= 8: byte-expansion table, mapping a packed input byte
      * to the packed output byte (all 8/width elements at once).
      */
@@ -143,6 +166,15 @@ void bulkShiftLeft(std::span<u8> row, u32 bits);
 
 /** In-place little-endian right shift by `bits` (zero fill). */
 void bulkShiftRight(std::span<u8> row, u32 bits);
+
+/**
+ * Extract bit `bit` of every value into a packed LSB-first row:
+ * out[i/8] bit i%8 = (values[i] >> bit) & 1 — the per-plane
+ * transpose of the bit-serial baseline's vertical layout. Writes
+ * ceil(values.size() / 8) bytes of `out` (tail bits of the last
+ * byte are zeroed); `bit` must be < 64.
+ */
+void bitPlane(std::span<const u64> values, u32 bit, std::span<u8> out);
 
 } // namespace pluto::bulk
 

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * SIMD tier detection (see cpuid.hh).
+ */
+
+#include "common/cpuid.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace pluto::simd
+{
+
+namespace
+{
+
+/** Override cap set by tests; Avx2 means "no cap". */
+Tier g_override = Tier::Avx2;
+bool g_overridden = false;
+
+Tier
+detect()
+{
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+    __builtin_cpu_init();
+    if (__builtin_cpu_supports("avx2"))
+        return Tier::Avx2;
+    if (__builtin_cpu_supports("ssse3"))
+        return Tier::Ssse3;
+#endif
+    return Tier::Scalar;
+}
+
+/** PLUTO_NO_SIMD set to anything but "" or "0" forces Scalar. */
+bool
+disabledByEnv()
+{
+    const char *v = std::getenv("PLUTO_NO_SIMD");
+    return v && *v && std::strcmp(v, "0") != 0;
+}
+
+} // namespace
+
+Tier
+detectedTier()
+{
+    static const Tier t = detect();
+    return t;
+}
+
+Tier
+tier()
+{
+    static const Tier base =
+        disabledByEnv() ? Tier::Scalar : detectedTier();
+    if (g_overridden && g_override < base)
+        return g_override;
+    return base;
+}
+
+const char *
+tierName(Tier t)
+{
+    switch (t) {
+      case Tier::Ssse3:
+        return "ssse3";
+      case Tier::Avx2:
+        return "avx2";
+      default:
+        return "scalar";
+    }
+}
+
+void
+overrideTier(Tier t)
+{
+    g_override = t;
+    g_overridden = true;
+}
+
+void
+clearTierOverride()
+{
+    g_overridden = false;
+}
+
+} // namespace pluto::simd

@@ -120,6 +120,28 @@ NnCacheCodec::decode(const JsonValue &obj, NnOutcome &out)
     return true;
 }
 
+void
+NnCacheCodec::encodeBinary(const NnOutcome &out,
+                           campaign::BinWriter &w)
+{
+    w.putU64(out.images);
+    w.putU64(out.macs);
+    w.putF64(out.timeNs);
+    w.putF64(out.energyPj);
+    w.putF64(out.accuracy);
+    w.putBool(out.verified);
+    w.putF64(out.wallMs);
+}
+
+bool
+NnCacheCodec::decodeBinary(campaign::BinReader &r, NnOutcome &out)
+{
+    return r.getU64(out.images) && r.getU64(out.macs) &&
+           r.getF64(out.timeNs) && r.getF64(out.energyPj) &&
+           r.getF64(out.accuracy) && r.getBool(out.verified) &&
+           r.getF64(out.wallMs) && r.atEnd();
+}
+
 std::string
 NnCache::key(const runtime::DeviceConfig &cfg,
              const sim::NnSpec &spec)
@@ -154,7 +176,7 @@ NnRunner::run(const campaign::RunOptions &opt,
 
     std::optional<NnCache> cache;
     if (!opt.cacheDir.empty()) {
-        cache.emplace(opt.cacheDir, cfg_.name);
+        cache.emplace(opt.cacheDir, cfg_.name, opt.cacheFormat);
         const std::string cerr = cache->load();
         if (!cerr.empty())
             fatal("nn cache: %s", cerr.c_str());

@@ -90,12 +90,15 @@ struct NnReport
     bool allVerified() const;
 };
 
-/** JSONL codec of nn outcomes (see campaign/cache.hh). */
+/** Cache codec of nn outcomes (see campaign/cache.hh). */
 struct NnCacheCodec
 {
     static constexpr const char *kKind = "nn";
     static std::string encodeBody(const NnOutcome &out);
     static bool decode(const JsonValue &obj, NnOutcome &out);
+    static void encodeBinary(const NnOutcome &out,
+                             campaign::BinWriter &w);
+    static bool decodeBinary(campaign::BinReader &r, NnOutcome &out);
 };
 
 /** Append-only JSONL outcome cache for one scenario's nn runs. */

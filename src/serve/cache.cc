@@ -146,4 +146,49 @@ ServiceCacheCodec::decode(const JsonValue &obj, ServiceOutcome &out)
     return true;
 }
 
+void
+ServiceCacheCodec::encodeBinary(const ServiceOutcome &out,
+                                campaign::BinWriter &w)
+{
+    // Same schema as the JSONL body: kFields/kTenantFields order is
+    // the wire order, so the two encodings stay field-for-field
+    // parallel.
+    w.putU64(out.requests);
+    w.putU64(out.batches);
+    for (const auto &f : kFields)
+        w.putF64(out.*(f.member));
+    w.putBool(out.verified);
+    w.putU32(static_cast<u32>(out.tenants.size()));
+    for (const TenantSummary &t : out.tenants) {
+        w.putU32(t.tenant);
+        w.putU64(t.requests);
+        for (const auto &f : kTenantFields)
+            w.putF64(t.*(f.member));
+    }
+}
+
+bool
+ServiceCacheCodec::decodeBinary(campaign::BinReader &r,
+                                ServiceOutcome &out)
+{
+    if (!r.getU64(out.requests) || !r.getU64(out.batches))
+        return false;
+    for (const auto &f : kFields)
+        if (!r.getF64(out.*(f.member)))
+            return false;
+    u32 count;
+    if (!r.getBool(out.verified) || !r.getU32(count))
+        return false;
+    for (u32 i = 0; i < count; ++i) {
+        TenantSummary t;
+        if (!r.getU32(t.tenant) || !r.getU64(t.requests))
+            return false;
+        for (const auto &f : kTenantFields)
+            if (!r.getF64(t.*(f.member)))
+                return false;
+        out.tenants.push_back(t);
+    }
+    return r.atEnd();
+}
+
 } // namespace pluto::serve

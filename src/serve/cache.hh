@@ -23,12 +23,16 @@
 namespace pluto::serve
 {
 
-/** JSONL codec of service outcomes (see campaign/cache.hh). */
+/** Cache codec of service outcomes (see campaign/cache.hh). */
 struct ServiceCacheCodec
 {
     static constexpr const char *kKind = "serve";
     static std::string encodeBody(const ServiceOutcome &out);
     static bool decode(const JsonValue &obj, ServiceOutcome &out);
+    static void encodeBinary(const ServiceOutcome &out,
+                             campaign::BinWriter &w);
+    static bool decodeBinary(campaign::BinReader &r,
+                             ServiceOutcome &out);
 };
 
 /** Append-only JSONL outcome cache for one scenario's service runs. */

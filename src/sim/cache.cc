@@ -56,6 +56,27 @@ RunCacheCodec::decode(const JsonValue &obj, CachedRun &run)
     return true;
 }
 
+void
+RunCacheCodec::encodeBinary(const CachedRun &run,
+                            campaign::BinWriter &w)
+{
+    w.putU64(run.elements);
+    w.putF64(run.timeNs);
+    w.putF64(run.energyPj);
+    w.putF64(run.hostNs);
+    w.putBool(run.verified);
+    w.putF64(run.wallMs);
+}
+
+bool
+RunCacheCodec::decodeBinary(campaign::BinReader &r, CachedRun &run)
+{
+    return r.getU64(run.elements) && r.getF64(run.timeNs) &&
+           r.getF64(run.energyPj) && r.getF64(run.hostNs) &&
+           r.getBool(run.verified) && r.getF64(run.wallMs) &&
+           r.atEnd();
+}
+
 std::string
 RunCache::key(const runtime::DeviceConfig &cfg,
               const std::string &workload, u64 elements, u64 seed,

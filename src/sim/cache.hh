@@ -32,12 +32,15 @@ struct CachedRun
     double wallMs = 0.0;
 };
 
-/** JSONL codec of batch-run outcomes (see campaign/cache.hh). */
+/** Cache codec of batch-run outcomes (see campaign/cache.hh). */
 struct RunCacheCodec
 {
     static constexpr const char *kKind = "sim";
     static std::string encodeBody(const CachedRun &run);
     static bool decode(const JsonValue &obj, CachedRun &run);
+    static void encodeBinary(const CachedRun &run,
+                             campaign::BinWriter &w);
+    static bool decodeBinary(campaign::BinReader &r, CachedRun &run);
 };
 
 /** Append-only JSONL result cache for one scenario's batch runs. */

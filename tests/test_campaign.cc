@@ -13,6 +13,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -160,6 +161,14 @@ struct TinyCodec
         out.value = v->asNumber();
         return true;
     }
+    static void encodeBinary(const TinyOutcome &out, BinWriter &w)
+    {
+        w.putF64(out.value);
+    }
+    static bool decodeBinary(BinReader &r, TinyOutcome &out)
+    {
+        return r.getF64(out.value) && r.atEnd();
+    }
 };
 
 using TinyCache = JsonlCache<TinyOutcome, TinyCodec>;
@@ -239,6 +248,174 @@ TEST(JsonlCacheFormat, DuplicateHeadersFromRacingCreatorsAreSkipped)
     EXPECT_TRUE(reader.load().empty());
     EXPECT_EQ(reader.entries(), 2u);
     EXPECT_EQ(reader.corruptLines(), 0u);
+    fs::remove_all(dir);
+}
+
+// ---- Binary (v3) cache format ----
+
+TEST(BinaryCacheFormat, RoundTripsAndLeadsWithJsonVersionHeader)
+{
+    const auto dir = scratchDir("pluto_campaign_bin_test");
+    TinyCache cache(dir, "bin", CacheFormat::Binary);
+    // 1/3 has no finite decimal expansion; raw-bits storage must
+    // still round-trip it exactly.
+    ASSERT_TRUE(cache.append("aaaa", {1.0 / 3.0}).empty());
+    ASSERT_TRUE(cache.append("bbbb", {-0.0}).empty());
+
+    // The header stays an ASCII JSON line even though the records
+    // are binary: that line is what makes a JSONL-only (or older)
+    // build fail loudly instead of recomputing.
+    std::ifstream in(cache.path(), std::ios::binary);
+    std::string first;
+    ASSERT_TRUE(std::getline(in, first));
+    EXPECT_EQ(first, "{\"cacheFormat\":3,\"kind\":\"tiny\","
+                     "\"encoding\":\"binary\"}");
+    static_assert(kBinaryCacheFormat > kCacheFormat,
+                  "binary format must look like the future to "
+                  "builds that predate it");
+
+    TinyCache reader(dir, "bin", CacheFormat::Binary);
+    EXPECT_TRUE(reader.load().empty());
+    EXPECT_EQ(reader.entries(), 2u);
+    EXPECT_EQ(reader.corruptLines(), 0u);
+    EXPECT_EQ(reader.lookup("aaaa")->value, 1.0 / 3.0);
+    EXPECT_TRUE(std::signbit(reader.lookup("bbbb")->value));
+    fs::remove_all(dir);
+}
+
+TEST(BinaryCacheFormat, JsonlReaderFailsLoudlyOnBinaryFile)
+{
+    const auto dir = scratchDir("pluto_campaign_bin_mixed_test");
+    TinyCache writer(dir, "mix", CacheFormat::Binary);
+    ASSERT_TRUE(writer.append("aaaa", {1.0}).empty());
+
+    // The same path opened in (default) jsonl mode must error with
+    // the fix by name — never silently recompute.
+    TinyCache reader(dir, "mix");
+    const std::string err = reader.load();
+    EXPECT_NE(err.find("--cache-format binary"), std::string::npos)
+        << err;
+    EXPECT_EQ(reader.entries(), 0u);
+    fs::remove_all(dir);
+}
+
+TEST(BinaryCacheFormat, BinaryReaderFailsLoudlyOnJsonlFile)
+{
+    const auto dir = scratchDir("pluto_campaign_jsonl_mixed_test");
+    TinyCache writer(dir, "mix");
+    ASSERT_TRUE(writer.append("aaaa", {1.0}).empty());
+
+    TinyCache reader(dir, "mix", CacheFormat::Binary);
+    const std::string err = reader.load();
+    EXPECT_NE(err.find("--cache-format jsonl"), std::string::npos)
+        << err;
+    EXPECT_EQ(reader.entries(), 0u);
+
+    // Future formats stay future even to the binary reader.
+    {
+        std::ofstream out(writer.path(), std::ios::binary);
+        out << "{\"cacheFormat\":99,\"kind\":\"tiny\","
+               "\"encoding\":\"binary2\"}\n";
+    }
+    const std::string ferr = reader.load();
+    EXPECT_NE(ferr.find("cacheFormat 99"), std::string::npos) << ferr;
+    fs::remove_all(dir);
+}
+
+TEST(BinaryCacheFormat, TornTailRecordIsCountedCorrupt)
+{
+    const auto dir = scratchDir("pluto_campaign_bin_torn_test");
+    TinyCache writer(dir, "torn", CacheFormat::Binary);
+    ASSERT_TRUE(writer.append("aaaa", {1.0}).empty());
+    ASSERT_TRUE(writer.append("bbbb", {2.0}).empty());
+
+    // Chop a few bytes off the last record, as an interrupted shard
+    // append would: the intact prefix loads, the tail counts.
+    const auto size = fs::file_size(writer.path());
+    fs::resize_file(writer.path(), size - 3);
+
+    TinyCache reader(dir, "torn", CacheFormat::Binary);
+    EXPECT_TRUE(reader.load().empty());
+    EXPECT_EQ(reader.entries(), 1u);
+    EXPECT_EQ(reader.corruptLines(), 1u);
+    EXPECT_EQ(reader.lookup("aaaa")->value, 1.0);
+    EXPECT_FALSE(reader.lookup("bbbb"));
+    fs::remove_all(dir);
+}
+
+TEST(BinaryCacheFormat, DuplicateHeadersFromRacingCreatorsAreSkipped)
+{
+    // Same race as the JSONL variant: a second creator's header may
+    // land between records; the loader must skip it mid-stream.
+    const auto dir = scratchDir("pluto_campaign_bin_race_test");
+    TinyCache writer(dir, "race", CacheFormat::Binary);
+    ASSERT_TRUE(writer.append("aaaa", {1.0}).empty());
+    {
+        std::ofstream out(writer.path(),
+                          std::ios::binary | std::ios::app);
+        out << "{\"cacheFormat\":3,\"kind\":\"tiny\","
+               "\"encoding\":\"binary\"}\n";
+    }
+    ASSERT_TRUE(writer.append("bbbb", {2.0}).empty());
+
+    TinyCache reader(dir, "race", CacheFormat::Binary);
+    EXPECT_TRUE(reader.load().empty());
+    EXPECT_EQ(reader.entries(), 2u);
+    EXPECT_EQ(reader.corruptLines(), 0u);
+    EXPECT_EQ(reader.lookup("bbbb")->value, 2.0);
+    fs::remove_all(dir);
+}
+
+TEST(BinaryCacheFormat, ModeCodecsRoundTripEveryFieldExactly)
+{
+    const auto dir = scratchDir("pluto_campaign_bin_codec_test");
+
+    sim::CachedRun run;
+    run.elements = 123456789ull;
+    run.timeNs = 1.0 / 3.0;
+    run.energyPj = 2.5e300;
+    run.hostNs = 5e-324; // denormal min
+    run.verified = true;
+    run.wallMs = 0.1;
+    sim::RunCache simc(dir, "scn", CacheFormat::Binary);
+    ASSERT_TRUE(simc.append("k1", run).empty());
+
+    serve::ServiceOutcome svc;
+    svc.requests = 42;
+    svc.batches = 7;
+    svc.meanBatch = 6.0;
+    svc.p999Ms = 1.0 / 7.0;
+    svc.verified = true;
+    svc.tenants.push_back({});
+    svc.tenants.back().tenant = 3;
+    svc.tenants.back().requests = 21;
+    svc.tenants.back().p95Ms = 2.0 / 3.0;
+    serve::ServiceCache servec(dir, "scn", CacheFormat::Binary);
+    ASSERT_TRUE(servec.append("k2", svc).empty());
+
+    sim::RunCache simr(dir, "scn", CacheFormat::Binary);
+    ASSERT_TRUE(simr.load().empty());
+    const auto r = simr.lookup("k1");
+    ASSERT_TRUE(r);
+    EXPECT_EQ(r->elements, run.elements);
+    EXPECT_EQ(r->timeNs, run.timeNs);
+    EXPECT_EQ(r->energyPj, run.energyPj);
+    EXPECT_EQ(r->hostNs, run.hostNs);
+    EXPECT_EQ(r->verified, run.verified);
+    EXPECT_EQ(r->wallMs, run.wallMs);
+
+    serve::ServiceCache server(dir, "scn", CacheFormat::Binary);
+    ASSERT_TRUE(server.load().empty());
+    const auto s = server.lookup("k2");
+    ASSERT_TRUE(s);
+    EXPECT_EQ(s->requests, svc.requests);
+    EXPECT_EQ(s->batches, svc.batches);
+    EXPECT_EQ(s->meanBatch, svc.meanBatch);
+    EXPECT_EQ(s->p999Ms, svc.p999Ms);
+    ASSERT_EQ(s->tenants.size(), 1u);
+    EXPECT_EQ(s->tenants[0].tenant, 3u);
+    EXPECT_EQ(s->tenants[0].requests, 21u);
+    EXPECT_EQ(s->tenants[0].p95Ms, svc.tenants[0].p95Ms);
     fs::remove_all(dir);
 }
 
@@ -348,6 +525,41 @@ TEST(NnCampaign, ShardedCachedRunsEqualColdRunByteForByte)
     const auto serial = runner.run(one);
     EXPECT_EQ(nn::NnMetricsSink::renderCsv(cfg, serial),
               nn::NnMetricsSink::renderCsv(cfg, cold));
+    fs::remove_all(dir);
+}
+
+TEST(NnCampaign, ShardedBinaryCacheRunsEqualColdRunByteForByte)
+{
+    // The binary encoding must inherit the exact sharded+merged ==
+    // cold discipline of the JSONL cache: same grid partition, every
+    // merge cell a hit, byte-identical reports.
+    const auto cfg = nnScenario();
+    const auto dir = scratchDir("pluto_campaign_nn_bin_test");
+    const nn::NnRunner runner(cfg);
+
+    RunOptions opt;
+    opt.threads = 2;
+    opt.deterministic = true;
+    const auto cold = runner.run(opt);
+
+    opt.cacheDir = dir;
+    opt.cacheFormat = CacheFormat::Binary;
+    std::size_t shardRuns = 0;
+    for (u32 i = 0; i < 3; ++i) {
+        opt.shardIndex = i;
+        opt.shardCount = 3;
+        shardRuns += runner.run(opt).runs.size();
+    }
+    EXPECT_EQ(shardRuns, cold.runs.size());
+
+    opt.shardIndex = 0;
+    opt.shardCount = 1;
+    const auto merged = runner.run(opt);
+    EXPECT_EQ(merged.cacheHits, merged.runs.size());
+    EXPECT_EQ(nn::NnMetricsSink::renderCsv(cfg, merged),
+              nn::NnMetricsSink::renderCsv(cfg, cold));
+    EXPECT_EQ(nn::NnMetricsSink::renderJson(cfg, merged),
+              nn::NnMetricsSink::renderJson(cfg, cold));
     fs::remove_all(dir);
 }
 

@@ -13,6 +13,7 @@
 #include "common/arena.hh"
 #include "common/bitvec.hh"
 #include "common/bitvec_bulk.hh"
+#include "common/cpuid.hh"
 #include "common/fixed_point.hh"
 #include "common/random.hh"
 #include "common/stats.hh"
@@ -88,11 +89,23 @@ TEST(BitVec, PackUnpackRoundTrip)
 }
 
 // ---- Bulk kernels: randomized equivalence vs. the scalar
-// ElementView reference across widths, unaligned counts and tails ----
+// ElementView reference across widths, unaligned counts and tails,
+// repeated at every SIMD dispatch tier (the override caps at the
+// machine's capability, so unsupported tiers just re-run a lower
+// path — duplicate coverage, never an illegal instruction) ----
 
-class BulkKernelWidths : public ::testing::TestWithParam<u32>
+class BulkKernelWidths
+    : public ::testing::TestWithParam<std::tuple<u32, simd::Tier>>
 {
   protected:
+    void SetUp() override
+    {
+        simd::overrideTier(std::get<1>(GetParam()));
+    }
+    void TearDown() override { simd::clearTierOverride(); }
+
+    u32 width() const { return std::get<0>(GetParam()); }
+
     /** Counts chosen to hit word boundaries, tails and odd sizes. */
     std::vector<u64>
     counts() const
@@ -103,7 +116,7 @@ class BulkKernelWidths : public ::testing::TestWithParam<u32>
 
 TEST_P(BulkKernelWidths, UnpackMatchesScalar)
 {
-    const u32 width = GetParam();
+    const u32 width = this->width();
     Rng rng(width * 11 + 1);
     for (const u64 n : counts()) {
         const u64 bytes = (n * width + 7) / 8;
@@ -121,7 +134,7 @@ TEST_P(BulkKernelWidths, UnpackMatchesScalar)
 
 TEST_P(BulkKernelWidths, PackMatchesScalar)
 {
-    const u32 width = GetParam();
+    const u32 width = this->width();
     Rng rng(width * 13 + 2);
     for (const u64 n : counts()) {
         std::vector<u64> values(n);
@@ -144,7 +157,7 @@ TEST_P(BulkKernelWidths, PackMatchesScalar)
 
 TEST_P(BulkKernelWidths, GatherMatchesScalar)
 {
-    const u32 width = GetParam();
+    const u32 width = this->width();
     Rng rng(width * 17 + 3);
     // Full LUTs and partial LUTs (bounds-checked byte paths differ).
     const u64 domain = 1ull << std::min<u32>(width, 10);
@@ -172,7 +185,7 @@ TEST_P(BulkKernelWidths, GatherMatchesScalar)
 
 TEST_P(BulkKernelWidths, GatherInPlaceAliasing)
 {
-    const u32 width = GetParam();
+    const u32 width = this->width();
     Rng rng(width * 19 + 4);
     const u64 lut_size = 1ull << std::min<u32>(width, 8);
     std::vector<u64> lut(lut_size);
@@ -193,7 +206,7 @@ TEST_P(BulkKernelWidths, GatherInPlaceAliasing)
 
 TEST_P(BulkKernelWidths, MatchSelectMatchesScalar)
 {
-    const u32 width = GetParam();
+    const u32 width = this->width();
     Rng rng(width * 23 + 5);
     const u64 domain = 1ull << std::min<u32>(width, 10);
     const u64 n = 64; // elements
@@ -220,8 +233,51 @@ TEST_P(BulkKernelWidths, MatchSelectMatchesScalar)
     }
 }
 
-INSTANTIATE_TEST_SUITE_P(AllWidths, BulkKernelWidths,
-                         ::testing::Values(1, 2, 4, 8, 16, 32));
+TEST_P(BulkKernelWidths, BitPlaneMatchesScalarTranspose)
+{
+    // bitPlane feeds the bit-serial baseline's transpose; compare
+    // against direct per-bit extraction at ragged counts.
+    Rng rng(this->width() * 29 + 6);
+    for (const u64 n : counts()) {
+        std::vector<u64> values(n);
+        for (auto &v : values)
+            v = rng.next();
+        std::vector<u8> out((n + 7) / 8, 0xa5);
+        for (const u32 bit : {0u, 1u, 31u, 63u}) {
+            bulk::bitPlane(values, bit, out);
+            for (u64 i = 0; i < n; ++i)
+                EXPECT_EQ((out[i / 8] >> (i % 8)) & 1,
+                          (values[i] >> bit) & 1)
+                    << "n " << n << " bit " << bit << " slot " << i;
+            if (n % 8)
+                EXPECT_EQ(out[n / 8] >> (n % 8), 0)
+                    << "tail bits must be zeroed";
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWidthsAllTiers, BulkKernelWidths,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8, 16, 32),
+                       ::testing::Values(simd::Tier::Scalar,
+                                         simd::Tier::Ssse3,
+                                         simd::Tier::Avx2)));
+
+TEST(SimdDispatch, OverrideOnlyLowersTheTier)
+{
+    // The test hook caps at the detected capability — it can force
+    // scalar on an AVX2 box but never the reverse.
+    const simd::Tier base = simd::tier();
+    simd::overrideTier(simd::Tier::Scalar);
+    EXPECT_EQ(simd::tier(), simd::Tier::Scalar);
+    simd::overrideTier(simd::Tier::Avx2);
+    EXPECT_LE(simd::tier(), base);
+    simd::clearTierOverride();
+    EXPECT_EQ(simd::tier(), base);
+    EXPECT_STREQ(simd::tierName(simd::Tier::Scalar), "scalar");
+    EXPECT_STREQ(simd::tierName(simd::Tier::Ssse3), "ssse3");
+    EXPECT_STREQ(simd::tierName(simd::Tier::Avx2), "avx2");
+}
 
 TEST(BulkKernels, GatherPanicsOnOutOfRangeIndex)
 {
