@@ -19,6 +19,7 @@
 #include <cstdio>
 
 #include "campaign/cli.hh"
+#include "common/emit.hh"
 #include "common/table.hh"
 #include "nn/campaign.hh"
 #include "nn/pluto_qnn.hh"
@@ -148,8 +149,36 @@ runService(const sim::SimConfig &cfg, const CliInvocation &inv)
         report.allVerified(),
         [&](const std::string &suffix,
             std::vector<std::string> &written) {
-            return serve::ServiceMetricsSink::write(
+            std::string err = serve::ServiceMetricsSink::write(
                 cfg, report.runs, report.wallMs, written, suffix);
+            if (!err.empty())
+                return err;
+            // Side-band analysis files: the data is computed (and
+            // cached) unconditionally, the flags only choose whether
+            // these files appear. Sharded runs get the same suffix
+            // as the main outputs.
+            if (!inv.tailReportPath.empty()) {
+                const std::string path =
+                    inv.tailReportPath + suffix;
+                err = writeTextFile(
+                    path, serve::ServiceMetricsSink::renderTailReport(
+                              cfg, report.runs));
+                if (!err.empty())
+                    return err;
+                written.push_back(path);
+            }
+            if (!inv.timeseriesPath.empty()) {
+                const std::string path =
+                    inv.timeseriesPath + suffix;
+                err = writeTextFile(
+                    path,
+                    serve::ServiceMetricsSink::renderTimeseriesCsv(
+                        cfg, report.runs));
+                if (!err.empty())
+                    return err;
+                written.push_back(path);
+            }
+            return std::string();
         });
 }
 
@@ -232,7 +261,9 @@ main(int argc, char **argv)
          "the request-level serving simulator (tail latency, "
          "batching policies)",
          {"reads [service] sections; [workload] entries form the",
-          "request mix (weight/tenant keys)"},
+          "request mix (weight/tenant/slo_ms keys); slo_ms,",
+          "slo_target, tail_quantile and timeseries_ms drive the",
+          "SLO tracking and --tail-report/--timeseries outputs"},
          [](const sim::SimConfig &cfg) {
              char buf[96];
              std::snprintf(buf, sizeof(buf),

@@ -145,10 +145,18 @@ if [ "$SKIP_CAMPAIGNS" -eq 0 ]; then
     examples/scenarios/sweep_designs.ini \
     --out "$workdir/sweep" --deterministic --quiet \
     --metrics-out "$workdir/sweep_designs_metrics.json"
+  # --tail-report postdates some checkouts history replays onto;
+  # probe the help text before asking for it.
+  tail_flags=()
+  if "$BUILD_DIR/pluto_sim" --help 2>/dev/null |
+     grep -q -- --tail-report; then
+    tail_flags=(--tail-report "$workdir/service_saturation_tail.json")
+  fi
   wall service_saturation "$BUILD_DIR/pluto_sim" --service \
     examples/scenarios/service_saturation.ini \
     --out "$workdir/serve" --deterministic --quiet \
-    --metrics-out "$workdir/service_saturation_metrics.json"
+    --metrics-out "$workdir/service_saturation_metrics.json" \
+    "${tail_flags[@]}"
 fi
 
 # ---- Emit report + history line, then gate against the series ----
@@ -176,7 +184,8 @@ with open(os.path.join(workdir, "campaigns.txt")) as f:
         mpath = os.path.join(workdir, name + "_metrics.json")
         if os.path.exists(mpath):
             with open(mpath) as mf:
-                tree = json.load(mf)["counters"].get("campaign", {})
+                counters = json.load(mf)["counters"]
+            tree = counters.get("campaign", {})
             cache = tree.get("cache", {})
             hits = cache.get("hits", 0.0)
             misses = cache.get("misses", 0.0)
@@ -188,6 +197,26 @@ with open(os.path.join(workdir, "campaigns.txt")) as f:
                     k: v for k, v in sorted(phase.items())
                     if isinstance(v, (int, float))
                 }
+            slo = counters.get("serve", {}).get("slo", {})
+            good = slo.get("good", 0.0)
+            bad = slo.get("violations", 0.0)
+            if good + bad > 0:
+                entry["slo_attainment"] = good / (good + bad)
+        # Tail-blame rollup (--tail-report builds only): which phase
+        # dominates each variant's p99 tail, and the lut_reload share
+        # that separates gsa from the residency designs.
+        tpath = os.path.join(workdir, name + "_tail.json")
+        if os.path.exists(tpath):
+            with open(tpath) as tf:
+                tail = json.load(tf)
+            entry["tail_blame"] = {
+                v["variant"]: {
+                    "dominant_phase": v["dominant_phase"],
+                    "lut_reload_share": v["share"]["lut_reload"],
+                    "queue_wait_share": v["share"]["queue_wait"],
+                }
+                for v in tail.get("variants", [])
+            }
         campaigns[name] = entry
 
 # cache_replay,<format>,<entries>,<load_ms>,<bytes>
@@ -248,6 +277,22 @@ if history:
         entry["cache_replay"] = {
             k: v["load_ms"] for k, v in replay.items()
         }
+    # Serving-quality trajectory: SLO attainment and the p99 tail's
+    # lut_reload blame share per variant (absent on older builds).
+    serve = {}
+    for name, c in campaigns.items():
+        row = {}
+        if "slo_attainment" in c:
+            row["slo_attainment"] = c["slo_attainment"]
+        if "tail_blame" in c:
+            row["tail_lut_reload"] = {
+                v: b["lut_reload_share"]
+                for v, b in c["tail_blame"].items()
+            }
+        if row:
+            serve[name] = row
+    if serve:
+        entry["serve"] = serve
     kept = [e for e in prior if e.get("sha") != sha]
     with open(history, "w") as f:
         for e in kept + [entry]:

@@ -49,6 +49,12 @@ printHelp(const std::vector<Mode> &modes)
         "                  virtual-time tracks; open in Perfetto)\n"
         "  --metrics-out FILE  write the hierarchical counter tree\n"
         "                  as JSON after the campaign\n"
+        "  --tail-report FILE  service mode: write the tail-blame\n"
+        "                  JSON (per-tenant/class phase breakdown\n"
+        "                  above the [service] tail_quantile)\n"
+        "  --timeseries FILE  service mode: write the virtual-time\n"
+        "                  series CSV (one row per timeseries_ms\n"
+        "                  window per cell)\n"
         "  --log-level L   stderr threshold: info, warn (default),\n"
         "                  error (alias: quiet)\n"
         "  --list          list registered workload names and exit\n"
@@ -208,6 +214,10 @@ cliMain(int argc, char **argv, const std::vector<Mode> &modes)
             inv.tracePath = next();
         } else if (arg == "--metrics-out") {
             inv.metricsPath = next();
+        } else if (arg == "--tail-report") {
+            inv.tailReportPath = next();
+        } else if (arg == "--timeseries") {
+            inv.timeseriesPath = next();
         } else if (arg == "--log-level") {
             const std::string level = next();
             LogLevel threshold;

@@ -43,6 +43,10 @@ struct CliInvocation
     std::string tracePath;
     /** --metrics-out: hierarchical counter JSON path (empty = off). */
     std::string metricsPath;
+    /** --tail-report: tail-blame JSON path (service mode only). */
+    std::string tailReportPath;
+    /** --timeseries: virtual-time series CSV path (service mode). */
+    std::string timeseriesPath;
 };
 
 /** One registered campaign mode. */

@@ -245,6 +245,9 @@ NnRunner::run(const campaign::RunOptions &opt,
                         static_cast<double>(spec.images));
                 sh->add("nn/macs", static_cast<double>(
                                        net.totalMacs() * spec.images));
+                if (spec.images > 0)
+                    sh->hist("nn/inference_ns")
+                        .add(st.timeNs / spec.images);
                 sh->absorb("device", st.counters);
             }
 

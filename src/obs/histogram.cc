@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Exactly mergeable log-bucketed histogram (see histogram.hh).
+ */
+
+#include "obs/histogram.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/digest.hh"
+#include "common/emit.hh"
+
+namespace pluto::obs
+{
+
+namespace
+{
+
+constexpr i32 kSubCount = 1 << Histogram::kSubBits;
+
+} // namespace
+
+i32
+Histogram::bucketOf(double v)
+{
+    if (!(v > 0.0))
+        return kUnderflowBucket; // <= 0, -inf and NaN
+    u64 bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    const i32 exp = static_cast<i32>((bits >> 52) & 0x7ff);
+    if (exp == 0)
+        return kUnderflowBucket; // subnormal: below any latency scale
+    const i32 sub = static_cast<i32>((bits >> (52 - kSubBits)) &
+                                     (kSubCount - 1));
+    return (exp << kSubBits) | sub; // kOverflowBucket when exp=0x7ff
+}
+
+double
+Histogram::bucketLo(i32 idx)
+{
+    const i32 exp = idx >> kSubBits;
+    const i32 sub = idx & (kSubCount - 1);
+    return std::ldexp(1.0 + static_cast<double>(sub) / kSubCount,
+                      exp - 1023);
+}
+
+double
+Histogram::bucketHi(i32 idx)
+{
+    const i32 exp = idx >> kSubBits;
+    const i32 sub = idx & (kSubCount - 1);
+    return std::ldexp(1.0 + static_cast<double>(sub + 1) / kSubCount,
+                      exp - 1023);
+}
+
+void
+Histogram::addCount(double v, u64 n)
+{
+    if (n == 0)
+        return;
+    buckets_[bucketOf(v)] += n;
+    if (count_ == 0) {
+        min_ = v;
+        max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    count_ += n;
+    sum_ += v * static_cast<double>(n);
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    if (other.count_ == 0)
+        return;
+    for (const auto &[idx, n] : other.buckets_)
+        buckets_[idx] += n;
+    if (count_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+}
+
+void
+Histogram::clear()
+{
+    buckets_.clear();
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (count_ == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const u64 rank = std::max<u64>(
+        1, static_cast<u64>(
+               std::ceil(q * static_cast<double>(count_))));
+    u64 seen = 0;
+    for (const auto &[idx, n] : buckets_) {
+        seen += n;
+        if (seen < rank)
+            continue;
+        double rep;
+        if (idx == kUnderflowBucket)
+            rep = std::min(min_, 0.0);
+        else if (idx >= kOverflowBucket)
+            rep = max_;
+        else
+            rep = 0.5 * (bucketLo(idx) + bucketHi(idx));
+        return std::clamp(rep, min_, max_);
+    }
+    return max_; // unreachable: counts always sum to count_
+}
+
+void
+Histogram::restoreDigest(double sum, double mn, double mx)
+{
+    sum_ = sum;
+    min_ = mn;
+    max_ = mx;
+}
+
+void
+Histogram::restoreBucket(i32 idx, u64 n)
+{
+    buckets_[idx] += n;
+    count_ += n;
+}
+
+std::string
+Histogram::encodeJson() const
+{
+    std::string out = "{\"count\":" + std::to_string(count_);
+    out += ",\"sum\":" + fmtDoubleExact(sum());
+    out += ",\"min\":" + fmtDoubleExact(min());
+    out += ",\"max\":" + fmtDoubleExact(max());
+    out += ",\"buckets\":[";
+    bool first = true;
+    for (const auto &[idx, n] : buckets_) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "[" + std::to_string(idx) + "," + std::to_string(n) +
+               "]";
+    }
+    out += "]}";
+    return out;
+}
+
+bool
+Histogram::decodeJson(const JsonValue &v)
+{
+    clear();
+    const JsonValue *count = v.find("count");
+    const JsonValue *sum = v.find("sum");
+    const JsonValue *mn = v.find("min");
+    const JsonValue *mx = v.find("max");
+    const JsonValue *buckets = v.find("buckets");
+    if (!count || !count->isNumber() || !sum || !sum->isNumber() ||
+        !mn || !mn->isNumber() || !mx || !mx->isNumber() ||
+        !buckets || !buckets->isArray())
+        return false;
+    for (std::size_t i = 0; i < buckets->size(); ++i) {
+        const JsonValue &b = buckets->at(i);
+        if (!b.isArray() || b.size() != 2 || !b.at(0).isNumber() ||
+            !b.at(1).isNumber())
+            return false;
+        restoreBucket(static_cast<i32>(b.at(0).asNumber()),
+                      static_cast<u64>(b.at(1).asNumber()));
+    }
+    if (count_ != static_cast<u64>(count->asNumber()))
+        return false;
+    if (count_ > 0)
+        restoreDigest(sum->asNumber(), mn->asNumber(),
+                      mx->asNumber());
+    return true;
+}
+
+} // namespace pluto::obs

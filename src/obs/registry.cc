@@ -127,6 +127,8 @@ CounterShard::merge(const CounterShard &other)
         counters_[path] += value;
     for (const auto &[path, value] : other.gauges_)
         gaugeMax(path, value);
+    for (const auto &[path, h] : other.hists_)
+        hists_[path].merge(h);
 }
 
 void
@@ -134,6 +136,7 @@ CounterShard::clear()
 {
     counters_.clear();
     gauges_.clear();
+    hists_.clear();
 }
 
 Registry &
@@ -218,6 +221,27 @@ Registry::renderJson(
            ",\n";
     out += "  \"counters\": ";
     render(out, tree, 1);
+    // Histograms render flat (path -> digest): the quantiles are the
+    // payload, not a nesting hierarchy, and the full bucket maps stay
+    // in the campaign caches where exact merging happens.
+    out += ",\n  \"distinct_histograms\": " +
+           std::to_string(merged.hists().size());
+    out += ",\n  \"histograms\": {";
+    bool first = true;
+    for (const auto &[path, h] : merged.hists()) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    \"" + jsonEscape(path) + "\": {";
+        out += "\"count\": " + std::to_string(h.count());
+        out += ", \"mean\": " + fmtDoubleExact(h.mean());
+        out += ", \"p50\": " + fmtDoubleExact(h.quantile(0.50));
+        out += ", \"p95\": " + fmtDoubleExact(h.quantile(0.95));
+        out += ", \"p99\": " + fmtDoubleExact(h.quantile(0.99));
+        out += ", \"p999\": " + fmtDoubleExact(h.quantile(0.999));
+        out += ", \"max\": " + fmtDoubleExact(h.max());
+        out += "}";
+    }
+    out += first ? "}" : "\n  }";
     out += "\n}\n";
     return out;
 }

@@ -36,6 +36,7 @@
 
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "obs/histogram.hh"
 
 namespace pluto::obs
 {
@@ -57,6 +58,16 @@ class CounterShard
     void gaugeMax(const std::string &path, double v);
 
     /**
+     * @return the distribution at `path` (creating it empty). Unlike
+     * counters these fold *exactly* across shards — bucket counts
+     * sum — so merged quantiles equal the cold single-run ones.
+     */
+    Histogram &hist(const std::string &path)
+    {
+        return hists_[path];
+    }
+
+    /**
      * Fold a flat StatSet into this shard under `prefix`, translating
      * the legacy dotted names into path segments ("pluto.lut_reload"
      * under prefix "device" becomes "device/pluto/lut_reload"). This
@@ -71,10 +82,11 @@ class CounterShard
     /** Reset to empty. */
     void clear();
 
-    /** @return true when no counter or gauge has been recorded. */
+    /** @return true when nothing has been recorded. */
     bool empty() const
     {
-        return counters_.empty() && gauges_.empty();
+        return counters_.empty() && gauges_.empty() &&
+               hists_.empty();
     }
 
     /** @return sum-merged counters, path-ascending. */
@@ -89,9 +101,16 @@ class CounterShard
         return gauges_;
     }
 
+    /** @return exactly merged histograms, path-ascending. */
+    const std::map<std::string, Histogram> &hists() const
+    {
+        return hists_;
+    }
+
   private:
     std::map<std::string, double> counters_;
     std::map<std::string, double> gauges_;
+    std::map<std::string, Histogram> hists_;
 };
 
 /** The process-wide registry (see file comment for the phases). */

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Fixed-interval virtual-time windows (see timeseries.hh).
+ */
+
+#include "obs/timeseries.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace pluto::obs
+{
+
+TimeSeries::TimeSeries(double intervalNs, std::vector<SeriesCol> cols)
+    : intervalNs_(intervalNs), cols_(std::move(cols))
+{
+    PLUTO_ASSERT(intervalNs_ > 0.0);
+    slot_.reserve(cols_.size());
+    std::size_t vals = 0;
+    for (const auto &c : cols_)
+        slot_.push_back(c.agg == SeriesAgg::Hist ? histCols_++
+                                                 : vals++);
+}
+
+TimeSeries::Window &
+TimeSeries::at(double tNs)
+{
+    const std::size_t valCols = cols_.size() - histCols_;
+    std::size_t idx = 0;
+    if (tNs > 0.0)
+        idx = static_cast<std::size_t>(tNs / intervalNs_);
+    idx = std::min(idx, kMaxWindows - 1);
+    while (wins_.size() <= idx) {
+        Window w;
+        w.vals.assign(valCols, 0.0);
+        w.hists.resize(histCols_);
+        wins_.push_back(std::move(w));
+    }
+    return wins_[idx];
+}
+
+void
+TimeSeries::record(double tNs, std::size_t col, double v)
+{
+    PLUTO_ASSERT(col < cols_.size());
+    Window &w = at(tNs);
+    switch (cols_[col].agg) {
+      case SeriesAgg::Sum:
+        w.vals[slot_[col]] += v;
+        break;
+      case SeriesAgg::Max:
+        w.vals[slot_[col]] = std::max(w.vals[slot_[col]], v);
+        break;
+      case SeriesAgg::Hist:
+        w.hists[slot_[col]].add(v);
+        break;
+    }
+}
+
+void
+TimeSeries::recordSpan(double t0, double t1, std::size_t col,
+                       double v)
+{
+    PLUTO_ASSERT(col < cols_.size() &&
+                 cols_[col].agg == SeriesAgg::Sum);
+    if (!(t1 > t0) || v == 0.0)
+        return;
+    const double span = t1 - t0;
+    double cur = t0;
+    while (cur < t1) {
+        const std::size_t idx = std::min(
+            cur > 0.0
+                ? static_cast<std::size_t>(cur / intervalNs_)
+                : 0,
+            kMaxWindows - 1);
+        double end = static_cast<double>(idx + 1) * intervalNs_;
+        if (idx == kMaxWindows - 1 || end > t1)
+            end = t1;
+        at(cur).vals[slot_[col]] += v * ((end - cur) / span);
+        cur = end;
+    }
+}
+
+void
+TimeSeries::merge(const TimeSeries &other)
+{
+    PLUTO_ASSERT(cols_.size() == other.cols_.size() &&
+                 intervalNs_ == other.intervalNs_);
+    if (other.wins_.empty())
+        return;
+    // Materialize up to the other's last window, then fold.
+    at((static_cast<double>(other.wins_.size()) - 0.5) *
+       intervalNs_);
+    for (std::size_t i = 0; i < other.wins_.size(); ++i) {
+        Window &dst = wins_[i];
+        const Window &src = other.wins_[i];
+        for (std::size_t c = 0; c < cols_.size(); ++c) {
+            PLUTO_ASSERT(cols_[c].agg == other.cols_[c].agg);
+            switch (cols_[c].agg) {
+              case SeriesAgg::Sum:
+                dst.vals[slot_[c]] += src.vals[slot_[c]];
+                break;
+              case SeriesAgg::Max:
+                dst.vals[slot_[c]] = std::max(dst.vals[slot_[c]],
+                                              src.vals[slot_[c]]);
+                break;
+              case SeriesAgg::Hist:
+                dst.hists[slot_[c]].merge(src.hists[slot_[c]]);
+                break;
+            }
+        }
+    }
+}
+
+double
+TimeSeries::value(std::size_t win, std::size_t col) const
+{
+    PLUTO_ASSERT(win < wins_.size() && col < cols_.size() &&
+                 cols_[col].agg != SeriesAgg::Hist);
+    return wins_[win].vals[slot_[col]];
+}
+
+const Histogram &
+TimeSeries::hist(std::size_t win, std::size_t col) const
+{
+    PLUTO_ASSERT(win < wins_.size() && col < cols_.size() &&
+                 cols_[col].agg == SeriesAgg::Hist);
+    return wins_[win].hists[slot_[col]];
+}
+
+} // namespace pluto::obs

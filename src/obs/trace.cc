@@ -10,6 +10,8 @@
 
 #include "common/digest.hh"
 #include "common/emit.hh"
+#include "common/logging.hh"
+#include "obs/registry.hh"
 
 namespace pluto::obs
 {
@@ -93,7 +95,16 @@ struct Tracer::Buffer
     void push(Event ev)
     {
         if (events.size() >= kMaxEventsPerBuffer) {
+            // The cap is a first-class signal, not a silent detail:
+            // count the loss where the registry can export it and
+            // tell the user once, when it starts.
             ++dropped;
+            if (auto *sh = shard())
+                sh->inc("obs/trace/dropped_events");
+            warnOnce("trace: a per-thread event buffer hit its %zu-"
+                     "event cap; further events on it are dropped "
+                     "(see obs/trace/dropped_events)",
+                     kMaxEventsPerBuffer);
             return;
         }
         events.push_back(std::move(ev));

@@ -31,6 +31,7 @@ buildMix(const sim::SimConfig &cfg, const runtime::DeviceConfig &dev)
         c.seed = w.seed;
         c.tenant = w.tenant;
         c.weight = w.weight;
+        c.sloMs = w.sloMs;
         mix.push_back(std::move(c));
     }
     return mix;

@@ -46,6 +46,8 @@ struct RequestClass
     u32 tenant = 0;
     /** Relative weight in the mix draw. */
     double weight = 1.0;
+    /** Per-class SLO override, ms (0 = the service-level SLO). */
+    double sloMs = 0.0;
 };
 
 /** One in-flight service request. */

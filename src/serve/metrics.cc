@@ -6,14 +6,38 @@
 #include "serve/metrics.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/emit.hh"
+#include "common/logging.hh"
 
 namespace pluto::serve
 {
 
 namespace
 {
+
+/** Column slots of the internal TimeSeries (declaration order). */
+enum SeriesColId : std::size_t
+{
+    kColArrivals = 0,
+    kColCompletions,
+    kColQueueDepth,
+    kColInflight,
+    kColBusyNs,
+    kColLatencyMs,
+};
+
+std::vector<obs::SeriesCol>
+seriesSchema()
+{
+    return {{"arrivals", obs::SeriesAgg::Sum},
+            {"completions", obs::SeriesAgg::Sum},
+            {"queue_depth", obs::SeriesAgg::Max},
+            {"inflight", obs::SeriesAgg::Max},
+            {"busy_ns", obs::SeriesAgg::Sum},
+            {"latency_ms", obs::SeriesAgg::Hist}};
+}
 
 void
 setLatency(JsonValue &row, const char *prefix, double mean,
@@ -28,29 +52,151 @@ setLatency(JsonValue &row, const char *prefix, double mean,
     row.set(std::string(prefix) + "max_ms", max);
 }
 
-} // namespace
-
 void
-ServiceMetrics::onComplete(u32 tenant, TimeNs arriveNs,
-                           TimeNs finishNs)
+setPhases(JsonValue &row, const double (&phaseMs)[kPhaseCount])
 {
-    const double ms = (finishNs - arriveNs) * 1e-6;
-    latencyMs_.add(ms);
-    tenantMs_[tenant].add(ms);
-    lastFinishNs_ = std::max(lastFinishNs_, finishNs);
+    JsonValue &ph = row.set("phase_ms", JsonValue::object());
+    for (u32 i = 0; i < kPhaseCount; ++i)
+        ph.set(phaseName(i), phaseMs[i]);
 }
 
 void
-ServiceMetrics::onBatch(u32 size)
+setSlo(JsonValue &row, double sloMs, double target, u64 good,
+       u64 violations, double attainment, double burn)
+{
+    JsonValue &slo = row.set("slo", JsonValue::object());
+    slo.set("slo_ms", sloMs);
+    slo.set("target", target);
+    slo.set("good", static_cast<unsigned long long>(good));
+    slo.set("violations",
+            static_cast<unsigned long long>(violations));
+    slo.set("attainment", attainment);
+    slo.set("burn_rate", burn);
+}
+
+/** attainment over tracked requests; 0 when nothing was tracked. */
+double
+attainmentOf(u64 good, u64 violations)
+{
+    const u64 tracked = good + violations;
+    return tracked ? static_cast<double>(good) /
+                         static_cast<double>(tracked)
+                   : 0.0;
+}
+
+/** Error-budget burn: 1.0 = exactly at target, >1 = burning. */
+double
+burnOf(u64 good, u64 violations, double target)
+{
+    if (good + violations == 0 || !(target < 1.0))
+        return 0.0;
+    return (1.0 - attainmentOf(good, violations)) / (1.0 - target);
+}
+
+} // namespace
+
+const char *
+phaseName(u32 phase)
+{
+    switch (static_cast<Phase>(phase)) {
+      case Phase::QueueWait:
+        return "queue_wait";
+      case Phase::BatchWait:
+        return "batch_wait";
+      case Phase::LutReload:
+        return "lut_reload";
+      case Phase::TfawStall:
+        return "tfaw_stall";
+      case Phase::Exec:
+        return "exec";
+    }
+    return "unknown";
+}
+
+u32
+TailGroup::dominantPhase() const
+{
+    u32 best = 0;
+    for (u32 i = 1; i < kPhaseCount; ++i)
+        if (phaseMs[i] > phaseMs[best])
+            best = i;
+    return best;
+}
+
+MetricsConfig
+MetricsConfig::from(const sim::ServiceSpec &spec,
+                    const std::vector<RequestClass> &mix)
+{
+    MetricsConfig c;
+    c.sloMs = spec.sloMs;
+    c.sloTarget = spec.sloTarget;
+    c.tailQuantile = spec.tailQuantile;
+    c.seriesIntervalMs = spec.timeseriesMs;
+    c.classSloMs.reserve(mix.size());
+    c.classNames.reserve(mix.size());
+    for (const auto &m : mix) {
+        c.classSloMs.push_back(m.sloMs > 0.0 ? m.sloMs : spec.sloMs);
+        c.classNames.push_back(m.workload);
+    }
+    return c;
+}
+
+ServiceMetrics::ServiceMetrics(MetricsConfig cfg)
+    : cfg_(std::move(cfg)),
+      series_(std::max(cfg_.seriesIntervalMs, 1e-6) * 1e6,
+              seriesSchema())
+{
+}
+
+void
+ServiceMetrics::onArrival(TimeNs at)
+{
+    series_.record(at, kColArrivals, 1.0);
+}
+
+void
+ServiceMetrics::onQueueDepth(TimeNs at, u64 depth)
+{
+    queueDepth_.add(static_cast<double>(depth));
+    series_.record(at, kColQueueDepth,
+                   static_cast<double>(depth));
+}
+
+void
+ServiceMetrics::onBatch(TimeNs at, u32 size, u32 busyDevices,
+                        TimeNs serviceNs)
 {
     ++batches_;
     batchedRequests_ += size;
+    series_.record(at, kColInflight,
+                   static_cast<double>(busyDevices));
+    series_.recordSpan(at, at + serviceNs, kColBusyNs, serviceNs);
 }
 
 void
-ServiceMetrics::onQueueDepth(u64 depth)
+ServiceMetrics::onComplete(const Request &r, TimeNs finishNs,
+                           const PhaseBreakdownNs &ph)
 {
-    queueDepth_.add(static_cast<double>(depth));
+    const double ms = (finishNs - r.arriveNs) * 1e-6;
+    latencyMs_.add(ms);
+    tenantMs_[r.tenant].add(ms);
+    latHist_.add(ms);
+    tenantHist_[r.tenant].add(ms);
+
+    Sample s;
+    s.tenant = r.tenant;
+    s.cls = r.cls;
+    s.latMs = ms;
+    for (u32 i = 0; i < kPhaseCount; ++i)
+        s.phaseMs[i] = ph.ns[i] * 1e-6;
+    s.sloMs = r.cls < cfg_.classSloMs.size()
+                  ? cfg_.classSloMs[r.cls]
+                  : cfg_.sloMs;
+    samples_.push_back(s);
+
+    series_.record(finishNs, kColCompletions, 1.0);
+    series_.record(finishNs, kColLatencyMs, ms);
+    lastFinishNs_ = std::max(lastFinishNs_, finishNs);
 }
 
 ServiceOutcome
@@ -85,17 +231,125 @@ ServiceMetrics::finish(u32 devices, TimeNs busyNs, double energyPj,
         out.requests ? energyPj / static_cast<double>(out.requests)
                      : 0.0;
     out.verified = verified;
+    out.latHist = latHist_;
+    out.sloMs = cfg_.sloMs;
+    out.sloTarget = cfg_.sloTarget;
+    out.tailQuantile = cfg_.tailQuantile;
+    out.seriesIntervalMs = cfg_.seriesIntervalMs;
+
+    // ---- Phase sums + SLO counting (one pass over the samples) ----
+    struct TenantScratch
+    {
+        double phaseMs[kPhaseCount] = {};
+        double sloMs = 0.0;
+        u64 sloGood = 0;
+        u64 sloViolations = 0;
+    };
+    std::map<u32, TenantScratch> scratch;
+    for (const auto &s : samples_) {
+        TenantScratch &t = scratch[s.tenant];
+        for (u32 i = 0; i < kPhaseCount; ++i) {
+            out.phaseMs[i] += s.phaseMs[i];
+            t.phaseMs[i] += s.phaseMs[i];
+        }
+        if (s.sloMs > 0.0) {
+            // The tightest SLO among a tenant's classes is the one
+            // reported: mixed-SLO tenants show the strictest bound.
+            t.sloMs = t.sloMs > 0.0 ? std::min(t.sloMs, s.sloMs)
+                                    : s.sloMs;
+            const bool good = s.latMs <= s.sloMs;
+            t.sloGood += good;
+            t.sloViolations += !good;
+            out.sloGood += good;
+            out.sloViolations += !good;
+        }
+    }
+    out.sloAttainment = attainmentOf(out.sloGood, out.sloViolations);
+    out.sloBurnRate =
+        burnOf(out.sloGood, out.sloViolations, cfg_.sloTarget);
+
+    // ---- Tail blame: exact nearest-rank threshold on the samples,
+    //      then (tenant, class) aggregation of everything at/above it.
+    if (!samples_.empty()) {
+        std::vector<double> lat;
+        lat.reserve(samples_.size());
+        for (const auto &s : samples_)
+            lat.push_back(s.latMs);
+        std::sort(lat.begin(), lat.end());
+        const u64 n = lat.size();
+        const u64 rank = std::max<u64>(
+            1, static_cast<u64>(
+                   std::ceil(cfg_.tailQuantile *
+                             static_cast<double>(n))));
+        out.tailThresholdMs = lat[rank - 1];
+        std::map<std::pair<u32, u32>, TailGroup> groups;
+        for (const auto &s : samples_) {
+            if (s.latMs < out.tailThresholdMs)
+                continue;
+            ++out.tailRequests;
+            TailGroup &g = groups[{s.tenant, s.cls}];
+            g.tenant = s.tenant;
+            g.cls = s.cls;
+            if (g.workload.empty() &&
+                s.cls < cfg_.classNames.size())
+                g.workload = cfg_.classNames[s.cls];
+            ++g.requests;
+            g.meanMs += s.latMs;
+            for (u32 i = 0; i < kPhaseCount; ++i)
+                g.phaseMs[i] += s.phaseMs[i];
+        }
+        for (auto &[key, g] : groups) {
+            g.meanMs /= static_cast<double>(g.requests);
+            out.tail.push_back(std::move(g));
+        }
+    }
+
+    // ---- Per-tenant digests: histogram quantiles, P² cross-check.
     for (const auto &[tenant, s] : tenantMs_) {
         TenantSummary t;
         t.tenant = tenant;
         t.requests = s.count();
         t.meanMs = s.mean();
-        t.p50Ms = s.p50();
-        t.p95Ms = s.p95();
-        t.p99Ms = s.p99();
-        t.p999Ms = s.p999();
-        t.maxMs = s.max();
+        const obs::Histogram &h = tenantHist_.at(tenant);
+        t.p50Ms = h.quantile(0.50);
+        t.p95Ms = h.quantile(0.95);
+        t.p99Ms = h.quantile(0.99);
+        t.p999Ms = h.quantile(0.999);
+        t.maxMs = h.max();
+        t.p99P2Ms = s.p99();
+        t.p999P2Ms = s.p999();
+        const auto it = scratch.find(tenant);
+        if (it != scratch.end()) {
+            for (u32 i = 0; i < kPhaseCount; ++i)
+                t.phaseMs[i] = it->second.phaseMs[i];
+            t.sloMs = it->second.sloMs;
+            t.sloGood = it->second.sloGood;
+            t.sloViolations = it->second.sloViolations;
+            t.sloAttainment =
+                attainmentOf(t.sloGood, t.sloViolations);
+            t.sloBurnRate =
+                burnOf(t.sloGood, t.sloViolations, cfg_.sloTarget);
+        }
         out.tenants.push_back(t);
+    }
+
+    // ---- Virtual-time series: flatten the window store.
+    out.series.reserve(series_.windows());
+    for (std::size_t w = 0; w < series_.windows(); ++w) {
+        SeriesWindow win;
+        win.arrivals = static_cast<u64>(
+            std::llround(series_.value(w, kColArrivals)));
+        win.completions = static_cast<u64>(
+            std::llround(series_.value(w, kColCompletions)));
+        win.maxQueueDepth = series_.value(w, kColQueueDepth);
+        win.maxInFlight = series_.value(w, kColInflight);
+        win.busyNs = series_.value(w, kColBusyNs);
+        const obs::Histogram &h = series_.hist(w, kColLatencyMs);
+        if (!h.empty()) {
+            win.p50Ms = h.quantile(0.50);
+            win.p99Ms = h.quantile(0.99);
+        }
+        out.series.push_back(win);
     }
     return out;
 }
@@ -103,14 +357,18 @@ ServiceMetrics::finish(u32 devices, TimeNs busyNs, double energyPj,
 std::vector<std::string>
 ServiceMetricsSink::csvColumns()
 {
-    return {"scenario",       "variant",          "service",
-            "policy",         "mode",             "devices",
-            "rate_rps",       "clients",          "tenant",
-            "requests",       "batches",          "mean_batch",
-            "throughput_rps", "mean_ms",          "p50_ms",
-            "p95_ms",         "p99_ms",           "p999_ms",
-            "max_ms",         "mean_queue_depth", "max_queue_depth",
-            "utilization",    "pj_per_request",   "makespan_ms",
+    return {"scenario",        "variant",          "service",
+            "policy",          "mode",             "devices",
+            "rate_rps",        "clients",          "tenant",
+            "requests",        "batches",          "mean_batch",
+            "throughput_rps",  "mean_ms",          "p50_ms",
+            "p95_ms",          "p99_ms",           "p999_ms",
+            "max_ms",          "p99_p2_ms",        "p999_p2_ms",
+            "queue_wait_ms",   "batch_wait_ms",    "lut_reload_ms",
+            "tfaw_stall_ms",   "exec_ms",          "slo_ms",
+            "slo_good",        "slo_violations",   "slo_attainment",
+            "slo_burn_rate",   "mean_queue_depth", "max_queue_depth",
+            "utilization",     "pj_per_request",   "makespan_ms",
             "verified"};
 }
 
@@ -119,6 +377,17 @@ ServiceMetricsSink::renderCsv(const sim::SimConfig &cfg,
                               const std::vector<ServiceRunRecord> &runs)
 {
     CsvWriter csv(csvColumns());
+    // Phase columns are per-request means so rows at different
+    // request counts stay comparable.
+    const auto phaseCells = [](const double (&sums)[kPhaseCount],
+                               u64 requests,
+                               std::vector<std::string> &row) {
+        for (u32 i = 0; i < kPhaseCount; ++i)
+            row.push_back(fmtNum(
+                "%.6f", requests ? sums[i] /
+                                       static_cast<double>(requests)
+                                 : 0.0));
+    };
     for (const auto &r : runs) {
         const auto common = [&](const std::string &tenant) {
             return std::vector<std::string>{
@@ -144,6 +413,17 @@ ServiceMetricsSink::renderCsv(const sim::SimConfig &cfg,
                     fmtNum("%.6f", r.out.p99Ms),
                     fmtNum("%.6f", r.out.p999Ms),
                     fmtNum("%.6f", r.out.maxMs),
+                    // The overall digest is the P² stream itself, so
+                    // the cross-check columns repeat it.
+                    fmtNum("%.6f", r.out.p99Ms),
+                    fmtNum("%.6f", r.out.p999Ms)});
+        phaseCells(r.out.phaseMs, r.out.requests, row);
+        row.insert(row.end(),
+                   {fmtNum("%.6f", r.out.sloMs),
+                    fmtU64(r.out.sloGood),
+                    fmtU64(r.out.sloViolations),
+                    fmtNum("%.6f", r.out.sloAttainment),
+                    fmtNum("%.6f", r.out.sloBurnRate),
                     fmtNum("%.4f", r.out.meanQueueDepth),
                     fmtNum("%.4f", r.out.maxQueueDepth),
                     fmtNum("%.6f", r.out.utilization),
@@ -169,8 +449,17 @@ ServiceMetricsSink::renderCsv(const sim::SimConfig &cfg,
                          fmtNum("%.6f", t.p95Ms),
                          fmtNum("%.6f", t.p99Ms),
                          fmtNum("%.6f", t.p999Ms),
-                         fmtNum("%.6f", t.maxMs), "", "", "", "", "",
-                         r.out.verified ? "yes" : "no"});
+                         fmtNum("%.6f", t.maxMs),
+                         fmtNum("%.6f", t.p99P2Ms),
+                         fmtNum("%.6f", t.p999P2Ms)});
+            phaseCells(t.phaseMs, t.requests, trow);
+            trow.insert(trow.end(),
+                        {fmtNum("%.6f", t.sloMs),
+                         fmtU64(t.sloGood),
+                         fmtU64(t.sloViolations),
+                         fmtNum("%.6f", t.sloAttainment),
+                         fmtNum("%.6f", t.sloBurnRate), "", "", "",
+                         "", "", r.out.verified ? "yes" : "no"});
             csv.addRow(trow);
         }
     }
@@ -219,6 +508,15 @@ ServiceMetricsSink::renderJson(const sim::SimConfig &cfg,
         row.set("utilization", r.out.utilization);
         row.set("pj_per_request", r.out.pjPerRequest);
         row.set("verified", r.out.verified);
+        setPhases(row, r.out.phaseMs);
+        setSlo(row, r.out.sloMs, r.out.sloTarget, r.out.sloGood,
+               r.out.sloViolations, r.out.sloAttainment,
+               r.out.sloBurnRate);
+        JsonValue &tail = row.set("tail", JsonValue::object());
+        tail.set("quantile", r.out.tailQuantile);
+        tail.set("threshold_ms", r.out.tailThresholdMs);
+        tail.set("requests", static_cast<unsigned long long>(
+                                 r.out.tailRequests));
         JsonValue &tenants =
             row.set("tenants", JsonValue::array());
         for (const auto &t : r.out.tenants) {
@@ -229,9 +527,129 @@ ServiceMetricsSink::renderJson(const sim::SimConfig &cfg,
                      static_cast<unsigned long long>(t.requests));
             setLatency(trow, "", t.meanMs, t.p50Ms, t.p95Ms,
                        t.p99Ms, t.p999Ms, t.maxMs);
+            trow.set("p99_p2_ms", t.p99P2Ms);
+            trow.set("p999_p2_ms", t.p999P2Ms);
+            setPhases(trow, t.phaseMs);
+            setSlo(trow, t.sloMs, r.out.sloTarget, t.sloGood,
+                   t.sloViolations, t.sloAttainment, t.sloBurnRate);
         }
     }
     return root.dump();
+}
+
+std::string
+ServiceMetricsSink::renderTailReport(
+    const sim::SimConfig &cfg,
+    const std::vector<ServiceRunRecord> &runs)
+{
+    JsonValue root = JsonValue::object();
+    root.set("scenario", cfg.name);
+    root.set("mode", "tail_report");
+
+    // Per-variant rollup across every cell of the variant: single
+    // cells at low rates can have degenerate tails, the rollup is
+    // what cross-variant assertions should read.
+    struct Rollup
+    {
+        u64 requests = 0;
+        double phaseMs[kPhaseCount] = {};
+    };
+    std::map<std::string, Rollup> rollup;
+
+    const auto setShare = [](JsonValue &row,
+                             const double (&phaseMs)[kPhaseCount]) {
+        double total = 0.0;
+        for (u32 i = 0; i < kPhaseCount; ++i)
+            total += phaseMs[i];
+        JsonValue &share = row.set("share", JsonValue::object());
+        for (u32 i = 0; i < kPhaseCount; ++i)
+            share.set(phaseName(i),
+                      total > 0.0 ? phaseMs[i] / total : 0.0);
+        u32 best = 0;
+        for (u32 i = 1; i < kPhaseCount; ++i)
+            if (phaseMs[i] > phaseMs[best])
+                best = i;
+        row.set("dominant_phase", std::string(phaseName(best)));
+    };
+
+    JsonValue &results = root.set("results", JsonValue::array());
+    for (const auto &r : runs) {
+        JsonValue &row = results.push(JsonValue::object());
+        row.set("variant", r.variant);
+        row.set("service", r.service);
+        row.set("tail_quantile", r.out.tailQuantile);
+        row.set("tail_threshold_ms", r.out.tailThresholdMs);
+        row.set("tail_requests", static_cast<unsigned long long>(
+                                     r.out.tailRequests));
+        JsonValue &groups = row.set("groups", JsonValue::array());
+        for (const auto &g : r.out.tail) {
+            JsonValue &grow = groups.push(JsonValue::object());
+            grow.set("tenant",
+                     static_cast<unsigned long long>(g.tenant));
+            grow.set("class",
+                     static_cast<unsigned long long>(g.cls));
+            grow.set("workload", g.workload);
+            grow.set("requests",
+                     static_cast<unsigned long long>(g.requests));
+            grow.set("mean_ms", g.meanMs);
+            JsonValue &ph = grow.set("phase_ms", JsonValue::object());
+            for (u32 i = 0; i < kPhaseCount; ++i)
+                ph.set(phaseName(i), g.phaseMs[i]);
+            setShare(grow, g.phaseMs);
+
+            Rollup &roll = rollup[r.variant];
+            roll.requests += g.requests;
+            for (u32 i = 0; i < kPhaseCount; ++i)
+                roll.phaseMs[i] += g.phaseMs[i];
+        }
+    }
+
+    JsonValue &variants = root.set("variants", JsonValue::array());
+    for (const auto &[name, roll] : rollup) {
+        JsonValue &vrow = variants.push(JsonValue::object());
+        vrow.set("variant", name);
+        vrow.set("tail_requests", static_cast<unsigned long long>(
+                                      roll.requests));
+        JsonValue &ph = vrow.set("phase_ms", JsonValue::object());
+        for (u32 i = 0; i < kPhaseCount; ++i)
+            ph.set(phaseName(i), roll.phaseMs[i]);
+        setShare(vrow, roll.phaseMs);
+    }
+    return root.dump();
+}
+
+std::string
+ServiceMetricsSink::renderTimeseriesCsv(
+    const sim::SimConfig &cfg,
+    const std::vector<ServiceRunRecord> &runs)
+{
+    CsvWriter csv({"scenario", "variant", "service", "window",
+                   "start_ms", "window_ms", "arrivals",
+                   "completions", "queue_depth_max", "inflight_max",
+                   "utilization", "p50_ms", "p99_ms"});
+    for (const auto &r : runs) {
+        const double winMs = r.out.seriesIntervalMs;
+        const double winNs = winMs * 1e6;
+        for (std::size_t w = 0; w < r.out.series.size(); ++w) {
+            const SeriesWindow &win = r.out.series[w];
+            const double util =
+                r.devices > 0 && winNs > 0.0
+                    ? win.busyNs /
+                          (static_cast<double>(r.devices) * winNs)
+                    : 0.0;
+            csv.addRow({cfg.name, r.variant, r.service, fmtU64(w),
+                        fmtNum("%.6f",
+                               static_cast<double>(w) * winMs),
+                        fmtNum("%.6f", winMs), fmtU64(win.arrivals),
+                        fmtU64(win.completions),
+                        fmtNum("%.4f", win.maxQueueDepth),
+                        fmtNum("%.4f", win.maxInFlight),
+                        fmtNum("%.6f", util),
+                        fmtNum("%.6f", win.p50Ms),
+                        fmtNum("%.6f", win.p99Ms)});
+        }
+    }
+    return csv.render();
 }
 
 std::string

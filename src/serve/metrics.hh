@@ -1,14 +1,25 @@
 /**
  * @file
  * ServiceMetrics: streaming metric collection of one serving
- * simulation (latency quantiles via the P² estimators in
- * common/stats, queue depth, batching, utilization, per-tenant
- * breakdown) and the CSV/JSON report writers of --service mode.
+ * simulation and the CSV/JSON report writers of --service mode.
+ *
+ * v2 adds tail-latency attribution: every completed request carries a
+ * phase breakdown on the virtual clock (queue wait behind a busy
+ * device, policy batch wait, LUT reload, tFAW stall, execution), the
+ * phases sum exactly to the end-to-end latency, and finish() folds
+ * them into per-tenant aggregates, a tail-blame table above a
+ * configurable quantile, an exactly mergeable latency Histogram
+ * (obs/histogram), a fixed-interval virtual-time series
+ * (obs/timeseries) and SLO attainment/burn-rate when a [service]
+ * slo_ms is configured. Per-tenant quantiles come from the mergeable
+ * histograms; the legacy P² estimates stay as cross-check columns.
  *
  * Everything in a ServiceOutcome derives from the virtual clock and
  * the devices' command schedulers, so outcomes are bit-identical
  * across host thread counts and replay bit-identically from the
- * service cache.
+ * service cache. All analysis is computed unconditionally into the
+ * outcome; CLI flags only choose which files get written, keeping
+ * --deterministic outputs byte-identical with the flags on or off.
  */
 
 #ifndef PLUTO_SERVE_METRICS_HH
@@ -19,10 +30,35 @@
 #include <vector>
 
 #include "common/stats.hh"
+#include "obs/histogram.hh"
+#include "obs/timeseries.hh"
+#include "serve/loadgen.hh"
 #include "sim/config.hh"
 
 namespace pluto::serve
 {
+
+/** Latency phases of one request, in breakdown order. */
+enum class Phase : u32
+{
+    /** Waiting because the device was still serving earlier work. */
+    QueueWait = 0,
+    /** Waiting on the batching policy while the device sat idle. */
+    BatchWait,
+    /** LUT reload commands of the request's batch (GSA re-loads per
+     *  query; BSA/GMC serve from residency and charge none). */
+    LutReload,
+    /** tFAW rolling-window activation stalls of the batch. */
+    TfawStall,
+    /** Remaining batch service time (waves, sweeps, host work). */
+    Exec,
+};
+
+/** Number of Phase values (array extents, render loops). */
+constexpr u32 kPhaseCount = 5;
+
+/** @return the report spelling of a phase ("queue_wait_ms", ...). */
+const char *phaseName(u32 phase);
 
 /** Latency digest of one tenant's completed requests. */
 struct TenantSummary
@@ -30,11 +66,60 @@ struct TenantSummary
     u32 tenant = 0;
     u64 requests = 0;
     double meanMs = 0.0;
+    /** Quantiles from the tenant's mergeable histogram (exact bucket
+     *  rank, <= 1/64 relative bucket width). */
     double p50Ms = 0.0;
     double p95Ms = 0.0;
     double p99Ms = 0.0;
     double p999Ms = 0.0;
     double maxMs = 0.0;
+    /** Legacy P² streaming estimates, kept as a cross-check. */
+    double p99P2Ms = 0.0;
+    double p999P2Ms = 0.0;
+    /** Phase sums over the tenant's requests, ms (Phase order). */
+    double phaseMs[kPhaseCount] = {};
+    /** Tightest effective SLO among the tenant's requests, ms
+     *  (0 = untracked). */
+    double sloMs = 0.0;
+    /** Requests within / beyond their effective SLO. */
+    u64 sloGood = 0;
+    u64 sloViolations = 0;
+    /** good / tracked (0 when untracked). */
+    double sloAttainment = 0.0;
+    /** (1 - attainment) / (1 - target): 1.0 = exactly at target. */
+    double sloBurnRate = 0.0;
+};
+
+/** One (tenant, class) row of the tail-blame table. */
+struct TailGroup
+{
+    u32 tenant = 0;
+    u32 cls = 0;
+    std::string workload;
+    /** Requests of this group above the tail threshold. */
+    u64 requests = 0;
+    /** Mean end-to-end latency of those requests, ms. */
+    double meanMs = 0.0;
+    /** Phase sums over those requests, ms (Phase order). */
+    double phaseMs[kPhaseCount] = {};
+
+    /** @return Phase index with the largest summed share. */
+    u32 dominantPhase() const;
+};
+
+/** One fixed-interval window of the virtual-time series. */
+struct SeriesWindow
+{
+    u64 arrivals = 0;
+    u64 completions = 0;
+    double maxQueueDepth = 0.0;
+    /** Devices concurrently busy (max within the window). */
+    double maxInFlight = 0.0;
+    /** Summed device busy time inside the window, ns. */
+    double busyNs = 0.0;
+    /** Windowed completion-latency quantiles, ms (0 when none). */
+    double p50Ms = 0.0;
+    double p99Ms = 0.0;
 };
 
 /** Simulated outcome of one (variant, service) cell. */
@@ -65,6 +150,32 @@ struct ServiceOutcome
     double pjPerRequest = 0.0;
     /** Every calibration run passed functional verification. */
     bool verified = false;
+
+    /** Phase sums over all requests, ms (Phase order). */
+    double phaseMs[kPhaseCount] = {};
+    /** Service-level SLO echo, ms (0 = no SLO tracking). */
+    double sloMs = 0.0;
+    /** SLO attainment target echo. */
+    double sloTarget = 0.0;
+    u64 sloGood = 0;
+    u64 sloViolations = 0;
+    double sloAttainment = 0.0;
+    double sloBurnRate = 0.0;
+    /** Tail-blame cutoff echo and the exact nearest-rank threshold
+     *  it resolved to on this cell's latency samples. */
+    double tailQuantile = 0.0;
+    double tailThresholdMs = 0.0;
+    /** Requests at/above the threshold (the blamed population). */
+    u64 tailRequests = 0;
+    /** Virtual-time series window width echo, ms. */
+    double seriesIntervalMs = 0.0;
+
+    /** Exactly mergeable end-to-end latency histogram, ms. */
+    obs::Histogram latHist;
+    /** Tail-blame rows, (tenant, class)-ascending. */
+    std::vector<TailGroup> tail;
+    /** Virtual-time series windows, time-ascending from t=0. */
+    std::vector<SeriesWindow> series;
     /** Per-tenant latency digests, tenant-ascending. */
     std::vector<TenantSummary> tenants;
 };
@@ -85,18 +196,55 @@ struct ServiceRunRecord
     bool fromCache = false;
 };
 
+/** Analysis knobs of one cell, resolved from spec and mix. */
+struct MetricsConfig
+{
+    /** Service-level SLO, ms (0 = no SLO tracking). */
+    double sloMs = 0.0;
+    /** SLO attainment target in (0,1). */
+    double sloTarget = 0.99;
+    /** Tail-blame cutoff quantile in (0,1). */
+    double tailQuantile = 0.99;
+    /** Virtual-time series window width, ms. */
+    double seriesIntervalMs = 1.0;
+    /** Effective SLO per request class (override or service SLO). */
+    std::vector<double> classSloMs;
+    /** Workload name per class (tail-report labels). */
+    std::vector<std::string> classNames;
+
+    /** Resolve the knobs of one (spec, mix) cell. */
+    static MetricsConfig from(const sim::ServiceSpec &spec,
+                              const std::vector<RequestClass> &mix);
+};
+
+/** Per-request phase breakdown handed to onComplete, ns. */
+struct PhaseBreakdownNs
+{
+    double ns[kPhaseCount] = {};
+};
+
 /** Streaming collector filled by the simulator's event loop. */
 class ServiceMetrics
 {
   public:
-    /** Record one completed request (times on the virtual clock). */
-    void onComplete(u32 tenant, TimeNs arriveNs, TimeNs finishNs);
+    explicit ServiceMetrics(MetricsConfig cfg = {});
 
-    /** Record one dispatched batch. */
-    void onBatch(u32 size);
+    /** Record one arrival (time on the virtual clock). */
+    void onArrival(TimeNs at);
 
     /** Record a queue-depth sample (taken at each arrival). */
-    void onQueueDepth(u64 depth);
+    void onQueueDepth(TimeNs at, u64 depth);
+
+    /** Record one dispatched batch. `busyDevices` counts devices in
+     *  service right after the dispatch; `serviceNs` is the batch's
+     *  scheduler time (spread over the series windows it spans). */
+    void onBatch(TimeNs at, u32 size, u32 busyDevices,
+                 TimeNs serviceNs);
+
+    /** Record one completed request with its phase breakdown; the
+     *  phases must sum to finishNs - r.arriveNs. */
+    void onComplete(const Request &r, TimeNs finishNs,
+                    const PhaseBreakdownNs &ph);
 
     /** Fold the collected streams into an outcome. `busyNs` is the
      *  summed busy time of all devices, `energyPj` the summed
@@ -105,8 +253,24 @@ class ServiceMetrics
                           double energyPj, bool verified) const;
 
   private:
+    /** One completed request, kept for the tail-blame pass. */
+    struct Sample
+    {
+        u32 tenant = 0;
+        u32 cls = 0;
+        double latMs = 0.0;
+        double phaseMs[kPhaseCount] = {};
+        /** Effective SLO of the request, ms (0 = untracked). */
+        double sloMs = 0.0;
+    };
+
+    MetricsConfig cfg_;
     StreamSummary latencyMs_;
     std::map<u32, StreamSummary> tenantMs_;
+    std::map<u32, obs::Histogram> tenantHist_;
+    obs::Histogram latHist_;
+    std::vector<Sample> samples_;
+    obs::TimeSeries series_;
     StreamSummary queueDepth_;
     u64 batches_ = 0;
     u64 batchedRequests_ = 0;
@@ -133,6 +297,25 @@ class ServiceMetricsSink
     renderJson(const sim::SimConfig &cfg,
                const std::vector<ServiceRunRecord> &runs,
                double wallMs);
+
+    /**
+     * @return the tail-blame JSON document (--tail-report): per run
+     * the (tenant, class) groups above the tail threshold with phase
+     * sums, shares and the dominant phase, plus a per-variant rollup
+     * across all of the variant's cells.
+     */
+    static std::string
+    renderTailReport(const sim::SimConfig &cfg,
+                     const std::vector<ServiceRunRecord> &runs);
+
+    /**
+     * @return the virtual-time series CSV (--timeseries): one row
+     * per (run, window) with rates, depths, utilization and windowed
+     * latency quantiles.
+     */
+    static std::string
+    renderTimeseriesCsv(const sim::SimConfig &cfg,
+                        const std::vector<ServiceRunRecord> &runs);
 
     /**
      * Write `<outDir>/<name><suffix>_service_runs.csv` and

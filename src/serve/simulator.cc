@@ -42,6 +42,16 @@ struct PoolDevice
     TimeNs wakeAt = kNever;
     TimeNs busyNs = 0.0;
     double energyPj = 0.0;
+    /** When the device last became idle (phase attribution). */
+    TimeNs availAt = 0.0;
+    /** Snapshot of the in-service batch, taken at dispatch: the
+     *  dispatch instant, the availAt it saw, and the batch service
+     *  time split into reload / tFAW-stall / execution. */
+    TimeNs batchDispatchNs = 0.0;
+    TimeNs batchAvailNs = 0.0;
+    double batchReloadNs = 0.0;
+    double batchTfawNs = 0.0;
+    double batchExecNs = 0.0;
 };
 
 /** Length of the same-class FIFO prefix of a queue. */
@@ -177,7 +187,7 @@ ServeSimulator::run(const Calibration *cal) const
 
     const auto policy = BatchPolicy::make(spec_);
     LoadGen gen(spec_, mix_);
-    ServiceMetrics metrics;
+    ServiceMetrics metrics(MetricsConfig::from(spec_, mix_));
 
     // Serve `n` queued requests (a same-class prefix) on `d` at
     // `now`; returns when the device frees.
@@ -189,6 +199,10 @@ ServeSimulator::run(const Calibration *cal) const
             d.dev->scheduler().setTraceLimit(4096); // fresh batch
         const TimeNs t0 = sched.elapsed();
         const double e0 = sched.energyTotal();
+        const double reload0 =
+            sched.stats().get("pluto.lut_reload.ns");
+        const double tfaw0 =
+            sched.stats().get("dram.tfaw_stall.ns");
 
         // ceil(n / gang) lock-step wave groups through the
         // scheduler's batch fast path; full gangs occupy gang*lanes
@@ -205,6 +219,13 @@ ServeSimulator::run(const Calibration *cal) const
             d.dev->hostWork(dem.hostNs * n);
 
         const TimeNs serviceNs = sched.elapsed() - t0;
+        // Decompose the batch's service time for tail attribution:
+        // the scheduler accounts reload latency and tFAW stalls
+        // disjointly, so execution is the exact remainder.
+        const double reloadNs =
+            sched.stats().get("pluto.lut_reload.ns") - reload0;
+        const double tfawNs =
+            sched.stats().get("dram.tfaw_stall.ns") - tfaw0;
         if (tr) {
             // The scheduler clock is contiguous across batches while
             // the virtual clock has idle gaps, so each command event
@@ -225,9 +246,18 @@ ServeSimulator::run(const Calibration *cal) const
         d.freeAt = now + serviceNs;
         d.busyNs += serviceNs;
         d.energyPj += sched.energyTotal() - e0;
+        d.batchDispatchNs = now;
+        d.batchAvailNs = d.availAt;
+        d.batchReloadNs = reloadNs;
+        d.batchTfawNs = tfawNs;
+        d.batchExecNs =
+            std::max(0.0, serviceNs - reloadNs - tfawNs);
         d.inFlight.assign(d.queue.begin(), d.queue.begin() + n);
         d.queue.erase(d.queue.begin(), d.queue.begin() + n);
-        metrics.onBatch(n);
+        u32 busyDevices = 0;
+        for (const auto &other : pool)
+            busyDevices += other.busy;
+        metrics.onBatch(now, n, busyDevices, serviceNs);
     };
 
     bool drain = false;
@@ -262,8 +292,30 @@ ServeSimulator::run(const Calibration *cal) const
             if (!d.busy || d.freeAt > now)
                 continue;
             d.busy = false;
+            d.availAt = d.freeAt;
             for (const auto &r : d.inFlight) {
-                metrics.onComplete(r.tenant, r.arriveNs, d.freeAt);
+                // The wait splits at the instant the device became
+                // free: before it is queue wait (device busy with
+                // earlier work), after it is batch wait (the policy
+                // holding an idle device). The batch's service-time
+                // decomposition is shared by every request in it, so
+                // the five phases sum exactly to the latency.
+                const TimeNs waitNs =
+                    d.batchDispatchNs - r.arriveNs;
+                const TimeNs qw = std::min(
+                    waitNs,
+                    std::max(0.0, d.batchAvailNs - r.arriveNs));
+                PhaseBreakdownNs ph;
+                ph.ns[static_cast<u32>(Phase::QueueWait)] = qw;
+                ph.ns[static_cast<u32>(Phase::BatchWait)] =
+                    std::max(0.0, waitNs - qw);
+                ph.ns[static_cast<u32>(Phase::LutReload)] =
+                    d.batchReloadNs;
+                ph.ns[static_cast<u32>(Phase::TfawStall)] =
+                    d.batchTfawNs;
+                ph.ns[static_cast<u32>(Phase::Exec)] =
+                    d.batchExecNs;
+                metrics.onComplete(r, d.freeAt, ph);
                 gen.onComplete(r, d.freeAt);
                 ++progressed;
             }
@@ -282,10 +334,11 @@ ServeSimulator::run(const Calibration *cal) const
                     best = &d;
             best->queue.push_back(r);
             ++progressed;
+            metrics.onArrival(r.arriveNs);
             u64 depth = 0;
             for (const auto &d : pool)
                 depth += d.queue.size();
-            metrics.onQueueDepth(depth);
+            metrics.onQueueDepth(r.arriveNs, depth);
         }
 
         // 3. Batching decisions for idle devices with work.
@@ -341,6 +394,13 @@ ServeSimulator::run(const Calibration *cal) const
         sh->add("serve/energy_pj", energyPj);
         sh->gaugeMax("serve/pool_devices",
                      static_cast<double>(spec_.devices));
+        if (outcome.sloGood + outcome.sloViolations > 0) {
+            sh->add("serve/slo/good",
+                    static_cast<double>(outcome.sloGood));
+            sh->add("serve/slo/violations",
+                    static_cast<double>(outcome.sloViolations));
+        }
+        sh->hist("serve/latency_ms").merge(outcome.latHist);
         for (const auto &d : pool)
             sh->absorb("device", d.dev->stats().counters);
     }

@@ -201,6 +201,21 @@ applyServiceKey(ServiceSpec &svc, const std::string &key,
     } else if (key == "seed") {
         if (!parseU64(value, svc.seed))
             return "bad seed '" + value + "' (unsigned integer)";
+    } else if (key == "slo_ms") {
+        if (!parseDouble(value, svc.sloMs) || !(svc.sloMs >= 0.0))
+            return "bad slo_ms '" + value + "' (ms >= 0; 0 = off)";
+    } else if (key == "slo_target") {
+        if (!parseDouble(value, svc.sloTarget) ||
+            !(svc.sloTarget > 0.0 && svc.sloTarget < 1.0))
+            return "bad slo_target '" + value + "' (0 < q < 1)";
+    } else if (key == "tail_quantile") {
+        if (!parseDouble(value, svc.tailQuantile) ||
+            !(svc.tailQuantile > 0.0 && svc.tailQuantile < 1.0))
+            return "bad tail_quantile '" + value + "' (0 < q < 1)";
+    } else if (key == "timeseries_ms") {
+        if (!parseDouble(value, svc.timeseriesMs) ||
+            !(svc.timeseriesMs > 0.0))
+            return "bad timeseries_ms '" + value + "' (ms > 0)";
     } else {
         return "unknown service key '" + key + "'";
     }
@@ -645,6 +660,11 @@ SimConfig::parse(const std::string &text, std::string &error)
                     !(w.spec.weight > 0.0))
                     return fail("bad weight '" + value +
                                 "' (> 0)");
+            } else if (key == "slo_ms") {
+                if (!parseDouble(value, w.spec.sloMs) ||
+                    !(w.spec.sloMs >= 0.0))
+                    return fail("bad slo_ms '" + value +
+                                "' (ms >= 0; 0 = service SLO)");
             } else {
                 return fail("unknown workload key '" + key + "'");
             }

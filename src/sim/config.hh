@@ -84,6 +84,8 @@ struct WorkloadSpec
     u32 tenant = 0;
     /** Service mode: relative weight in the request mix. */
     double weight = 1.0;
+    /** Service mode: per-class SLO override, ms (0 = service SLO). */
+    double sloMs = 0.0;
 };
 
 /** Batching policy of a service section. */
@@ -135,6 +137,14 @@ struct ServiceSpec
     u32 lanes = 16;
     /** Load-generation seed (arrival draws and mix choices). */
     u64 seed = 1;
+    /** Latency SLO, ms (0 = no SLO tracking). Sweepable. */
+    double sloMs = 0.0;
+    /** SLO attainment target in (0,1); feeds the burn rate. */
+    double sloTarget = 0.99;
+    /** Tail-blame cutoff quantile in (0,1) (--tail-report). */
+    double tailQuantile = 0.99;
+    /** Virtual-time series window, ms (--timeseries). */
+    double timeseriesMs = 1.0;
 };
 
 /**

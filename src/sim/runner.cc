@@ -137,6 +137,9 @@ ScenarioRunner::run(const RunOptions &opt,
                 sh->inc("sim/runs");
                 sh->add("sim/elements",
                         static_cast<double>(rec.result.elements));
+                // Distribution, not just totals: per-run simulated
+                // time folds exactly across workers and shards.
+                sh->hist("sim/run_ns").add(rec.result.timeNs);
                 sh->absorb("device", dev.stats().counters);
             }
             if (tr) {

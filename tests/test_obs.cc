@@ -10,6 +10,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <string>
 #include <thread>
 #include <vector>
@@ -17,7 +19,9 @@
 #include "common/emit.hh"
 #include "common/logging.hh"
 #include "common/stats.hh"
+#include "obs/histogram.hh"
 #include "obs/registry.hh"
+#include "obs/timeseries.hh"
 #include "obs/trace.hh"
 #include "serve/metrics.hh"
 #include "serve/runner.hh"
@@ -294,6 +298,217 @@ TEST(StatSet, FormatRoundTripsDoubles)
     EXPECT_DOUBLE_EQ(doc->find("b.count")->asNumber(), 7.0);
 }
 
+// ---- Mergeable histograms (obs/histogram) ----
+
+/** Deterministic log-uniform samples over 4 decades [0.1, 1000).
+ *  Hand-rolled LCG: standard-library distributions are not required
+ *  to be bit-stable across implementations. */
+std::vector<double>
+logUniformSamples(std::size_t n)
+{
+    std::vector<double> v;
+    v.reserve(n);
+    u64 state = 0x9e3779b97f4a7c15ull;
+    for (std::size_t i = 0; i < n; ++i) {
+        state = state * 6364136223846793005ull +
+                1442695040888963407ull;
+        const double u = static_cast<double>(state >> 11) /
+                         static_cast<double>(1ull << 53);
+        v.push_back(std::pow(10.0, -1.0 + 4.0 * u));
+    }
+    return v;
+}
+
+TEST(Histogram, MergeIsExactInAnyOrderAndGrouping)
+{
+    const auto samples = logUniformSamples(3000);
+    Histogram whole;
+    for (double v : samples)
+        whole.add(v);
+
+    Histogram a, b, c;
+    for (std::size_t i = 0; i < samples.size(); ++i)
+        (i % 3 == 0 ? a : i % 3 == 1 ? b : c).add(samples[i]);
+
+    Histogram ab = a; // (a + b) + c
+    ab.merge(b);
+    Histogram abc = ab;
+    abc.merge(c);
+    Histogram bc = b; // a + (b + c)
+    bc.merge(c);
+    Histogram a_bc = a;
+    a_bc.merge(bc);
+    Histogram cba = c; // commuted
+    cba.merge(b);
+    cba.merge(a);
+
+    // Bucket counts (and therefore every quantile), count and the
+    // min/max digest fold exactly, independent of merge shape.
+    EXPECT_EQ(abc.buckets(), whole.buckets());
+    EXPECT_EQ(a_bc.buckets(), whole.buckets());
+    EXPECT_EQ(cba.buckets(), whole.buckets());
+    EXPECT_EQ(abc.count(), whole.count());
+    EXPECT_EQ(abc.min(), whole.min());
+    EXPECT_EQ(abc.max(), whole.max());
+    for (double q : {0.5, 0.99, 0.999}) {
+        EXPECT_EQ(abc.quantile(q), whole.quantile(q));
+        EXPECT_EQ(a_bc.quantile(q), whole.quantile(q));
+        EXPECT_EQ(cba.quantile(q), whole.quantile(q));
+    }
+}
+
+TEST(Histogram, QuantileTracksExactRankWithinBucketWidth)
+{
+    auto samples = logUniformSamples(5000);
+    Histogram h;
+    for (double v : samples)
+        h.add(v);
+    std::sort(samples.begin(), samples.end());
+    for (double q : {0.01, 0.25, 0.5, 0.9, 0.99, 0.999}) {
+        const std::size_t rank = std::max<std::size_t>(
+            1, static_cast<std::size_t>(
+                   std::ceil(q * static_cast<double>(samples.size()))));
+        const double exact = samples[rank - 1];
+        // Buckets span at most a 1/64 relative width, so the bucket
+        // midpoint sits within ~1.6% of the ranked sample.
+        EXPECT_NEAR(h.quantile(q), exact, exact * 0.016) << "q=" << q;
+    }
+    // Out-of-range q clamps; answers never leave [min, max].
+    EXPECT_EQ(h.quantile(-1.0), h.quantile(0.0));
+    EXPECT_EQ(h.quantile(2.0), h.quantile(1.0));
+    EXPECT_GE(h.quantile(0.0), h.min());
+    EXPECT_LE(h.quantile(1.0), h.max());
+}
+
+TEST(Histogram, EmptyAndSingleSampleEdges)
+{
+    Histogram h;
+    EXPECT_TRUE(h.empty());
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.quantile(0.5), 0.0);
+    EXPECT_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.min(), 0.0);
+    EXPECT_EQ(h.max(), 0.0);
+
+    h.add(0.37);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.min(), 0.37);
+    EXPECT_EQ(h.max(), 0.37);
+    // With min == max the clamp collapses every quantile to the
+    // sample itself.
+    EXPECT_EQ(h.quantile(0.0), 0.37);
+    EXPECT_EQ(h.quantile(0.5), 0.37);
+    EXPECT_EQ(h.quantile(1.0), 0.37);
+
+    // Non-positive samples land in the dedicated underflow bucket.
+    Histogram e;
+    e.add(0.0);
+    e.add(-3.0);
+    ASSERT_EQ(e.buckets().count(Histogram::kUnderflowBucket), 1u);
+    EXPECT_EQ(e.buckets().at(Histogram::kUnderflowBucket), 2u);
+}
+
+TEST(Histogram, JsonEncodingRoundTripsByteStably)
+{
+    Histogram h;
+    h.addCount(1.0 / 3.0, 3);
+    h.add(250.0);
+    h.add(1e-4);
+    const std::string one = h.encodeJson();
+    std::string err;
+    const auto doc = JsonValue::parse(one, err);
+    ASSERT_TRUE(doc) << err << "\n" << one;
+    Histogram back;
+    ASSERT_TRUE(back.decodeJson(*doc));
+    EXPECT_EQ(back.encodeJson(), one);
+    EXPECT_EQ(back.buckets(), h.buckets());
+    EXPECT_EQ(back.quantile(0.5), h.quantile(0.5));
+}
+
+TEST(Registry, HistogramsFoldExactlyAcrossWorkerShards)
+{
+    RegistryScope scope;
+    auto &reg = Registry::get();
+    const auto samples = logUniformSamples(512);
+
+    Histogram expect;
+    for (double v : samples)
+        expect.add(v);
+
+    reg.ensureWorkers(3);
+    for (std::size_t i = 0; i < samples.size(); ++i)
+        reg.worker(i % 3).hist("unit/lat_ms").add(samples[i]);
+    reg.mergeWorkers();
+
+    const CounterShard snap = reg.snapshot();
+    ASSERT_EQ(snap.hists().count("unit/lat_ms"), 1u);
+    const Histogram &folded = snap.hists().at("unit/lat_ms");
+    EXPECT_EQ(folded.buckets(), expect.buckets());
+    EXPECT_EQ(folded.count(), expect.count());
+    EXPECT_EQ(folded.min(), expect.min());
+    EXPECT_EQ(folded.max(), expect.max());
+    EXPECT_TRUE(reg.worker(0).empty()); // cleared by the merge
+
+    // The metrics JSON renders a digest per histogram path.
+    const std::string json = reg.renderJson({});
+    std::string err;
+    const auto doc = JsonValue::parse(json, err);
+    ASSERT_TRUE(doc) << err << "\n" << json;
+    ASSERT_TRUE(doc->find("distinct_histograms"));
+    EXPECT_DOUBLE_EQ(doc->find("distinct_histograms")->asNumber(),
+                     1.0);
+    const JsonValue *hists = doc->find("histograms");
+    ASSERT_TRUE(hists && hists->isObject());
+    const JsonValue *lat = hists->find("unit/lat_ms");
+    ASSERT_TRUE(lat && lat->find("count"));
+    EXPECT_DOUBLE_EQ(lat->find("count")->asNumber(), 512.0);
+}
+
+// ---- Virtual-time series (obs/timeseries) ----
+
+TEST(TimeSeries, ShardMergeMatchesSingleRecorder)
+{
+    const std::vector<SeriesCol> schema = {
+        {"arrivals", SeriesAgg::Sum},
+        {"depth", SeriesAgg::Max},
+        {"lat", SeriesAgg::Hist},
+    };
+    TimeSeries whole(1e6, schema), a(1e6, schema), b(1e6, schema);
+    const auto samples = logUniformSamples(200);
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        const double t = static_cast<double>(i) * 31250.0;
+        TimeSeries &shard = (i % 2) ? a : b;
+        whole.record(t, 0, 1.0);
+        shard.record(t, 0, 1.0);
+        whole.record(t, 1, samples[i]);
+        shard.record(t, 1, samples[i]);
+        whole.record(t, 2, samples[i]);
+        shard.record(t, 2, samples[i]);
+    }
+    a.merge(b);
+    ASSERT_EQ(a.windows(), whole.windows());
+    ASSERT_GT(whole.windows(), 3u);
+    for (std::size_t w = 0; w < whole.windows(); ++w) {
+        EXPECT_EQ(a.value(w, 0), whole.value(w, 0));
+        EXPECT_EQ(a.value(w, 1), whole.value(w, 1));
+        EXPECT_EQ(a.hist(w, 2).buckets(), whole.hist(w, 2).buckets());
+    }
+}
+
+TEST(TimeSeries, RecordSpanSpreadsProportionally)
+{
+    TimeSeries s(1e6, {{"busy", SeriesAgg::Sum}});
+    // [0.5 ms, 2.0 ms) carries 3.0 units: 1/3 of the overlap falls
+    // into window 0, 2/3 into window 1.
+    s.recordSpan(0.5e6, 2.0e6, 0, 3.0);
+    ASSERT_EQ(s.windows(), 2u);
+    EXPECT_DOUBLE_EQ(s.value(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(s.value(1, 0), 2.0);
+    // A degenerate span is a no-op.
+    s.recordSpan(5e6, 5e6, 0, 9.0);
+    EXPECT_EQ(s.windows(), 2u);
+}
+
 /** A small sim campaign scenario (2 variants x 2 workload cells). */
 sim::SimConfig
 simScenario()
@@ -337,6 +552,7 @@ batch = 8
 devices = 2
 lanes = 16
 seed = 7
+slo_ms = 1
 sweep rate = 4000, 16000
 )",
                                            err);
@@ -390,6 +606,11 @@ TEST(Determinism, ServiceOutputsByteIdenticalWithTelemetry)
         serve::ServiceMetricsSink::renderCsv(cfg, plain.runs);
     const std::string plainJson = serve::ServiceMetricsSink::renderJson(
         cfg, plain.runs, plain.wallMs);
+    const std::string plainTail =
+        serve::ServiceMetricsSink::renderTailReport(cfg, plain.runs);
+    const std::string plainTs =
+        serve::ServiceMetricsSink::renderTimeseriesCsv(cfg,
+                                                       plain.runs);
 
     RegistryScope scope;
     Tracer tracer;
@@ -402,10 +623,23 @@ TEST(Determinism, ServiceOutputsByteIdenticalWithTelemetry)
     EXPECT_EQ(plainJson,
               serve::ServiceMetricsSink::renderJson(cfg, traced.runs,
                                                     traced.wallMs));
+    EXPECT_EQ(plainTail, serve::ServiceMetricsSink::renderTailReport(
+                             cfg, traced.runs));
+    EXPECT_EQ(plainTs, serve::ServiceMetricsSink::renderTimeseriesCsv(
+                           cfg, traced.runs));
 
     const CounterShard snap = Registry::get().snapshot();
     EXPECT_GT(snap.counters().at("serve/requests"), 0.0);
     EXPECT_GT(snap.counters().at("serve/batches"), 0.0);
+    // The scenario sets slo_ms = 1, so the SLO partition and the
+    // mergeable latency histogram both reach the registry.
+    EXPECT_DOUBLE_EQ(snap.counters().at("serve/slo/good") +
+                         snap.counters().at("serve/slo/violations"),
+                     snap.counters().at("serve/requests"));
+    ASSERT_EQ(snap.hists().count("serve/latency_ms"), 1u);
+    EXPECT_EQ(
+        static_cast<double>(snap.hists().at("serve/latency_ms").count()),
+        snap.counters().at("serve/requests"));
 
     // The virtual-time domain carries per-device busy spans.
     std::string err;
@@ -416,6 +650,30 @@ TEST(Determinism, ServiceOutputsByteIdenticalWithTelemetry)
         sawVirtual = sawVirtual ||
                      ev->find("pid")->asNumber() == kVirtualPid;
     EXPECT_TRUE(sawVirtual);
+}
+
+TEST(Determinism, ServiceSidebandStableAcrossThreadCounts)
+{
+    const auto cfg = serviceScenario();
+    const serve::ServiceRunner runner(cfg);
+    Registry::get().enable(false);
+
+    sim::RunOptions one;
+    one.threads = 1;
+    one.deterministic = true;
+    sim::RunOptions four = one;
+    four.threads = 4;
+    const auto a = runner.run(one);
+    const auto b = runner.run(four);
+
+    EXPECT_EQ(serve::ServiceMetricsSink::renderCsv(cfg, a.runs),
+              serve::ServiceMetricsSink::renderCsv(cfg, b.runs));
+    EXPECT_EQ(
+        serve::ServiceMetricsSink::renderTailReport(cfg, a.runs),
+        serve::ServiceMetricsSink::renderTailReport(cfg, b.runs));
+    EXPECT_EQ(
+        serve::ServiceMetricsSink::renderTimeseriesCsv(cfg, a.runs),
+        serve::ServiceMetricsSink::renderTimeseriesCsv(cfg, b.runs));
 }
 
 } // namespace

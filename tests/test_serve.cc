@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 
@@ -234,11 +235,58 @@ expectSameOutcome(const ServiceOutcome &a, const ServiceOutcome &b)
     EXPECT_EQ(a.meanQueueDepth, b.meanQueueDepth);
     EXPECT_EQ(a.utilization, b.utilization);
     EXPECT_EQ(a.pjPerRequest, b.pjPerRequest);
+    for (u32 p = 0; p < kPhaseCount; ++p)
+        EXPECT_EQ(a.phaseMs[p], b.phaseMs[p]) << phaseName(p);
+    EXPECT_EQ(a.sloMs, b.sloMs);
+    EXPECT_EQ(a.sloTarget, b.sloTarget);
+    EXPECT_EQ(a.sloGood, b.sloGood);
+    EXPECT_EQ(a.sloViolations, b.sloViolations);
+    EXPECT_EQ(a.sloAttainment, b.sloAttainment);
+    EXPECT_EQ(a.sloBurnRate, b.sloBurnRate);
+    EXPECT_EQ(a.tailQuantile, b.tailQuantile);
+    EXPECT_EQ(a.tailThresholdMs, b.tailThresholdMs);
+    EXPECT_EQ(a.tailRequests, b.tailRequests);
+    EXPECT_EQ(a.seriesIntervalMs, b.seriesIntervalMs);
+    EXPECT_EQ(a.latHist.encodeJson(), b.latHist.encodeJson());
+    ASSERT_EQ(a.tail.size(), b.tail.size());
+    for (std::size_t i = 0; i < a.tail.size(); ++i) {
+        EXPECT_EQ(a.tail[i].tenant, b.tail[i].tenant);
+        EXPECT_EQ(a.tail[i].cls, b.tail[i].cls);
+        EXPECT_EQ(a.tail[i].workload, b.tail[i].workload);
+        EXPECT_EQ(a.tail[i].requests, b.tail[i].requests);
+        EXPECT_EQ(a.tail[i].meanMs, b.tail[i].meanMs);
+        for (u32 p = 0; p < kPhaseCount; ++p)
+            EXPECT_EQ(a.tail[i].phaseMs[p], b.tail[i].phaseMs[p]);
+    }
+    ASSERT_EQ(a.series.size(), b.series.size());
+    for (std::size_t i = 0; i < a.series.size(); ++i) {
+        EXPECT_EQ(a.series[i].arrivals, b.series[i].arrivals);
+        EXPECT_EQ(a.series[i].completions, b.series[i].completions);
+        EXPECT_EQ(a.series[i].maxQueueDepth,
+                  b.series[i].maxQueueDepth);
+        EXPECT_EQ(a.series[i].maxInFlight, b.series[i].maxInFlight);
+        EXPECT_EQ(a.series[i].busyNs, b.series[i].busyNs);
+        EXPECT_EQ(a.series[i].p50Ms, b.series[i].p50Ms);
+        EXPECT_EQ(a.series[i].p99Ms, b.series[i].p99Ms);
+    }
     ASSERT_EQ(a.tenants.size(), b.tenants.size());
     for (std::size_t i = 0; i < a.tenants.size(); ++i) {
         EXPECT_EQ(a.tenants[i].tenant, b.tenants[i].tenant);
         EXPECT_EQ(a.tenants[i].requests, b.tenants[i].requests);
         EXPECT_EQ(a.tenants[i].p99Ms, b.tenants[i].p99Ms);
+        EXPECT_EQ(a.tenants[i].p99P2Ms, b.tenants[i].p99P2Ms);
+        EXPECT_EQ(a.tenants[i].p999P2Ms, b.tenants[i].p999P2Ms);
+        EXPECT_EQ(a.tenants[i].sloMs, b.tenants[i].sloMs);
+        EXPECT_EQ(a.tenants[i].sloGood, b.tenants[i].sloGood);
+        EXPECT_EQ(a.tenants[i].sloViolations,
+                  b.tenants[i].sloViolations);
+        EXPECT_EQ(a.tenants[i].sloAttainment,
+                  b.tenants[i].sloAttainment);
+        EXPECT_EQ(a.tenants[i].sloBurnRate,
+                  b.tenants[i].sloBurnRate);
+        for (u32 p = 0; p < kPhaseCount; ++p)
+            EXPECT_EQ(a.tenants[i].phaseMs[p],
+                      b.tenants[i].phaseMs[p]);
     }
 }
 
@@ -318,6 +366,87 @@ TEST(ServeSimulator, SalpHeadroomMakesBatchingWin)
     EXPECT_LT(b.makespanMs, a.makespanMs);
 }
 
+TEST(ServeSimulator, PhasesPartitionLatencyAndSloPartitionsRequests)
+{
+    sim::ServiceSpec svc =
+        testService(sim::BatchPolicyKind::Adaptive, 8000.0);
+    svc.sloMs = 0.5;
+    const auto out =
+        ServeSimulator(testVariant(), svc, twoClassMix()).run();
+    ASSERT_GT(out.requests, 0u);
+
+    // The five phases decompose the summed end-to-end latency.
+    double phaseSum = 0.0;
+    for (u32 p = 0; p < kPhaseCount; ++p) {
+        EXPECT_GE(out.phaseMs[p], 0.0) << phaseName(p);
+        phaseSum += out.phaseMs[p];
+    }
+    const double totalMs =
+        out.meanMs * static_cast<double>(out.requests);
+    EXPECT_NEAR(phaseSum, totalMs, 1e-6 * std::max(1.0, totalMs));
+
+    // The mergeable histogram sees every completion and agrees with
+    // the exact streaming digest on the extremes.
+    EXPECT_EQ(out.latHist.count(), out.requests);
+    EXPECT_EQ(out.latHist.max(), out.maxMs);
+
+    // SLO tracking partitions the request population.
+    EXPECT_EQ(out.sloMs, 0.5);
+    EXPECT_EQ(out.sloGood + out.sloViolations, out.requests);
+    EXPECT_DOUBLE_EQ(out.sloAttainment,
+                     static_cast<double>(out.sloGood) /
+                         static_cast<double>(out.requests));
+    u64 tenantGood = 0, tenantBad = 0;
+    for (const auto &t : out.tenants) {
+        EXPECT_EQ(t.sloMs, 0.5);
+        tenantGood += t.sloGood;
+        tenantBad += t.sloViolations;
+    }
+    EXPECT_EQ(tenantGood, out.sloGood);
+    EXPECT_EQ(tenantBad, out.sloViolations);
+
+    // The tail-blame pass found the configured quantile's population
+    // and the series covers the makespan.
+    EXPECT_EQ(out.tailQuantile, 0.99);
+    EXPECT_GT(out.tailThresholdMs, 0.0);
+    EXPECT_GT(out.tailRequests, 0u);
+    ASSERT_FALSE(out.tail.empty());
+    u64 tailSum = 0;
+    for (const auto &g : out.tail) {
+        tailSum += g.requests;
+        EXPECT_LT(g.dominantPhase(), kPhaseCount);
+    }
+    EXPECT_EQ(tailSum, out.tailRequests);
+    ASSERT_FALSE(out.series.empty());
+    EXPECT_GE(static_cast<double>(out.series.size()) *
+                  out.seriesIntervalMs,
+              out.makespanMs);
+    u64 completions = 0;
+    for (const auto &w : out.series)
+        completions += w.completions;
+    EXPECT_EQ(completions, out.requests);
+}
+
+TEST(ServeSimulator, GsaPaysLutReloadGmcDoesNot)
+{
+    // GSA re-loads the LUT per query (destructive reads), so its
+    // serving-time phase breakdown must blame a strictly positive
+    // lut_reload share; GMC serves from residency and charges none.
+    sim::DeviceSpec gmc = testVariant();
+    sim::DeviceSpec gsa = testVariant();
+    gsa.config.design = core::Design::Gsa;
+    const auto svc =
+        testService(sim::BatchPolicyKind::Adaptive, 8000.0);
+    const auto mix = twoClassMix();
+    const auto a = ServeSimulator(gmc, svc, mix).run();
+    const auto b = ServeSimulator(gsa, svc, mix).run();
+    ASSERT_GT(a.requests, 0u);
+    ASSERT_GT(b.requests, 0u);
+    const u32 reload = static_cast<u32>(Phase::LutReload);
+    EXPECT_EQ(a.phaseMs[reload], 0.0);
+    EXPECT_GT(b.phaseMs[reload], 0.0);
+}
+
 TEST(ServiceCache, RoundTripsOutcomesBitIdentically)
 {
     namespace fs = std::filesystem;
@@ -343,6 +472,40 @@ TEST(ServiceCache, RoundTripsOutcomesBitIdentically)
     out.utilization = 0.999;
     out.pjPerRequest = 1e7 / 3.0;
     out.verified = true;
+    for (u32 p = 0; p < kPhaseCount; ++p)
+        out.phaseMs[p] = 0.01 * (p + 1) / 3.0;
+    out.sloMs = 2.0;
+    out.sloTarget = 0.99;
+    out.sloGood = 100;
+    out.sloViolations = 23;
+    out.sloAttainment = 100.0 / 123.0;
+    out.sloBurnRate = (1.0 - 100.0 / 123.0) / 0.01;
+    out.tailQuantile = 0.99;
+    out.tailThresholdMs = 0.55;
+    out.tailRequests = 2;
+    out.seriesIntervalMs = 1.0;
+    out.latHist.addCount(0.1, 2);
+    out.latHist.add(1.0 / 3.0);
+    out.latHist.add(0.6);
+    TailGroup tg;
+    tg.tenant = 4;
+    tg.cls = 1;
+    tg.workload = "CRC-8 \"quoted\"";
+    tg.requests = 2;
+    tg.meanMs = 0.58;
+    tg.phaseMs[0] = 0.5;
+    tg.phaseMs[2] = 1.0 / 7.0;
+    out.tail.push_back(tg);
+    SeriesWindow w;
+    w.arrivals = 5;
+    w.completions = 4;
+    w.maxQueueDepth = 3.0;
+    w.maxInFlight = 2.0;
+    w.busyNs = 1e6 / 3.0;
+    w.p50Ms = 0.2;
+    w.p99Ms = 0.59;
+    out.series.push_back(w);
+    out.series.push_back({});
     TenantSummary t;
     t.tenant = 4;
     t.requests = 50;
@@ -352,6 +515,15 @@ TEST(ServiceCache, RoundTripsOutcomesBitIdentically)
     t.p99Ms = 0.41;
     t.p999Ms = 0.51;
     t.maxMs = 0.61;
+    t.p99P2Ms = 0.42;
+    t.p999P2Ms = 0.52;
+    t.phaseMs[1] = 0.07;
+    t.phaseMs[4] = 2.0 / 3.0;
+    t.sloMs = 2.0;
+    t.sloGood = 40;
+    t.sloViolations = 10;
+    t.sloAttainment = 0.8;
+    t.sloBurnRate = 20.0;
     out.tenants.push_back(t);
 
     {
@@ -370,6 +542,18 @@ TEST(ServiceCache, RoundTripsOutcomesBitIdentically)
     EXPECT_EQ(hit->verified, out.verified);
     EXPECT_EQ(hit->maxQueueDepth, out.maxQueueDepth);
     EXPECT_FALSE(cache.lookup("k2"));
+
+    // The binary codec carries the same payload bit-for-bit.
+    {
+        ServiceCache bin(dir, "unit_bin",
+                         campaign::CacheFormat::Binary);
+        EXPECT_TRUE(bin.append("k1", out).empty());
+    }
+    ServiceCache bin(dir, "unit_bin", campaign::CacheFormat::Binary);
+    EXPECT_TRUE(bin.load().empty());
+    const auto bhit = bin.lookup("k1");
+    ASSERT_TRUE(bhit);
+    expectSameOutcome(*bhit, out);
     fs::remove_all(dir);
 }
 
@@ -392,6 +576,20 @@ TEST(ServiceCache, KeySeparatesSpecsAndMixes)
     runtime::DeviceConfig dev2;
     dev2.salp = 64;
     EXPECT_NE(base, ServiceCache::key(dev2, svc, mix));
+
+    // The analysis knobs shape the cached outcome, so they key it.
+    sim::ServiceSpec svc3 = svc;
+    svc3.sloMs = 2.0;
+    EXPECT_NE(base, ServiceCache::key(dev, svc3, mix));
+    sim::ServiceSpec svc4 = svc;
+    svc4.tailQuantile = 0.95;
+    EXPECT_NE(base, ServiceCache::key(dev, svc4, mix));
+    sim::ServiceSpec svc5 = svc;
+    svc5.timeseriesMs = 0.5;
+    EXPECT_NE(base, ServiceCache::key(dev, svc5, mix));
+    auto mix3 = mix;
+    mix3[0].sloMs = 1.5;
+    EXPECT_NE(base, ServiceCache::key(dev, svc, mix3));
 }
 
 } // namespace
