@@ -3,13 +3,17 @@
 # Machine-readable perf trajectory for the simulator itself: run the
 # scalar-vs-bulk kernel microbenches plus the exit-code-enforced
 # bench_batch_fastpath / bench_serve_policies invariants, the cache
-# replay bench (jsonl vs binary load) and the two example campaigns,
-# and emit BENCH_report.json mapping
+# replay bench (jsonl vs binary load), the serving-core scaling bench
+# (event engine vs polling loop) and the example campaigns (including
+# the 5M-request service_fleet scenario), and emit BENCH_report.json
+# mapping
 #   kernels:      benchmark name -> ns per element
 #   campaigns:    binary/scenario name -> wall-clock seconds, plus
 #                 (for the pluto_sim campaigns, via --metrics-out) the
 #                 cache hit rate and per-phase wall breakdown
 #   cache_replay: per-format load() wall of a 50k-entry cache
+#   serve_scale:  per-pool-size engine loop times and the event
+#                 engine's sim-throughput speedup over the old loop
 #
 # Every run is also APPENDED to BENCH_history.jsonl as one JSON line
 # keyed by git SHA + UTC date (same-SHA reruns replace their line),
@@ -22,7 +26,9 @@
 # at 8x for several PRs fails the gate long before it decays back to
 # 1.0x, while 0.5x headroom plus the min() keeps a noisy runner from
 # flaking. The binary cache encoding must likewise not load slower
-# than jsonl once both have been measured.
+# than jsonl once both have been measured, and the serving event
+# engine's per-pool-size speedup gates against the same
+# max(1.0, 0.5 * min) floor over its recorded series.
 #
 # Measurements a given build does not support (no bench_cache_replay
 # binary, no --simd-tier flag: builds predating them) are skipped
@@ -140,6 +146,18 @@ else
   echo "skipping cache replay ($BUILD_DIR/bench_cache_replay not built)" >&2
 fi
 
+# ---- Serving-core scaling: event engine vs polling loop ----
+
+: >"$workdir/serve_scale.txt"
+if [ -x "$BUILD_DIR/bench_serve_scale" ]; then
+  echo "running bench_serve_scale (event engine vs polling loop)..." >&2
+  "$BUILD_DIR/bench_serve_scale" >"$workdir/serve_scale_out.txt"
+  grep -E '^serve_scale(_speedup)?,' "$workdir/serve_scale_out.txt" \
+    >"$workdir/serve_scale.txt" || true
+else
+  echo "skipping serve scaling ($BUILD_DIR/bench_serve_scale not built)" >&2
+fi
+
 if [ "$SKIP_CAMPAIGNS" -eq 0 ]; then
   wall sweep_designs "$BUILD_DIR/pluto_sim" \
     examples/scenarios/sweep_designs.ini \
@@ -157,6 +175,14 @@ if [ "$SKIP_CAMPAIGNS" -eq 0 ]; then
     --out "$workdir/serve" --deterministic --quiet \
     --metrics-out "$workdir/service_saturation_metrics.json" \
     "${tail_flags[@]}"
+  # The 5M-request fleet scenario postdates older checkouts history
+  # replays onto; probe for it before running.
+  if [ -f examples/scenarios/service_fleet.ini ]; then
+    wall service_fleet "$BUILD_DIR/pluto_sim" --service \
+      examples/scenarios/service_fleet.ini \
+      --out "$workdir/fleet" --deterministic --quiet \
+      --metrics-out "$workdir/service_fleet_metrics.json"
+  fi
 fi
 
 # ---- Emit report + history line, then gate against the series ----
@@ -231,9 +257,28 @@ with open(os.path.join(workdir, "replay.txt")) as f:
                 "file_bytes": int(parts[4]),
             }
 
+# serve_scale,<devices>,<engine>,<requests>,<loop_ms>,<sim_rps>
+# serve_scale_speedup,<devices>,<ratio>
+serve_scale = {}
+with open(os.path.join(workdir, "serve_scale.txt")) as f:
+    for line in f:
+        parts = line.strip().split(",")
+        if parts[0] == "serve_scale" and len(parts) == 6:
+            d = serve_scale.setdefault(parts[1], {})
+            d[parts[2]] = {
+                "requests": int(parts[3]),
+                "loop_ms": float(parts[4]),
+                "sim_rps": float(parts[5]),
+            }
+        elif parts[0] == "serve_scale_speedup" and len(parts) == 3:
+            d = serve_scale.setdefault(parts[1], {})
+            d["speedup"] = float(parts[2])
+
 report = {"kernels": kernels, "campaigns": campaigns}
 if replay:
     report["cache_replay"] = replay
+if serve_scale:
+    report["serve_scale"] = serve_scale
 with open(out, "w") as f:
     json.dump(report, f, indent=2)
     f.write("\n")
@@ -276,6 +321,11 @@ if history:
     if replay:
         entry["cache_replay"] = {
             k: v["load_ms"] for k, v in replay.items()
+        }
+    if serve_scale:
+        entry["serve_scale"] = {
+            dev: d["speedup"]
+            for dev, d in serve_scale.items() if "speedup" in d
         }
     # Serving-quality trajectory: SLO attainment and the p99 tail's
     # lut_reload blame share per variant (absent on older builds).
@@ -334,6 +384,25 @@ for scalar in sorted(kernels):
     if "Scalar/" in scalar and \
        scalar.replace("Scalar", "Bulk") not in kernels:
         print("missing bulk pair for %s" % scalar)
+        fail = True
+
+# Serving event-engine speedups gate per pool size, same floor rule.
+ss_floors = {}
+for e in prior:
+    if e.get("sha") == sha:
+        continue
+    for dev, sp in e.get("serve_scale", {}).items():
+        ss_floors[dev] = min(ss_floors.get(dev, sp), sp)
+for dev in sorted(serve_scale, key=int):
+    sp = serve_scale[dev].get("speedup")
+    if sp is None:
+        continue
+    floor = max(1.0, 0.5 * ss_floors.get(dev, 2.0))
+    print("%-24s %37s  %7.2fx (floor %.2fx)"
+          % ("serve_scale @%s devices" % dev, "", sp, floor))
+    if sp < floor:
+        print("FAIL: serve_scale @%s devices at %.2fx is below its "
+              "%.2fx floor" % (dev, sp, floor))
         fail = True
 
 if "jsonl" in replay and "binary" in replay:

@@ -52,6 +52,8 @@ class ScratchArena
         PlaneCarry2,
         /** BitSerialEngine::mul partial product row. */
         PlanePartial,
+        /** serve::RequestPool chunked per-device queue storage. */
+        ServeRequests,
         kSlotCount,
     };
 

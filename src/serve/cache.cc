@@ -131,7 +131,8 @@ ServiceCache::key(const runtime::DeviceConfig &cfg,
       << fmtDoubleExact(svc.sloMs) << ','
       << fmtDoubleExact(svc.sloTarget) << ','
       << fmtDoubleExact(svc.tailQuantile) << ','
-      << fmtDoubleExact(svc.timeseriesMs);
+      << fmtDoubleExact(svc.timeseriesMs) << ','
+      << fmtDoubleExact(svc.tenantSkew);
     for (const auto &c : mix)
         d << '|' << c.workload << ',' << c.elements << ',' << c.seed
           << ',' << c.tenant << ',' << fmtDoubleExact(c.weight)

@@ -7,6 +7,7 @@
 
 #include <cmath>
 #include <limits>
+#include <map>
 
 #include "common/logging.hh"
 #include "workloads/workload.hh"
@@ -49,6 +50,22 @@ LoadGen::LoadGen(const sim::ServiceSpec &spec,
         cumWeight_.push_back(acc);
     }
 
+    if (spec_.tenantSkew > 0.0) {
+        // Rank tenants ascending by id: rank 1 (the Zipf head) is
+        // the lowest tenant id of the mix.
+        std::map<u32, TenantClasses> byTenant;
+        for (u32 i = 0; i < mix_.size(); ++i) {
+            TenantClasses &tc = byTenant[mix_[i].tenant];
+            tc.classes.push_back(i);
+            const double prev =
+                tc.cumWeight.empty() ? 0.0 : tc.cumWeight.back();
+            tc.cumWeight.push_back(prev + mix_[i].weight);
+        }
+        for (auto &[tenant, tc] : byTenant)
+            tenants_.push_back(std::move(tc));
+        zipf_.emplace(tenants_.size(), spec_.tenantSkew);
+    }
+
     if (spec_.closedLoop) {
         // Each client issues its first request after one think draw,
         // staggering the initial wave the way think time staggers
@@ -75,6 +92,17 @@ LoadGen::nextArrivalAt() const
 u32
 LoadGen::drawClass()
 {
+    if (zipf_) {
+        const u64 rank = zipf_->sample(rng_);
+        const TenantClasses &tc = tenants_[rank - 1];
+        if (tc.classes.size() == 1)
+            return tc.classes.front();
+        const double x = rng_.uniform() * tc.cumWeight.back();
+        for (std::size_t i = 0; i + 1 < tc.cumWeight.size(); ++i)
+            if (x < tc.cumWeight[i])
+                return tc.classes[i];
+        return tc.classes.back();
+    }
     const double total = cumWeight_.back();
     const double x = rng_.uniform() * total;
     for (std::size_t i = 0; i < cumWeight_.size(); ++i)
@@ -126,19 +154,20 @@ LoadGen::refill(TimeNs until)
     }
 }
 
-std::vector<Request>
-LoadGen::take(TimeNs until)
+bool
+LoadGen::poll(TimeNs until, Request &out)
 {
     if (!spec_.closedLoop)
         refill(until);
-    std::vector<Request> out;
-    while (!pending_.empty() && pending_.top().arriveNs <= until) {
-        out.push_back(pending_.top());
-        pending_.pop();
-        if (!spec_.closedLoop)
-            refill(until);
-    }
-    return out;
+    if (pending_.empty() || pending_.top().arriveNs > until)
+        return false;
+    out = pending_.top();
+    pending_.pop();
+    // Keep the schedule one arrival ahead so nextArrivalAt() stays
+    // exact for the caller's next event-time computation.
+    if (!spec_.closedLoop)
+        refill(until);
+    return true;
 }
 
 void

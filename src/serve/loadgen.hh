@@ -19,15 +19,23 @@
  * from the class weights with the same seeded Rng that drives the
  * interarrival draws, so an entire arrival sequence is a pure
  * function of (ServiceSpec, mix).
+ *
+ * With `tenant_skew` s > 0 the class draw goes through a Zipf(s)
+ * tenant draw first: the mix's distinct tenant ids are ranked
+ * ascending (lowest id = rank 1 = hottest) and the class is then
+ * drawn from the chosen tenant's weights. Skew 0 (the default) keeps
+ * the plain weight draw bit-for-bit.
  */
 
 #ifndef PLUTO_SERVE_LOADGEN_HH
 #define PLUTO_SERVE_LOADGEN_HH
 
+#include <optional>
 #include <queue>
 #include <vector>
 
 #include "common/random.hh"
+#include "serve/zipf.hh"
 #include "sim/config.hh"
 
 namespace pluto::serve
@@ -85,11 +93,13 @@ class LoadGen
     bool hasPending() const { return !pending_.empty(); }
 
     /**
-     * Pop every pending arrival with time <= `until`, in (time, id)
-     * order. Open-loop generation refills lazily, so calling this
-     * repeatedly walks the whole schedule.
+     * Streaming arrival pop: write the earliest pending arrival with
+     * time <= `until` to `out` and return true, or return false when
+     * none is due. Repeated calls walk the schedule in (time, id)
+     * order; open-loop generation refills lazily. Allocation-free on
+     * the steady path — a drained tick is a single comparison.
      */
-    std::vector<Request> take(TimeNs until);
+    bool poll(TimeNs until, Request &out);
 
     /**
      * Closed loop: request `r` finished at `finishNs`; schedule the
@@ -114,10 +124,26 @@ class LoadGen
     /** One think-time draw, ns. */
     TimeNs drawThink();
 
+    /** One tenant's slice of the mix (tenant_skew > 0 only). */
+    struct TenantClasses
+    {
+        /** Mix indices of the tenant's classes, in mix order. */
+        std::vector<u32> classes;
+        /** Cumulative class weights within the tenant. */
+        std::vector<double> cumWeight;
+    };
+
     sim::ServiceSpec spec_;
     std::vector<RequestClass> mix_;
     /** Cumulative mix weights for the class draw. */
     std::vector<double> cumWeight_;
+    /**
+     * Zipf rank order of tenants when tenant_skew > 0: index r holds
+     * rank r+1, ranks ascend with tenant id (lowest id = hottest).
+     */
+    std::vector<TenantClasses> tenants_;
+    /** Tenant-rank sampler; engaged iff tenant_skew > 0. */
+    std::optional<ZipfSampler> zipf_;
     Rng rng_;
     TimeNs durationNs_ = 0.0;
     /** Open loop: next undrawn arrival instant. */

@@ -150,6 +150,11 @@ struct ServiceOutcome
     double pjPerRequest = 0.0;
     /** Every calibration run passed functional verification. */
     bool verified = false;
+    /** Host wall-clock spent inside the simulation loop itself,
+     *  pool setup and calibration excluded (bench_serve_scale's
+     *  engine comparison). Diagnostic only: never written to any
+     *  output file, so deterministic outputs are unaffected. */
+    double loopHostMs = 0.0;
 
     /** Phase sums over all requests, ms (Phase order). */
     double phaseMs[kPhaseCount] = {};

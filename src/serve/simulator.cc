@@ -1,18 +1,45 @@
 /**
  * @file
  * Discrete-event serving simulation (see simulator.hh).
+ *
+ * Two loop implementations share every model component (calibration,
+ * pool setup, batch charging, metrics): the event engine drives the
+ * clock from a binary heap of (time, kind, device) events plus the
+ * LoadGen arrival stream, while the legacy polling loop rescans the
+ * pool every tick. Their outcomes are bit-identical by construction;
+ * tests/test_serve.cc asserts it over randomized specs.
+ *
+ * Event-engine equivalence sketch (vs the polling loop):
+ *  - Every scheduled instant (freeAt, wakeAt) is >= the clock when
+ *    scheduled, so events always fire at t == now, and the heap's
+ *    (time, kind, device) order reproduces the polling phases:
+ *    completions in device order, then arrivals, then decisions.
+ *  - The policy is re-offered exactly the devices whose decision
+ *    inputs may have changed: devices that completed, idle devices
+ *    that received an arrival, devices whose wake deadline fired,
+ *    and — on every pass whose start-of-pass may-arrive signal is
+ *    false, or when the drain flag flips — every waiting device.
+ *    Skipping waiters on a true-signal pass is unobservable: no
+ *    device waits under a false per-offer signal (every policy
+ *    flushes when the prefix cannot grow), the signal's pending
+ *    term is constant across a decision pass and its busy term
+ *    only grows mid-pass, so a skipped waiter would re-decide the
+ *    same wait. A false-signal pass must re-offer, though: a
+ *    waiter may exist because an earlier device's dispatch in the
+ *    previous pass raised the busy term at its turn.
  */
 
 #include "serve/simulator.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
-#include <deque>
 #include <memory>
 
 #include "common/logging.hh"
 #include "obs/registry.hh"
 #include "obs/trace.hh"
+#include "serve/engine.hh"
 #include "workloads/workload.hh"
 
 namespace pluto::serve
@@ -33,8 +60,9 @@ struct PoolDevice
 {
     std::unique_ptr<runtime::PlutoDevice> dev;
     runtime::LutHandle lut;
-    std::deque<Request> queue;
-    /** In-service batch (empty when idle). */
+    /** FIFO queue handle into the cell's shared RequestPool. */
+    RequestPool::Queue queue;
+    /** In-service batch (empty when idle); grow-only capacity. */
     std::vector<Request> inFlight;
     bool busy = false;
     TimeNs freeAt = 0.0;
@@ -53,19 +81,6 @@ struct PoolDevice
     double batchTfawNs = 0.0;
     double batchExecNs = 0.0;
 };
-
-/** Length of the same-class FIFO prefix of a queue. */
-u32
-eligiblePrefix(const std::deque<Request> &q)
-{
-    u32 n = 0;
-    for (const auto &r : q) {
-        if (r.cls != q.front().cls)
-            break;
-        ++n;
-    }
-    return n;
-}
 
 } // namespace
 
@@ -125,7 +140,7 @@ ServeSimulator::calibrateAll(const runtime::DeviceConfig &cfg,
 }
 
 ServiceOutcome
-ServeSimulator::run(const Calibration *cal) const
+ServeSimulator::run(const Calibration *cal, EngineKind engine) const
 {
     // ---- Calibration: demand model per class, wave law once ----
     Calibration local;
@@ -189,10 +204,29 @@ ServeSimulator::run(const Calibration *cal) const
     LoadGen gen(spec_, mix_);
     ServiceMetrics metrics(MetricsConfig::from(spec_, mix_));
 
+    // Request queues live in one chunked pool on the worker's
+    // scratch arena: steady-state enqueue/dispatch recycles chunks
+    // without touching the allocator. Standalone cells (tests,
+    // benches) fall back to a private arena.
+    ScratchArena privateArena;
+    RequestPool rpool(variant_.config.arena ? *variant_.config.arena
+                                            : privateArena);
+
+    // Incremental pool accounting, shared by both loops: total
+    // queued (not yet dispatched) requests, and busy devices.
+    u64 depth = 0;
+    u32 busyCount = 0;
+
+    // Event-engine state; idle under the legacy loop. Declared here
+    // so startBatch can schedule the completion event.
+    EventQueue evq;
+    u64 evFired = 0;
+    u64 evCoalesced = 0;
+
     // Serve `n` queued requests (a same-class prefix) on `d` at
     // `now`; returns when the device frees.
     const auto startBatch = [&](PoolDevice &d, u32 n, TimeNs now) {
-        const u32 cls = d.queue.front().cls;
+        const u32 cls = rpool.front(d.queue).cls;
         const ClassDemand &dem = demand[cls];
         const auto &sched = d.dev->scheduler();
         if (tr)
@@ -244,6 +278,9 @@ ServeSimulator::run(const Calibration *cal) const
         d.busy = true;
         d.wakeAt = kNever;
         d.freeAt = now + serviceNs;
+        if (engine == EngineKind::Event)
+            evq.schedule(d.freeAt, EvKind::DeviceFree,
+                         static_cast<u32>(&d - pool.data()));
         d.busyNs += serviceNs;
         d.energyPj += sched.energyTotal() - e0;
         d.batchDispatchNs = now;
@@ -252,129 +289,331 @@ ServeSimulator::run(const Calibration *cal) const
         d.batchTfawNs = tfawNs;
         d.batchExecNs =
             std::max(0.0, serviceNs - reloadNs - tfawNs);
-        d.inFlight.assign(d.queue.begin(), d.queue.begin() + n);
-        d.queue.erase(d.queue.begin(), d.queue.begin() + n);
-        u32 busyDevices = 0;
-        for (const auto &other : pool)
-            busyDevices += other.busy;
-        metrics.onBatch(now, n, busyDevices, serviceNs);
+        d.inFlight.clear();
+        d.inFlight.reserve(n);
+        rpool.forEach(d.queue, n, [&](const Request &r) {
+            d.inFlight.push_back(r);
+        });
+        rpool.popFront(d.queue, n);
+        depth -= n;
+        ++busyCount;
+        metrics.onBatch(now, n, busyCount, serviceNs);
     };
 
-    bool drain = false;
-    TimeNs now = 0.0;
-    u32 stalled = 0;
-    for (;;) {
-        u64 progressed = 0;
-        // Next event: an arrival, a completion, or a policy timer.
-        TimeNs t = gen.nextArrivalAt();
-        for (const auto &d : pool) {
-            if (d.busy)
-                t = std::min(t, d.freeAt);
-            else if (!d.queue.empty())
-                t = std::min(t, d.wakeAt);
+    // Deliver the finished batch of `d`: per-request phase
+    // attribution, metrics, and closed-loop re-arming. @return the
+    // number of requests completed.
+    const auto completeBatch = [&](PoolDevice &d) {
+        d.busy = false;
+        --busyCount;
+        d.availAt = d.freeAt;
+        for (const auto &r : d.inFlight) {
+            // The wait splits at the instant the device became
+            // free: before it is queue wait (device busy with
+            // earlier work), after it is batch wait (the policy
+            // holding an idle device). The batch's service-time
+            // decomposition is shared by every request in it, so
+            // the five phases sum exactly to the latency.
+            const TimeNs waitNs = d.batchDispatchNs - r.arriveNs;
+            const TimeNs qw = std::min(
+                waitNs,
+                std::max(0.0, d.batchAvailNs - r.arriveNs));
+            PhaseBreakdownNs ph;
+            ph.ns[static_cast<u32>(Phase::QueueWait)] = qw;
+            ph.ns[static_cast<u32>(Phase::BatchWait)] =
+                std::max(0.0, waitNs - qw);
+            ph.ns[static_cast<u32>(Phase::LutReload)] =
+                d.batchReloadNs;
+            ph.ns[static_cast<u32>(Phase::TfawStall)] =
+                d.batchTfawNs;
+            ph.ns[static_cast<u32>(Phase::Exec)] = d.batchExecNs;
+            metrics.onComplete(r, d.freeAt, ph);
+            gen.onComplete(r, d.freeAt);
         }
-        if (t == kNever) {
-            // Nothing scheduled. Any queued leftovers are policies
-            // waiting for arrivals that will never come: flush them.
-            bool queued = false;
-            for (const auto &d : pool)
-                queued = queued || !d.queue.empty();
-            if (!queued || drain)
-                break;
-            drain = true;
-            ++progressed; // entering drain mode is progress
-        } else {
-            now = std::max(now, t);
-        }
+        const u64 done = d.inFlight.size();
+        d.inFlight.clear();
+        return done;
+    };
 
-        // 1. Completions (ties resolve in device order).
-        for (auto &d : pool) {
-            if (!d.busy || d.freeAt > now)
-                continue;
-            d.busy = false;
-            d.availAt = d.freeAt;
-            for (const auto &r : d.inFlight) {
-                // The wait splits at the instant the device became
-                // free: before it is queue wait (device busy with
-                // earlier work), after it is batch wait (the policy
-                // holding an idle device). The batch's service-time
-                // decomposition is shared by every request in it, so
-                // the five phases sum exactly to the latency.
-                const TimeNs waitNs =
-                    d.batchDispatchNs - r.arriveNs;
-                const TimeNs qw = std::min(
-                    waitNs,
-                    std::max(0.0, d.batchAvailNs - r.arriveNs));
-                PhaseBreakdownNs ph;
-                ph.ns[static_cast<u32>(Phase::QueueWait)] = qw;
-                ph.ns[static_cast<u32>(Phase::BatchWait)] =
-                    std::max(0.0, waitNs - qw);
-                ph.ns[static_cast<u32>(Phase::LutReload)] =
-                    d.batchReloadNs;
-                ph.ns[static_cast<u32>(Phase::TfawStall)] =
-                    d.batchTfawNs;
-                ph.ns[static_cast<u32>(Phase::Exec)] =
-                    d.batchExecNs;
-                metrics.onComplete(r, d.freeAt, ph);
-                gen.onComplete(r, d.freeAt);
-                ++progressed;
+    // Offer `d`'s queue to the batching policy at `now`. @return the
+    // dispatched batch size (0 = the policy waits).
+    const auto decide = [&](PoolDevice &d, TimeNs now, bool drain,
+                            bool mayArrive) -> u32 {
+        QueueView v;
+        v.eligible =
+            static_cast<u32>(rpool.eligiblePrefix(d.queue));
+        v.depth = static_cast<u32>(d.queue.size);
+        v.oldestArriveNs = rpool.front(d.queue).arriveNs;
+        // The prefix can still grow only if it spans the whole
+        // queue and the source may yet produce arrivals.
+        v.canGrow = !drain && mayArrive && v.eligible == v.depth;
+        const auto dec = policy->decide(v, now);
+        if (dec.take > 0) {
+            const u32 n = std::min(dec.take, v.eligible);
+            startBatch(d, n, now);
+            return n;
+        }
+        d.wakeAt = dec.wakeAt;
+        return 0;
+    };
+
+    // ---- Legacy polling loop: the pre-event O(R·P) tick loop,
+    // kept as the equivalence oracle and throughput baseline. ----
+    const auto runLegacyPolling = [&]() {
+        bool drain = false;
+        TimeNs now = 0.0;
+        u32 stalled = 0;
+        for (;;) {
+            u64 progressed = 0;
+            // Next event: arrival, completion, or policy timer —
+            // found by scanning the whole pool.
+            TimeNs t = gen.nextArrivalAt();
+            for (const auto &d : pool) {
+                if (d.busy)
+                    t = std::min(t, d.freeAt);
+                else if (d.queue.size > 0)
+                    t = std::min(t, d.wakeAt);
             }
-            d.inFlight.clear();
-        }
-
-        // 2. Arrivals: least-loaded dispatch (ties to the lowest
-        //    device index), queue-depth sampled after each enqueue.
-        for (const auto &r : gen.take(now)) {
-            PoolDevice *best = &pool.front();
-            auto load = [](const PoolDevice &d) {
-                return d.queue.size() + d.inFlight.size();
-            };
-            for (auto &d : pool)
-                if (load(d) < load(*best))
-                    best = &d;
-            best->queue.push_back(r);
-            ++progressed;
-            metrics.onArrival(r.arriveNs);
-            u64 depth = 0;
-            for (const auto &d : pool)
-                depth += d.queue.size();
-            metrics.onQueueDepth(r.arriveNs, depth);
-        }
-
-        // 3. Batching decisions for idle devices with work.
-        for (auto &d : pool) {
-            if (d.busy || d.queue.empty())
-                continue;
-            QueueView v;
-            v.eligible = eligiblePrefix(d.queue);
-            v.depth = static_cast<u32>(d.queue.size());
-            v.oldestArriveNs = d.queue.front().arriveNs;
-            // The prefix can still grow only if it spans the whole
-            // queue and the source may yet produce arrivals.
-            bool mayArrive = gen.hasPending();
-            if (spec_.closedLoop && !drain)
-                for (const auto &other : pool)
-                    mayArrive =
-                        mayArrive || !other.inFlight.empty();
-            v.canGrow = !drain && mayArrive &&
-                        v.eligible == v.depth;
-            const auto dec = policy->decide(v, now);
-            if (dec.take > 0) {
-                startBatch(d, std::min(dec.take, v.eligible), now);
-                ++progressed;
+            if (t == kNever) {
+                // Nothing scheduled. Any queued leftovers are
+                // policies waiting for arrivals that will never
+                // come: flush them.
+                bool queued = false;
+                for (const auto &d : pool)
+                    queued = queued || d.queue.size > 0;
+                if (!queued || drain)
+                    break;
+                drain = true;
+                ++progressed; // entering drain mode is progress
             } else {
-                d.wakeAt = dec.wakeAt;
+                now = std::max(now, t);
             }
-        }
 
-        // A policy whose deadline test disagrees with its own wakeAt
-        // could pin the clock; fail loudly instead of spinning.
-        stalled = progressed ? 0 : stalled + 1;
-        if (stalled > 8)
-            panic("serving event loop stalled at t=%.3f ms "
-                  "(policy wakeAt never dispatches)",
-                  now * 1e-6);
-    }
+            // 1. Completions (ties resolve in device order).
+            for (auto &d : pool) {
+                if (!d.busy || d.freeAt > now)
+                    continue;
+                progressed += completeBatch(d);
+            }
+
+            // 2. Arrivals: least-loaded dispatch (ties to the
+            //    lowest device index) by linear scan, queue depth
+            //    re-summed after each enqueue.
+            std::vector<Request> batch;
+            Request next;
+            while (gen.poll(now, next))
+                batch.push_back(next);
+            for (const auto &r : batch) {
+                PoolDevice *best = &pool.front();
+                auto load = [](const PoolDevice &d) {
+                    return d.queue.size + d.inFlight.size();
+                };
+                for (auto &d : pool)
+                    if (load(d) < load(*best))
+                        best = &d;
+                rpool.pushBack(best->queue, r);
+                ++depth;
+                ++progressed;
+                metrics.onArrival(r.arriveNs);
+                u64 sum = 0;
+                for (const auto &d : pool)
+                    sum += d.queue.size;
+                metrics.onQueueDepth(r.arriveNs, sum);
+            }
+
+            // 3. Batching decisions for idle devices with work.
+            for (auto &d : pool) {
+                if (d.busy || d.queue.size == 0)
+                    continue;
+                bool mayArrive = gen.hasPending();
+                if (spec_.closedLoop && !drain)
+                    for (const auto &other : pool)
+                        mayArrive =
+                            mayArrive || !other.inFlight.empty();
+                if (decide(d, now, drain, mayArrive) > 0)
+                    ++progressed;
+            }
+
+            // A policy whose deadline test disagrees with its own
+            // wakeAt could pin the clock; fail loudly instead of
+            // spinning.
+            stalled = progressed ? 0 : stalled + 1;
+            if (stalled > 8)
+                panic("serving event loop stalled at t=%.3f ms "
+                      "(policy wakeAt never dispatches)",
+                      now * 1e-6);
+        }
+    };
+
+    // ---- Event engine: heap-scheduled completions and wake-ups,
+    // indexed dispatch, dirty-set policy offers. ----
+    const auto runEventEngine = [&]() {
+        LoadIndex loads(spec_.devices);
+        // Devices whose policy inputs changed since their last
+        // offer; deduplicated, decided in device-index order.
+        std::vector<u32> dirty;
+        std::vector<u8> inDirty(spec_.devices, 0);
+        const auto markDirty = [&](u32 dev) {
+            if (!inDirty[dev]) {
+                inDirty[dev] = 1;
+                dirty.push_back(dev);
+            }
+        };
+        // Devices whose last policy offer decided to wait, lazily
+        // pruned: re-offering them is O(waiters), not O(P).
+        // Invariant: inWaiters[i] <=> i is in the list.
+        std::vector<u32> waiters;
+        std::vector<u8> inWaiters(spec_.devices, 0);
+        const auto markWaiting = [&]() {
+            std::size_t keep = 0;
+            for (const u32 w : waiters) {
+                if (!pool[w].busy && pool[w].queue.size > 0) {
+                    markDirty(w);
+                    waiters[keep++] = w; // waiting until re-decided
+                } else {
+                    inWaiters[w] = 0; // dispatched or drained since
+                }
+            }
+            waiters.resize(keep);
+        };
+        // Drop events that no longer match their device's state
+        // (superseded wake deadlines) off the top of the heap.
+        const auto purgeStale = [&]() {
+            while (!evq.empty()) {
+                const Ev &e = evq.top();
+                const PoolDevice &d = pool[e.dev];
+                const bool valid =
+                    e.kind == EvKind::DeviceFree
+                        ? d.busy && d.freeAt == e.t
+                        : !d.busy && d.queue.size > 0 &&
+                              d.wakeAt == e.t;
+                if (valid)
+                    return;
+                ++evCoalesced;
+                evq.pop();
+            }
+        };
+        const auto mayArriveNow = [&](bool drain) {
+            return gen.hasPending() ||
+                   (spec_.closedLoop && !drain && busyCount > 0);
+        };
+
+        bool drain = false;
+        TimeNs now = 0.0;
+        u32 stalled = 0;
+        Request next;
+        for (;;) {
+            u64 progressed = 0;
+            purgeStale();
+            const TimeNs t =
+                std::min(gen.nextArrivalAt(),
+                         evq.empty() ? kNever : evq.top().t);
+            if (t == kNever) {
+                if (depth == 0 || drain)
+                    break;
+                drain = true;
+                ++progressed; // entering drain mode is progress
+                markWaiting();
+            } else {
+                now = std::max(now, t);
+            }
+
+            // 1. Due events: completions first, in device order —
+            //    the heap's (t, kind, dev) order guarantees it.
+            while (!evq.empty() && evq.top().t <= now) {
+                const Ev e = evq.top();
+                evq.pop();
+                PoolDevice &d = pool[e.dev];
+                if (e.kind == EvKind::DeviceFree) {
+                    if (!d.busy || d.freeAt != e.t) {
+                        ++evCoalesced;
+                        continue;
+                    }
+                    ++evFired;
+                    progressed += completeBatch(d);
+                    loads.update(e.dev, d.queue.size);
+                    if (d.queue.size > 0)
+                        markDirty(e.dev);
+                } else {
+                    if (d.busy || d.queue.size == 0 ||
+                        d.wakeAt != e.t) {
+                        ++evCoalesced;
+                        continue;
+                    }
+                    ++evFired;
+                    d.wakeAt = kNever; // consumed
+                    markDirty(e.dev);
+                }
+            }
+
+            // 2. Arrivals: indexed least-loaded dispatch,
+            //    incrementally maintained global queue depth.
+            while (gen.poll(now, next)) {
+                const u32 dev = loads.leastLoaded();
+                PoolDevice &d = pool[dev];
+                rpool.pushBack(d.queue, next);
+                loads.update(dev,
+                             d.queue.size + d.inFlight.size());
+                ++depth;
+                ++progressed;
+                metrics.onArrival(next.arriveNs);
+                metrics.onQueueDepth(next.arriveNs, depth);
+                if (!d.busy)
+                    markDirty(dev);
+            }
+
+            // 3. Batching decisions for devices whose inputs
+            //    changed, in device-index order. A false start-of-
+            //    pass may-arrive signal re-offers every waiter (see
+            //    the equivalence sketch in the file comment).
+            if (!mayArriveNow(drain))
+                markWaiting();
+            std::sort(dirty.begin(), dirty.end());
+            for (const u32 idx : dirty) {
+                inDirty[idx] = 0;
+                PoolDevice &d = pool[idx];
+                if (d.busy || d.queue.size == 0)
+                    continue;
+                const TimeNs prevWake = d.wakeAt;
+                if (decide(d, now, drain, mayArriveNow(drain)) >
+                    0) {
+                    ++progressed;
+                } else {
+                    if (!inWaiters[idx]) {
+                        inWaiters[idx] = 1;
+                        waiters.push_back(idx);
+                    }
+                    if (d.wakeAt != kNever) {
+                        if (d.wakeAt != prevWake)
+                            evq.schedule(d.wakeAt,
+                                         EvKind::PolicyWake, idx);
+                        else
+                            ++evCoalesced; // deadline queued
+                    }
+                }
+            }
+            dirty.clear();
+
+            // A policy whose deadline test disagrees with its own
+            // wakeAt could pin the clock; fail loudly instead of
+            // spinning.
+            stalled = progressed ? 0 : stalled + 1;
+            if (stalled > 8)
+                panic("serving event loop stalled at t=%.3f ms "
+                      "(policy wakeAt never dispatches)",
+                      now * 1e-6);
+        }
+    };
+
+    const auto loopT0 = std::chrono::steady_clock::now();
+    if (engine == EngineKind::LegacyPolling)
+        runLegacyPolling();
+    else
+        runEventEngine();
+    const double loopHostMs =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - loopT0)
+            .count();
 
     TimeNs busyNs = 0.0;
     double energyPj = 0.0;
@@ -382,8 +621,9 @@ ServeSimulator::run(const Calibration *cal) const
         busyNs += d.busyNs;
         energyPj += d.energyPj;
     }
-    const ServiceOutcome outcome =
+    ServiceOutcome outcome =
         metrics.finish(spec_.devices, busyNs, energyPj, verified);
+    outcome.loopHostMs = loopHostMs;
     if (auto *sh = obs::shard()) {
         sh->inc("serve/cells");
         sh->add("serve/requests",
@@ -394,6 +634,16 @@ ServeSimulator::run(const Calibration *cal) const
         sh->add("serve/energy_pj", energyPj);
         sh->gaugeMax("serve/pool_devices",
                      static_cast<double>(spec_.devices));
+        if (engine == EngineKind::Event) {
+            sh->add("serve/events/scheduled",
+                    static_cast<double>(evq.scheduled()));
+            sh->add("serve/events/fired",
+                    static_cast<double>(evFired));
+            sh->add("serve/events/coalesced",
+                    static_cast<double>(evCoalesced));
+            sh->gaugeMax("serve/events/heap_peak",
+                         static_cast<double>(evq.peak()));
+        }
         if (outcome.sloGood + outcome.sloViolations > 0) {
             sh->add("serve/slo/good",
                     static_cast<double>(outcome.sloGood));

@@ -28,10 +28,19 @@
  *    requests in one wave group's time, raising capacity; without
  *    headroom (gang = 1) batching only amortizes queue wakeups.
  *
+ *  - The default loop is a discrete-event engine (serve/engine.hh):
+ *    completions and policy wake-ups flow through a timestamped
+ *    binary heap ordered by (time, event kind, device index),
+ *    arrivals stream from LoadGen, dispatch picks the least-loaded
+ *    device through an indexed min-heap, and only devices whose
+ *    queue state changed are re-offered to the batching policy —
+ *    O((R + E) log P) total, vs the O(R·P) polling loop it replaced
+ *    (retained as EngineKind::LegacyPolling, the test oracle).
+ *
  * Determinism: arrivals, mix draws, dispatch, batching and charging
  * are all pure functions of (variant config, service spec, mix), so
  * a cell's ServiceOutcome is bit-identical across host thread
- * counts, shards and cache replays.
+ * counts, shards, cache replays — and across engines.
  */
 
 #ifndef PLUTO_SERVE_SIMULATOR_HH
@@ -43,6 +52,28 @@
 
 namespace pluto::serve
 {
+
+/**
+ * Simulation loop implementation. Both produce bit-identical
+ * ServiceOutcomes; they differ only in algorithmic cost.
+ */
+enum class EngineKind
+{
+    /**
+     * Default: heap-indexed discrete-event engine — O(log P) event
+     * dispatch, indexed least-loaded selection, incremental depth
+     * accounting; O((R + E) log P) per cell.
+     */
+    Event,
+    /**
+     * The pre-event polling tick loop: every tick linearly scans the
+     * pool for completions, batching and drain detection, and every
+     * arrival pays an O(P) least-loaded scan plus an O(P) queue-depth
+     * re-sum; O(R·P) per cell. Kept as the equivalence oracle for
+     * tests and the baseline for bench_serve_scale.
+     */
+    LegacyPolling,
+};
 
 /** Calibrated demand of one request class on one variant. */
 struct ClassDemand
@@ -87,9 +118,11 @@ class ServeSimulator
      * Execute the simulation. Calibrates the mix itself, or reuses
      * `cal` (from calibrateAll on the same config and mix) — the
      * calibration depends only on (variant config, mix), so sweeps
-     * over service parameters share one.
+     * over service parameters share one. `engine` selects the loop
+     * implementation; outcomes are bit-identical across engines.
      */
-    ServiceOutcome run(const Calibration *cal = nullptr) const;
+    ServiceOutcome run(const Calibration *cal = nullptr,
+                       EngineKind engine = EngineKind::Event) const;
 
     /** Calibrate every class of a mix on one configuration. */
     static Calibration

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Rejection-inversion Zipf sampling (see zipf.hh).
+ */
+
+#include "serve/zipf.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace pluto::serve
+{
+
+namespace
+{
+
+/** log1p(x)/x, continuous through x = 0. */
+double
+helperLog(double x)
+{
+    if (std::abs(x) > 1e-8)
+        return std::log1p(x) / x;
+    return 1.0 - x * (0.5 - x * (1.0 / 3.0 - x * 0.25));
+}
+
+/** expm1(x)/x, continuous through x = 0. */
+double
+helperExp(double x)
+{
+    if (std::abs(x) > 1e-8)
+        return std::expm1(x) / x;
+    return 1.0 + x * 0.5 * (1.0 + x * (1.0 / 3.0) * (1.0 + x * 0.25));
+}
+
+} // namespace
+
+ZipfSampler::ZipfSampler(u64 n, double s) : n_(n), s_(s)
+{
+    PLUTO_ASSERT(n >= 1);
+    PLUTO_ASSERT(s > 0.0);
+    hIntegralX1_ = hIntegral(1.5) - 1.0;
+    hIntegralN_ = hIntegral(static_cast<double>(n) + 0.5);
+    cut_ = 2.0 - hIntegralInverse(hIntegral(2.5) - h(2.0));
+}
+
+double
+ZipfSampler::hIntegral(double x) const
+{
+    const double logX = std::log(x);
+    return helperExp((1.0 - s_) * logX) * logX;
+}
+
+double
+ZipfSampler::h(double x) const
+{
+    return std::exp(-s_ * std::log(x));
+}
+
+double
+ZipfSampler::hIntegralInverse(double x) const
+{
+    double t = x * (1.0 - s_);
+    if (t < -1.0)
+        t = -1.0; // Guard round-off below the h(x) singularity.
+    return std::exp(helperLog(t) * x);
+}
+
+u64
+ZipfSampler::sample(Rng &rng) const
+{
+    for (;;) {
+        const double u =
+            hIntegralN_ +
+            rng.uniform() * (hIntegralX1_ - hIntegralN_);
+        const double x = hIntegralInverse(u);
+        u64 k = static_cast<u64>(x + 0.5);
+        if (k < 1)
+            k = 1;
+        else if (k > n_)
+            k = n_;
+        // Ranks within `cut_` of the envelope (always 1 and 2) are
+        // accepted outright; the rest pay one more integral check.
+        if (static_cast<double>(k) - x <= cut_)
+            return k;
+        if (u >= hIntegral(static_cast<double>(k) + 0.5) - h(static_cast<double>(k)))
+            return k;
+    }
+}
+
+} // namespace pluto::serve

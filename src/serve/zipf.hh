@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Seeded Zipf(n, s) sampler for skewed tenant traffic.
+ *
+ * Rejection-inversion sampling after Hörmann & Derflinger (1996):
+ * draw from the continuous envelope of the discrete Zipf mass by
+ * inverting the integral of h(x) = 1/x^s, then accept/reject the
+ * rounded rank. No lattice tables, O(1) state, and an expected
+ * constant (< 2) number of uniform draws per sample for every
+ * exponent s > 0 — including s <= 1, where the classic inverse-CDF
+ * table would need all n entries.
+ *
+ * Determinism contract: a sample sequence is a pure function of
+ * (n, s, Rng state); the sampler itself holds no RNG, so callers
+ * control seeding and draw order.
+ */
+
+#ifndef PLUTO_SERVE_ZIPF_HH
+#define PLUTO_SERVE_ZIPF_HH
+
+#include "common/random.hh"
+#include "common/types.hh"
+
+namespace pluto::serve
+{
+
+/** Zipf(n, s) rank sampler: P(k) proportional to 1/k^s, k in [1, n]. */
+class ZipfSampler
+{
+  public:
+    /**
+     * @param n number of ranks (>= 1)
+     * @param s skew exponent (> 0); larger = more skew toward rank 1
+     */
+    ZipfSampler(u64 n, double s);
+
+    /** Draw one rank in [1, n] using uniforms from `rng`. */
+    u64 sample(Rng &rng) const;
+
+    u64 ranks() const { return n_; }
+    double skew() const { return s_; }
+
+  private:
+    /** Integral of h(x) = x^-s from 1 to x (shifted so H(1) = 0). */
+    double hIntegral(double x) const;
+    /** The envelope density h(x) = x^-s. */
+    double h(double x) const;
+    /** Inverse of hIntegral. */
+    double hIntegralInverse(double x) const;
+
+    u64 n_ = 1;
+    double s_ = 1.0;
+    /** hIntegral(1.5) - 1: upper bound of the inversion domain. */
+    double hIntegralX1_ = 0.0;
+    /** hIntegral(n + 0.5): lower bound of the inversion domain. */
+    double hIntegralN_ = 0.0;
+    /** Acceptance shortcut threshold (covers ranks 1 and 2). */
+    double cut_ = 0.0;
+};
+
+} // namespace pluto::serve
+
+#endif // PLUTO_SERVE_ZIPF_HH

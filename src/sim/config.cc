@@ -212,6 +212,11 @@ applyServiceKey(ServiceSpec &svc, const std::string &key,
         if (!parseDouble(value, svc.tailQuantile) ||
             !(svc.tailQuantile > 0.0 && svc.tailQuantile < 1.0))
             return "bad tail_quantile '" + value + "' (0 < q < 1)";
+    } else if (key == "tenant_skew") {
+        if (!parseDouble(value, svc.tenantSkew) ||
+            !(svc.tenantSkew >= 0.0))
+            return "bad tenant_skew '" + value +
+                   "' (Zipf exponent >= 0; 0 = uniform)";
     } else if (key == "timeseries_ms") {
         if (!parseDouble(value, svc.timeseriesMs) ||
             !(svc.timeseriesMs > 0.0))

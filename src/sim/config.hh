@@ -143,6 +143,13 @@ struct ServiceSpec
     double sloTarget = 0.99;
     /** Tail-blame cutoff quantile in (0,1) (--tail-report). */
     double tailQuantile = 0.99;
+    /**
+     * Zipf exponent of the tenant draw (0 = uniform weight draw).
+     * With skew s > 0, the distinct tenant ids of the mix are ranked
+     * ascending (lowest id = hottest) and a request's tenant is drawn
+     * Zipf(s) over the ranks before the class draw within the tenant.
+     */
+    double tenantSkew = 0.0;
     /** Virtual-time series window, ms (--timeseries). */
     double timeseriesMs = 1.0;
 };

@@ -9,13 +9,17 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <filesystem>
 #include <fstream>
 
+#include "common/random.hh"
 #include "serve/cache.hh"
+#include "serve/engine.hh"
 #include "serve/loadgen.hh"
 #include "serve/policy.hh"
 #include "serve/simulator.hh"
+#include "serve/zipf.hh"
 
 namespace pluto::serve
 {
@@ -97,6 +101,17 @@ twoClassMix()
     return {a, b};
 }
 
+/** Drain every due arrival through the streaming interface. */
+std::vector<Request>
+drainAll(LoadGen &gen, TimeNs until = 1e12)
+{
+    std::vector<Request> out;
+    Request r;
+    while (gen.poll(until, r))
+        out.push_back(r);
+    return out;
+}
+
 TEST(LoadGen, UniformOpenLoopIsExactSpacing)
 {
     sim::ServiceSpec svc;
@@ -104,7 +119,7 @@ TEST(LoadGen, UniformOpenLoopIsExactSpacing)
     svc.ratePerSec = 1000.0; // 1 per ms
     svc.durationMs = 10.0;
     LoadGen gen(svc, twoClassMix());
-    const auto all = gen.take(1e12);
+    const auto all = drainAll(gen);
     ASSERT_EQ(all.size(), 10u);
     for (std::size_t i = 0; i < all.size(); ++i) {
         EXPECT_DOUBLE_EQ(all[i].arriveNs, (i + 1) * 1e6);
@@ -120,8 +135,8 @@ TEST(LoadGen, PoissonIsSeededAndReproducible)
     svc.seed = 99;
     LoadGen a(svc, twoClassMix());
     LoadGen b(svc, twoClassMix());
-    const auto ra = a.take(1e12);
-    const auto rb = b.take(1e12);
+    const auto ra = drainAll(a);
+    const auto rb = drainAll(b);
     ASSERT_EQ(ra.size(), rb.size());
     ASSERT_GT(ra.size(), 20u);
     bool sawBoth[2] = {false, false};
@@ -139,7 +154,7 @@ TEST(LoadGen, PoissonIsSeededAndReproducible)
 
     svc.seed = 100;
     LoadGen c(svc, twoClassMix());
-    const auto rc = c.take(1e12);
+    const auto rc = drainAll(c);
     ASSERT_FALSE(rc.empty());
     EXPECT_NE(ra[0].arriveNs, rc[0].arriveNs);
 }
@@ -152,14 +167,14 @@ TEST(LoadGen, ClosedLoopKeepsPopulationBounded)
     svc.thinkMs = 0.5;
     svc.durationMs = 100.0;
     LoadGen gen(svc, twoClassMix());
-    auto first = gen.take(1e12);
+    auto first = drainAll(gen);
     EXPECT_LE(first.size(), 4u);
     EXPECT_FALSE(gen.hasPending());
     // A completion re-arms exactly one client.
     ASSERT_FALSE(first.empty());
     gen.onComplete(first[0], 1e6);
     EXPECT_TRUE(gen.hasPending());
-    const auto next = gen.take(1e12);
+    const auto next = drainAll(gen);
     ASSERT_EQ(next.size(), 1u);
     EXPECT_GE(next[0].arriveNs, 1e6);
     // Completions past the duration retire the client.
@@ -174,8 +189,257 @@ TEST(LoadGen, TenantComesFromClass)
     svc.ratePerSec = 1000.0;
     svc.durationMs = 30.0;
     LoadGen gen(svc, twoClassMix());
-    for (const auto &r : gen.take(1e12))
+    for (const auto &r : drainAll(gen))
         EXPECT_EQ(r.tenant, r.cls == 0 ? 0u : 3u);
+}
+
+TEST(LoadGen, PollIsAnIncrementalTake)
+{
+    // poll(until) must walk the same schedule as repeated bounded
+    // drains: (time, id) order with no request lost or duplicated.
+    sim::ServiceSpec svc;
+    svc.ratePerSec = 5000.0;
+    svc.durationMs = 20.0;
+    svc.seed = 42;
+    LoadGen whole(svc, twoClassMix());
+    LoadGen stepped(svc, twoClassMix());
+    const auto all = drainAll(whole);
+    std::vector<Request> steps;
+    for (TimeNs until = 0.0; until <= 21e6; until += 0.5e6)
+        for (const auto &r : drainAll(stepped, until))
+            steps.push_back(r);
+    ASSERT_EQ(all.size(), steps.size());
+    for (std::size_t i = 0; i < all.size(); ++i) {
+        EXPECT_EQ(all[i].id, steps[i].id);
+        EXPECT_DOUBLE_EQ(all[i].arriveNs, steps[i].arriveNs);
+        EXPECT_EQ(all[i].cls, steps[i].cls);
+    }
+}
+
+TEST(ZipfSampler, IsSeededDeterministicAndInRange)
+{
+    const ZipfSampler zipf(16, 1.2);
+    Rng a(7), b(7);
+    for (int i = 0; i < 1000; ++i) {
+        const u64 ka = zipf.sample(a);
+        EXPECT_EQ(ka, zipf.sample(b));
+        EXPECT_GE(ka, 1u);
+        EXPECT_LE(ka, 16u);
+    }
+    // Degenerate single-rank sampler still terminates.
+    const ZipfSampler one(1, 0.7);
+    Rng c(3);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(one.sample(c), 1u);
+}
+
+TEST(ZipfSampler, MatchesTheZipfMass)
+{
+    // Frequencies over 200k draws match p(k) = k^-s / H_{n,s} to
+    // well under a percent (fixed seed, so no flakiness).
+    const u64 n = 8;
+    for (const double s : {0.6, 1.0, 2.0}) {
+        const ZipfSampler zipf(n, s);
+        Rng rng(123);
+        std::vector<u64> count(n, 0);
+        const int draws = 200000;
+        for (int i = 0; i < draws; ++i)
+            ++count[zipf.sample(rng) - 1];
+        double hsum = 0.0;
+        for (u64 k = 1; k <= n; ++k)
+            hsum += std::pow(static_cast<double>(k), -s);
+        for (u64 k = 1; k <= n; ++k) {
+            const double p =
+                std::pow(static_cast<double>(k), -s) / hsum;
+            const double freq =
+                static_cast<double>(count[k - 1]) / draws;
+            EXPECT_NEAR(freq, p, 0.01)
+                << "s=" << s << " rank=" << k;
+        }
+        // Monotone: the head outweighs every later rank.
+        for (u64 k = 1; k < n; ++k)
+            EXPECT_GE(count[0], count[k]);
+    }
+}
+
+TEST(LoadGen, TenantSkewBiasesTowardLowTenantIds)
+{
+    // twoClassMix tenants {0, 3}: under skew=2, rank 1 (tenant 0)
+    // carries 1/(1+2^-2) = 80% of the traffic; under the default
+    // uniform draw it carries weight 1.0 of 1.5 ~ 67%.
+    sim::ServiceSpec svc;
+    svc.uniformArrivals = true;
+    svc.ratePerSec = 100000.0;
+    svc.durationMs = 40.0; // 4000 requests
+    auto frac0 = [&](double skew) {
+        auto s = svc;
+        s.tenantSkew = skew;
+        LoadGen gen(s, twoClassMix());
+        const auto all = drainAll(gen);
+        EXPECT_GT(all.size(), 1000u);
+        u64 t0 = 0;
+        for (const auto &r : all)
+            t0 += r.tenant == 0;
+        return static_cast<double>(t0) /
+               static_cast<double>(all.size());
+    };
+    EXPECT_NEAR(frac0(0.0), 2.0 / 3.0, 0.04);
+    EXPECT_NEAR(frac0(2.0), 0.8, 0.04);
+
+    // Within a tenant, classes keep their relative weights.
+    auto mix = twoClassMix();
+    RequestClass extra = mix[1]; // CRC-8
+    extra.tenant = 0;
+    extra.weight = 3.0;
+    mix.push_back(extra);
+    auto s = svc;
+    s.tenantSkew = 1.0;
+    LoadGen gen(s, mix);
+    u64 cls0 = 0, cls2 = 0;
+    for (const auto &r : drainAll(gen)) {
+        cls0 += r.cls == 0;
+        cls2 += r.cls == 2;
+    }
+    ASSERT_GT(cls0, 100u);
+    // weight 3.0 vs 1.0 within tenant 0.
+    const double ratio = static_cast<double>(cls2) /
+                         static_cast<double>(cls0);
+    EXPECT_NEAR(ratio, 3.0, 0.45);
+
+    // Skewed draws are as deterministic as uniform ones.
+    LoadGen g1(s, mix), g2(s, mix);
+    const auto r1 = drainAll(g1);
+    const auto r2 = drainAll(g2);
+    ASSERT_EQ(r1.size(), r2.size());
+    for (std::size_t i = 0; i < r1.size(); ++i) {
+        EXPECT_EQ(r1[i].cls, r2[i].cls);
+        EXPECT_DOUBLE_EQ(r1[i].arriveNs, r2[i].arriveNs);
+    }
+}
+
+TEST(EventQueue, PopOrderIsInsertionOrderIndependent)
+{
+    // Any permutation of schedule() calls pops the same
+    // (time, kind, device) sequence — the engine's determinism
+    // hinges on this total order.
+    Rng rng(2024);
+    std::vector<Ev> events;
+    for (int i = 0; i < 500; ++i) {
+        Ev e;
+        e.t = static_cast<double>(rng.below(64)); // force ties
+        e.kind = rng.below(2) ? EvKind::PolicyWake
+                              : EvKind::DeviceFree;
+        e.dev = static_cast<u32>(rng.below(16));
+        events.push_back(e);
+    }
+    auto popAll = [](EventQueue &q) {
+        std::vector<Ev> out;
+        while (!q.empty()) {
+            out.push_back(q.top());
+            q.pop();
+        }
+        return out;
+    };
+    EventQueue q1;
+    for (const auto &e : events)
+        q1.schedule(e.t, e.kind, e.dev);
+    // Fisher-Yates with the seeded Rng: a different insertion order.
+    for (std::size_t i = events.size(); i > 1; --i)
+        std::swap(events[i - 1], events[rng.below(i)]);
+    EventQueue q2;
+    for (const auto &e : events)
+        q2.schedule(e.t, e.kind, e.dev);
+
+    const auto a = popAll(q1);
+    const auto b = popAll(q2);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].t, b[i].t);
+        EXPECT_EQ(a[i].kind, b[i].kind);
+        EXPECT_EQ(a[i].dev, b[i].dev);
+        if (i == 0)
+            continue;
+        // Strictly ordered by (t, kind, dev).
+        const bool ordered =
+            a[i - 1].t < a[i].t ||
+            (a[i - 1].t == a[i].t &&
+             (a[i - 1].kind < a[i].kind ||
+              (a[i - 1].kind == a[i].kind &&
+               a[i - 1].dev <= a[i].dev)));
+        EXPECT_TRUE(ordered) << "at " << i;
+    }
+    EXPECT_EQ(q1.scheduled(), 500u);
+    EXPECT_EQ(q1.peak(), 500u);
+}
+
+TEST(LoadIndex, MatchesTheLinearScanOracle)
+{
+    // The heap-indexed dispatcher must pick exactly the device the
+    // polling loop's linear scan picked (min load, ties to the
+    // lowest index) across randomized arrival/completion traces.
+    for (const u32 devices : {1u, 3u, 8u, 64u}) {
+        Rng rng(1000 + devices);
+        LoadIndex index(devices);
+        std::vector<u64> load(devices, 0);
+        for (int op = 0; op < 4000; ++op) {
+            if (rng.below(3) != 0) {
+                // Arrival: dispatch least-loaded, then load += 1.
+                u32 oracle = 0;
+                for (u32 d = 1; d < devices; ++d)
+                    if (load[d] < load[oracle])
+                        oracle = d;
+                const u32 picked = index.leastLoaded();
+                ASSERT_EQ(picked, oracle) << "op " << op;
+                ++load[picked];
+                index.update(picked, load[picked]);
+            } else {
+                // Completion: some device sheds a batch.
+                const u32 d = static_cast<u32>(rng.below(devices));
+                const u64 shed = std::min<u64>(
+                    load[d], 1 + rng.below(4));
+                load[d] -= shed;
+                index.update(d, load[d]);
+            }
+        }
+    }
+}
+
+TEST(RequestPool, FifoAcrossChunkBoundaries)
+{
+    ScratchArena arena;
+    RequestPool pool(arena);
+    RequestPool::Queue q;
+    // Push enough to span several chunks, with a class change mid
+    // stream to exercise eligiblePrefix.
+    const u32 total = RequestPool::kChunkCap * 3 + 5;
+    const u32 flip = RequestPool::kChunkCap + 7;
+    for (u32 i = 0; i < total; ++i) {
+        Request r;
+        r.id = i;
+        r.cls = i < flip ? 2 : 9;
+        r.arriveNs = static_cast<double>(i);
+        pool.pushBack(q, r);
+    }
+    EXPECT_EQ(q.size, total);
+    EXPECT_EQ(pool.front(q).id, 0u);
+    EXPECT_EQ(pool.eligiblePrefix(q), flip);
+    // Drain in odd-sized bites and check FIFO order end to end.
+    u64 expect = 0;
+    while (q.size > 0) {
+        const u64 n = std::min<u64>(q.size, 7);
+        pool.forEach(q, n, [&](const Request &r) {
+            EXPECT_EQ(r.id, expect++);
+        });
+        pool.popFront(q, n);
+    }
+    EXPECT_EQ(expect, total);
+    // Chunks recycle: a reused queue starts from the free list.
+    Request r;
+    r.id = 777;
+    r.cls = 1;
+    pool.pushBack(q, r);
+    EXPECT_EQ(pool.front(q).id, 777u);
+    EXPECT_EQ(pool.eligiblePrefix(q), 1u);
 }
 
 TEST(BuildMix, ResolvesDefaultElements)
@@ -301,6 +565,78 @@ TEST(ServeSimulator, RerunsAreBitIdentical)
     ASSERT_GT(a.requests, 0u);
     EXPECT_TRUE(a.verified);
     expectSameOutcome(a, b);
+}
+
+TEST(ServeSimulator, EventEngineMatchesThePollingOracle)
+{
+    // The heap-indexed event engine must reproduce the legacy
+    // polling loop's outcome bit for bit across every policy, both
+    // loop modes, light and saturating load, and pool sizes that
+    // exercise dispatch ties. One shared calibration keeps the grid
+    // cheap.
+    const auto variant = testVariant(128);
+    const auto mix = twoClassMix();
+    const auto cal =
+        ServeSimulator::calibrateAll(variant.config, mix);
+    const sim::BatchPolicyKind policies[] = {
+        sim::BatchPolicyKind::Immediate,
+        sim::BatchPolicyKind::FixedSize,
+        sim::BatchPolicyKind::TimeWindow,
+        sim::BatchPolicyKind::Adaptive,
+    };
+    u64 cells = 0;
+    for (const auto policy : policies)
+        for (const double rate : {2000.0, 60000.0})
+            for (const u32 devices : {1u, 3u, 5u})
+                for (const bool closed : {false, true}) {
+                    auto svc = testService(policy, rate);
+                    svc.devices = devices;
+                    svc.durationMs = 3.0;
+                    svc.closedLoop = closed;
+                    svc.clients = 9;
+                    svc.thinkMs = 0.02;
+                    svc.sloMs = 0.5;
+                    SCOPED_TRACE(
+                        "policy=" +
+                        std::string(sim::batchPolicyName(policy)) +
+                        " rate=" + std::to_string(rate) +
+                        " devices=" + std::to_string(devices) +
+                        " closed=" + std::to_string(closed));
+                    ServeSimulator sim(variant, svc, mix);
+                    const auto ev =
+                        sim.run(&cal, EngineKind::Event);
+                    const auto legacy =
+                        sim.run(&cal, EngineKind::LegacyPolling);
+                    ASSERT_GT(ev.requests, 0u);
+                    expectSameOutcome(ev, legacy);
+                    ++cells;
+                }
+    EXPECT_EQ(cells, 48u);
+}
+
+TEST(ServeSimulator, SkewedTenantsStayDeterministic)
+{
+    const auto variant = testVariant();
+    auto svc = testService(sim::BatchPolicyKind::Adaptive, 8000.0);
+    svc.tenantSkew = 3.0;
+    const auto mix = twoClassMix();
+    const auto cal =
+        ServeSimulator::calibrateAll(variant.config, mix);
+    ServeSimulator sim(variant, svc, mix);
+    const auto a = sim.run(&cal, EngineKind::Event);
+    const auto b = sim.run(&cal, EngineKind::Event);
+    ASSERT_GT(a.requests, 0u);
+    expectSameOutcome(a, b);
+    // The skewed stream still matches the polling oracle.
+    expectSameOutcome(a, sim.run(&cal, EngineKind::LegacyPolling));
+    // And skew shifts traffic toward tenant 0 vs the uniform draw.
+    auto uniform = svc;
+    uniform.tenantSkew = 0.0;
+    const auto u =
+        ServeSimulator(variant, uniform, mix).run(&cal);
+    ASSERT_EQ(a.tenants.size(), 2u);
+    ASSERT_EQ(u.tenants.size(), 2u);
+    EXPECT_GT(a.tenants[0].requests, u.tenants[0].requests);
 }
 
 TEST(ServeSimulator, TenantRequestsSumToTotal)
@@ -587,6 +923,9 @@ TEST(ServiceCache, KeySeparatesSpecsAndMixes)
     sim::ServiceSpec svc5 = svc;
     svc5.timeseriesMs = 0.5;
     EXPECT_NE(base, ServiceCache::key(dev, svc5, mix));
+    sim::ServiceSpec svc6 = svc;
+    svc6.tenantSkew = 0.99;
+    EXPECT_NE(base, ServiceCache::key(dev, svc6, mix));
     auto mix3 = mix;
     mix3[0].sloMs = 1.5;
     EXPECT_NE(base, ServiceCache::key(dev, svc, mix3));
