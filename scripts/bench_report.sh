@@ -150,9 +150,9 @@ fi
 
 : >"$workdir/serve_scale.txt"
 if [ -x "$BUILD_DIR/bench_serve_scale" ]; then
-  echo "running bench_serve_scale (event engine vs polling loop)..." >&2
+  echo "running bench_serve_scale (engines + batch-signature memo)..." >&2
   "$BUILD_DIR/bench_serve_scale" >"$workdir/serve_scale_out.txt"
-  grep -E '^serve_scale(_speedup)?,' "$workdir/serve_scale_out.txt" \
+  grep -E '^serve_(scale|memo)(_speedup)?,' "$workdir/serve_scale_out.txt" \
     >"$workdir/serve_scale.txt" || true
 else
   echo "skipping serve scaling ($BUILD_DIR/bench_serve_scale not built)" >&2
@@ -182,6 +182,14 @@ if [ "$SKIP_CAMPAIGNS" -eq 0 ]; then
       examples/scenarios/service_fleet.ini \
       --out "$workdir/fleet" --deterministic --quiet \
       --metrics-out "$workdir/service_fleet_metrics.json"
+  fi
+  # The ~50M-request XL fleet (batch-signature memoization makes it
+  # affordable) also postdates older checkouts; probe for it.
+  if [ -f examples/scenarios/service_fleet_xl.ini ]; then
+    wall service_fleet_xl "$BUILD_DIR/pluto_sim" --service \
+      examples/scenarios/service_fleet_xl.ini \
+      --out "$workdir/fleet_xl" --deterministic --quiet \
+      --metrics-out "$workdir/service_fleet_xl_metrics.json"
   fi
 fi
 
@@ -259,26 +267,36 @@ with open(os.path.join(workdir, "replay.txt")) as f:
 
 # serve_scale,<devices>,<engine>,<requests>,<loop_ms>,<sim_rps>
 # serve_scale_speedup,<devices>,<ratio>
+# serve_memo,<devices>,<mode>,<requests>,<loop_ms>,<sim_rps>
+# serve_memo_speedup,<devices>,<ratio>
 serve_scale = {}
+serve_memo = {}
 with open(os.path.join(workdir, "serve_scale.txt")) as f:
     for line in f:
         parts = line.strip().split(",")
-        if parts[0] == "serve_scale" and len(parts) == 6:
-            d = serve_scale.setdefault(parts[1], {})
+        table = {"serve_scale": serve_scale,
+                 "serve_memo": serve_memo}.get(
+            parts[0].replace("_speedup", ""))
+        if table is None:
+            continue
+        if parts[0].endswith("_speedup") and len(parts) == 3:
+            d = table.setdefault(parts[1], {})
+            d["speedup"] = float(parts[2])
+        elif len(parts) == 6:
+            d = table.setdefault(parts[1], {})
             d[parts[2]] = {
                 "requests": int(parts[3]),
                 "loop_ms": float(parts[4]),
                 "sim_rps": float(parts[5]),
             }
-        elif parts[0] == "serve_scale_speedup" and len(parts) == 3:
-            d = serve_scale.setdefault(parts[1], {})
-            d["speedup"] = float(parts[2])
 
 report = {"kernels": kernels, "campaigns": campaigns}
 if replay:
     report["cache_replay"] = replay
 if serve_scale:
     report["serve_scale"] = serve_scale
+if serve_memo:
+    report["serve_memo"] = serve_memo
 with open(out, "w") as f:
     json.dump(report, f, indent=2)
     f.write("\n")
@@ -326,6 +344,11 @@ if history:
         entry["serve_scale"] = {
             dev: d["speedup"]
             for dev, d in serve_scale.items() if "speedup" in d
+        }
+    if serve_memo:
+        entry["serve_memo"] = {
+            dev: d["speedup"]
+            for dev, d in serve_memo.items() if "speedup" in d
         }
     # Serving-quality trajectory: SLO attainment and the p99 tail's
     # lut_reload blame share per variant (absent on older builds).
@@ -386,24 +409,27 @@ for scalar in sorted(kernels):
         print("missing bulk pair for %s" % scalar)
         fail = True
 
-# Serving event-engine speedups gate per pool size, same floor rule.
-ss_floors = {}
-for e in prior:
-    if e.get("sha") == sha:
-        continue
-    for dev, sp in e.get("serve_scale", {}).items():
-        ss_floors[dev] = min(ss_floors.get(dev, sp), sp)
-for dev in sorted(serve_scale, key=int):
-    sp = serve_scale[dev].get("speedup")
-    if sp is None:
-        continue
-    floor = max(1.0, 0.5 * ss_floors.get(dev, 2.0))
-    print("%-24s %37s  %7.2fx (floor %.2fx)"
-          % ("serve_scale @%s devices" % dev, "", sp, floor))
-    if sp < floor:
-        print("FAIL: serve_scale @%s devices at %.2fx is below its "
-              "%.2fx floor" % (dev, sp, floor))
-        fail = True
+# Serving event-engine and memo speedups gate per pool size, same
+# floor rule per series.
+for series, table in (("serve_scale", serve_scale),
+                      ("serve_memo", serve_memo)):
+    ss_floors = {}
+    for e in prior:
+        if e.get("sha") == sha:
+            continue
+        for dev, sp in e.get(series, {}).items():
+            ss_floors[dev] = min(ss_floors.get(dev, sp), sp)
+    for dev in sorted(table, key=int):
+        sp = table[dev].get("speedup")
+        if sp is None:
+            continue
+        floor = max(1.0, 0.5 * ss_floors.get(dev, 2.0))
+        print("%-24s %37s  %7.2fx (floor %.2fx)"
+              % ("%s @%s devices" % (series, dev), "", sp, floor))
+        if sp < floor:
+            print("FAIL: %s @%s devices at %.2fx is below its "
+                  "%.2fx floor" % (series, dev, sp, floor))
+            fail = True
 
 if "jsonl" in replay and "binary" in replay:
     jms = replay["jsonl"]["load_ms"]

@@ -135,7 +135,8 @@ finishCampaign(
     const auto w0 = std::chrono::steady_clock::now();
     const std::string werr = write(suffix, written);
     if (auto *sh = obs::shard())
-        sh->add("campaign/phase/write_ms", msSince(w0));
+        sh->add("campaign/phase/write_ms",
+                inv.opt.deterministic ? 0.0 : msSince(w0));
     if (!werr.empty()) {
         std::fprintf(stderr, "output error: %s\n", werr.c_str());
         return 1;

@@ -157,10 +157,12 @@ runCampaign(std::size_t count, const RunOptions &opt,
     stats.cacheMisses = count - stats.cacheHits;
     stats.wallMs = opt.deterministic ? 0.0 : msSince(t0);
     // forEachTask rebound this thread to the root shard, so the
-    // phase-level wall lands there. Telemetry keeps the real wall
-    // even under --deterministic (metrics files are side-band).
+    // phase-level wall lands there. Under --deterministic the phase
+    // wall is zeroed like every other host-time field, so --metrics-out
+    // files byte-compare across reruns and memo modes.
     if (auto *sh = obs::shard())
-        sh->add("campaign/phase/run_ms", msSince(t0));
+        sh->add("campaign/phase/run_ms",
+                opt.deterministic ? 0.0 : msSince(t0));
     return stats;
 }
 

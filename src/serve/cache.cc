@@ -16,7 +16,10 @@ namespace
 /** Bump when the serving model changes cached semantics.
  *  v3: tail-latency attribution (phase sums, SLO tracking, tail
  *  groups, latency histogram, virtual-time series). */
-constexpr u32 kServeSchema = 3;
+// v4: batches charge from a canonical per-batch scheduler epoch
+// (batch-signature memoization), which moves outcomes by FP ulps
+// and drops inter-batch tFAW carry-in relative to v3.
+constexpr u32 kServeSchema = 4;
 
 /** The scalar double fields of a ServiceOutcome, in JSON order. */
 struct Field
@@ -132,7 +135,8 @@ ServiceCache::key(const runtime::DeviceConfig &cfg,
       << fmtDoubleExact(svc.sloTarget) << ','
       << fmtDoubleExact(svc.tailQuantile) << ','
       << fmtDoubleExact(svc.timeseriesMs) << ','
-      << fmtDoubleExact(svc.tenantSkew);
+      << fmtDoubleExact(svc.tenantSkew) << ','
+      << sim::memoModeName(svc.memo);
     for (const auto &c : mix)
         d << '|' << c.workload << ',' << c.elements << ',' << c.seed
           << ',' << c.tenant << ',' << fmtDoubleExact(c.weight)

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Batch-signature memo store (see memo.hh).
+ */
+
+#include "serve/memo.hh"
+
+#include "common/logging.hh"
+
+namespace pluto::serve
+{
+
+namespace
+{
+
+/** Rough per-node overhead of a map/vector-held string record. */
+constexpr std::size_t kNodeOverhead = 48;
+
+std::size_t
+bundleBytes(const BatchBundle &b)
+{
+    std::size_t n = sizeof(BatchMemo::Entry);
+    for (const auto &[name, value] : b.counters.counters()) {
+        (void)value;
+        n += name.size() + sizeof(double) + kNodeOverhead;
+    }
+    for (const auto &ev : b.trace)
+        n += ev.name.size() + sizeof(ev) + kNodeOverhead;
+    return n;
+}
+
+} // namespace
+
+u32
+BatchMemo::insert(u64 key, BatchBundle bundle)
+{
+    PLUTO_ASSERT(index_.find(key) == index_.end());
+    const u32 idx = static_cast<u32>(entries_.size());
+    entries_.push_back(Entry{key, std::move(bundle)});
+    index_.emplace(key, idx);
+    bytes_ += bundleBytes(entries_.back().bundle);
+    return idx;
+}
+
+bool
+bundleEquals(const BatchBundle &a, const BatchBundle &b)
+{
+    if (a.serviceNs != b.serviceNs || a.energyPj != b.energyPj ||
+        a.reloadNs != b.reloadNs || a.tfawNs != b.tfawNs ||
+        a.residentAfter != b.residentAfter)
+        return false;
+    if (a.counters.counters() != b.counters.counters())
+        return false;
+    if (a.trace.size() != b.trace.size())
+        return false;
+    for (std::size_t i = 0; i < a.trace.size(); ++i) {
+        const auto &x = a.trace[i];
+        const auto &y = b.trace[i];
+        if (x.name != y.name || x.start != y.start ||
+            x.end != y.end)
+            return false;
+    }
+    return true;
+}
+
+} // namespace pluto::serve

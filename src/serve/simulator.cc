@@ -40,6 +40,7 @@
 #include "obs/registry.hh"
 #include "obs/trace.hh"
 #include "serve/engine.hh"
+#include "serve/memo.hh"
 #include "workloads/workload.hh"
 
 namespace pluto::serve
@@ -140,7 +141,8 @@ ServeSimulator::calibrateAll(const runtime::DeviceConfig &cfg,
 }
 
 ServiceOutcome
-ServeSimulator::run(const Calibration *cal, EngineKind engine) const
+ServeSimulator::run(const Calibration *cal, EngineKind engine,
+                    BatchMemo *extMemo) const
 {
     // ---- Calibration: demand model per class, wave law once ----
     Calibration local;
@@ -223,56 +225,133 @@ ServeSimulator::run(const Calibration *cal, EngineKind engine) const
     u64 evFired = 0;
     u64 evCoalesced = 0;
 
+    // ---- Batch-signature memo (see memo.hh). The signature table
+    // is maintained identically in every memo mode — hits, misses,
+    // entries and the verify schedule are properties of the
+    // signature stream, so telemetry and the device counter fold
+    // stay byte-identical across on / off / verify. ----
+    const sim::MemoMode memoMode = spec_.memo;
+    BatchMemo localMemo;
+    BatchMemo &memo = extMemo ? *extMemo : localMemo;
+    u64 memoHits = 0;
+    u64 memoMisses = 0;
+    u64 memoVerifyChecks = 0;
+    // Per-device occurrence count of each memo entry, indexed by
+    // entry id: the end-of-run device counter fold is
+    // bundle-delta x count in first-seen entry order.
+    std::vector<std::vector<u64>> entryCounts(pool.size());
+
     // Serve `n` queued requests (a same-class prefix) on `d` at
     // `now`; returns when the device frees.
     const auto startBatch = [&](PoolDevice &d, u32 n, TimeNs now) {
         const u32 cls = rpool.front(d.queue).cls;
         const ClassDemand &dem = demand[cls];
-        const auto &sched = d.dev->scheduler();
-        if (tr)
-            d.dev->scheduler().setTraceLimit(4096); // fresh batch
-        const TimeNs t0 = sched.elapsed();
-        const double e0 = sched.energyTotal();
-        const double reload0 =
-            sched.stats().get("pluto.lut_reload.ns");
-        const double tfaw0 =
-            sched.stats().get("dram.tfaw_stall.ns");
+        auto &placement =
+            d.dev->controller().lutPlacement(d.lut.reg);
 
-        // ceil(n / gang) lock-step wave groups through the
-        // scheduler's batch fast path; full gangs occupy gang*lanes
-        // SALP lanes, the remainder group only what it needs.
-        const u32 full = n / gang;
-        const u32 rem = n % gang;
-        if (full > 0)
-            d.dev->lutOpTimedOnly(d.lut, dem.waves * full,
-                                  gang * lanes);
-        if (rem > 0)
-            d.dev->lutOpTimedOnly(d.lut, dem.waves,
-                                  rem * lanes);
-        if (dem.hostNs > 0.0)
-            d.dev->hostWork(dem.hostNs * n);
+        // Signature: class, batch size, and the LUT residency the
+        // batch starts from — the only device state the charge
+        // depends on (the paper's Figure-11 reload cost). The
+        // variant descriptor and gang law are constant per cell, so
+        // they live in the cell identity, not the key.
+        const u64 sig =
+            BatchMemo::signature(cls, n, placement.loaded);
+        i64 idx = memo.find(sig);
+        const bool miss = idx < 0;
+        bool verifySample = false;
+        if (miss) {
+            ++memoMisses;
+        } else {
+            ++memoHits;
+            // Deterministic 1-in-N verification schedule (hits 1,
+            // 1+N, ...), counted in every mode so telemetry is
+            // mode-invariant; only verify mode re-executes.
+            if (memoHits % BatchMemo::kVerifyEveryN == 1) {
+                ++memoVerifyChecks;
+                verifySample = true;
+            }
+        }
 
-        const TimeNs serviceNs = sched.elapsed() - t0;
-        // Decompose the batch's service time for tail attribution:
-        // the scheduler accounts reload latency and tFAW stalls
-        // disjointly, so execution is the exact remainder.
-        const double reloadNs =
-            sched.stats().get("pluto.lut_reload.ns") - reload0;
-        const double tfawNs =
-            sched.stats().get("dram.tfaw_stall.ns") - tfaw0;
+        const bool execute =
+            miss || memoMode == sim::MemoMode::Off ||
+            (memoMode == sim::MemoMode::Verify && verifySample);
+        BatchBundle fresh;
+        if (execute) {
+            // Canonical epoch: every batch charges from a freshly
+            // zeroed scheduler, so the bundle is a pure function of
+            // the signature — FP rounding included — and a replay
+            // is bit-exact.
+            d.dev->resetStats();
+            const auto &sched = d.dev->scheduler();
+            // ceil(n / gang) lock-step wave groups through the
+            // scheduler's batch fast path; full gangs occupy
+            // gang*lanes SALP lanes, the remainder group only what
+            // it needs.
+            const u32 full = n / gang;
+            const u32 rem = n % gang;
+            if (full > 0)
+                d.dev->lutOpTimedOnly(d.lut, dem.waves * full,
+                                      gang * lanes);
+            if (rem > 0)
+                d.dev->lutOpTimedOnly(d.lut, dem.waves,
+                                      rem * lanes);
+            if (dem.hostNs > 0.0)
+                d.dev->hostWork(dem.hostNs * n);
+            fresh.serviceNs = sched.elapsed();
+            fresh.energyPj = sched.energyTotal();
+            // Decompose the batch's service time for tail
+            // attribution: the scheduler accounts reload latency
+            // and tFAW stalls disjointly, so execution is the
+            // exact remainder.
+            fresh.reloadNs =
+                sched.stats().get("pluto.lut_reload.ns");
+            fresh.tfawNs =
+                sched.stats().get("dram.tfaw_stall.ns");
+            fresh.residentAfter = placement.loaded;
+            if (miss || verifySample) {
+                fresh.counters = sched.stats();
+                fresh.trace = sched.trace();
+            } else if (tr) {
+                fresh.trace = sched.trace();
+            }
+            if (miss)
+                idx = static_cast<i64>(
+                    memo.insert(sig, std::move(fresh)));
+            else if (memoMode == sim::MemoMode::Verify &&
+                     verifySample &&
+                     !bundleEquals(
+                         fresh,
+                         memo.entry(static_cast<u32>(idx))
+                             .bundle))
+                panic("service '%s' variant '%s': memo verify "
+                      "mismatch (class %u, batch %u, resident %d): "
+                      "cached bundle differs from the re-executed "
+                      "oracle",
+                      spec_.name.c_str(), variant_.name.c_str(),
+                      cls, n, placement.loaded ? 1 : 0);
+        }
+        const BatchBundle &b =
+            (!miss && memoMode == sim::MemoMode::Off)
+                ? fresh
+                : memo.entry(static_cast<u32>(idx)).bundle;
+        // A replay must advance the residency state machine exactly
+        // as the execution it stands in for would have.
+        if (!execute)
+            placement.loaded = b.residentAfter;
+
+        const TimeNs serviceNs = b.serviceNs;
         if (tr) {
-            // The scheduler clock is contiguous across batches while
-            // the virtual clock has idle gaps, so each command event
-            // maps through the batch's own epoch.
+            // Bundle trace events are epoch-relative (each batch
+            // charges from scheduler time 0), so they map onto the
+            // virtual clock by plain offset.
             const u64 track =
                 tracks[static_cast<std::size_t>(&d - pool.data())];
             tr->virtualSpan(
                 track, mix_[cls].workload, now, serviceNs,
                 {obs::argNum("batch", static_cast<double>(n)),
                  obs::argNum("class", static_cast<double>(cls))});
-            for (const auto &ev : sched.trace())
-                tr->virtualSpan(track, ev.name,
-                                now + (ev.start - t0),
+            for (const auto &ev : b.trace)
+                tr->virtualSpan(track, ev.name, now + ev.start,
                                 ev.end - ev.start);
         }
         d.busy = true;
@@ -282,13 +361,21 @@ ServeSimulator::run(const Calibration *cal, EngineKind engine) const
             evq.schedule(d.freeAt, EvKind::DeviceFree,
                          static_cast<u32>(&d - pool.data()));
         d.busyNs += serviceNs;
-        d.energyPj += sched.energyTotal() - e0;
+        d.energyPj += b.energyPj;
         d.batchDispatchNs = now;
         d.batchAvailNs = d.availAt;
-        d.batchReloadNs = reloadNs;
-        d.batchTfawNs = tfawNs;
+        d.batchReloadNs = b.reloadNs;
+        d.batchTfawNs = b.tfawNs;
         d.batchExecNs =
-            std::max(0.0, serviceNs - reloadNs - tfawNs);
+            std::max(0.0, serviceNs - b.reloadNs - b.tfawNs);
+        {
+            auto &counts = entryCounts[static_cast<std::size_t>(
+                &d - pool.data())];
+            if (counts.size() <= static_cast<std::size_t>(idx))
+                counts.resize(static_cast<std::size_t>(idx) + 1,
+                              0);
+            ++counts[static_cast<std::size_t>(idx)];
+        }
         d.inFlight.clear();
         d.inFlight.reserve(n);
         rpool.forEach(d.queue, n, [&](const Request &r) {
@@ -651,8 +738,33 @@ ServeSimulator::run(const Calibration *cal, EngineKind engine) const
                     static_cast<double>(outcome.sloViolations));
         }
         sh->hist("serve/latency_ms").merge(outcome.latHist);
-        for (const auto &d : pool)
-            sh->absorb("device", d.dev->stats().counters);
+        sh->add("serve/memo/hits", static_cast<double>(memoHits));
+        sh->add("serve/memo/misses",
+                static_cast<double>(memoMisses));
+        sh->add("serve/memo/entries",
+                static_cast<double>(memo.entries().size()));
+        sh->add("serve/memo/verify_checks",
+                static_cast<double>(memoVerifyChecks));
+        sh->gaugeMax("serve/memo/bytes",
+                     static_cast<double>(memo.approxBytes()));
+        // Device counters: fold each device's per-entry occurrence
+        // counts as bundle-delta x count in first-seen entry order.
+        // The sequential per-batch sum would drift in ulps between
+        // executed and replayed runs; this fold is bit-identical
+        // across memo modes by construction.
+        StatSet folded;
+        for (const auto &counts : entryCounts) {
+            folded.clear();
+            for (std::size_t ei = 0; ei < counts.size(); ++ei) {
+                if (counts[ei] == 0)
+                    continue;
+                const double k = static_cast<double>(counts[ei]);
+                for (const auto &[name, value] :
+                     memo.entries()[ei].bundle.counters.counters())
+                    folded.add(name, value * k);
+            }
+            sh->absorb("device", folded);
+        }
     }
     return outcome;
 }

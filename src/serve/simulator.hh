@@ -53,6 +53,8 @@
 namespace pluto::serve
 {
 
+class BatchMemo;
+
 /**
  * Simulation loop implementation. Both produce bit-identical
  * ServiceOutcomes; they differ only in algorithmic cost.
@@ -120,9 +122,19 @@ class ServeSimulator
      * calibration depends only on (variant config, mix), so sweeps
      * over service parameters share one. `engine` selects the loop
      * implementation; outcomes are bit-identical across engines.
+     *
+     * Every batch charges from a canonical scheduler epoch and its
+     * cost bundle is memoized by (class, size, residency) signature
+     * per `spec.memo` (see memo.hh): `on` replays hits in O(1),
+     * `off` executes every batch (the oracle), `verify` replays but
+     * re-executes a deterministic 1-in-N sample and aborts on any
+     * bundle mismatch. Outcomes are bit-identical across all three.
+     * `memo` optionally injects a shared signature table (tests);
+     * it must come from an identical (variant, spec, mix) cell.
      */
     ServiceOutcome run(const Calibration *cal = nullptr,
-                       EngineKind engine = EngineKind::Event) const;
+                       EngineKind engine = EngineKind::Event,
+                       BatchMemo *memo = nullptr) const;
 
     /** Calibrate every class of a mix on one configuration. */
     static Calibration

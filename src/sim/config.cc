@@ -221,6 +221,15 @@ applyServiceKey(ServiceSpec &svc, const std::string &key,
         if (!parseDouble(value, svc.timeseriesMs) ||
             !(svc.timeseriesMs > 0.0))
             return "bad timeseries_ms '" + value + "' (ms > 0)";
+    } else if (key == "memo") {
+        if (value == "on")
+            svc.memo = MemoMode::On;
+        else if (value == "off")
+            svc.memo = MemoMode::Off;
+        else if (value == "verify")
+            svc.memo = MemoMode::Verify;
+        else
+            return "bad memo '" + value + "' (on | off | verify)";
     } else {
         return "unknown service key '" + key + "'";
     }
@@ -386,6 +395,20 @@ batchPolicyName(BatchPolicyKind kind)
         return "window";
       case BatchPolicyKind::Adaptive:
         return "adaptive";
+    }
+    return "?";
+}
+
+const char *
+memoModeName(MemoMode mode)
+{
+    switch (mode) {
+      case MemoMode::On:
+        return "on";
+      case MemoMode::Off:
+        return "off";
+      case MemoMode::Verify:
+        return "verify";
     }
     return "?";
 }

@@ -104,6 +104,21 @@ enum class BatchPolicyKind
 /** @return the INI spelling of a batching policy. */
 const char *batchPolicyName(BatchPolicyKind kind);
 
+/** Batch-signature memoization mode of a service section. */
+enum class MemoMode
+{
+    /** Replay the recorded delta bundle on every signature hit. */
+    On,
+    /** Execute the real device scheduler for every batch (oracle). */
+    Off,
+    /** Replay, but re-execute a deterministic 1-in-N sample of hits
+        and abort if the fresh bundle differs from the cached one. */
+    Verify,
+};
+
+/** @return the INI spelling of a memoization mode. */
+const char *memoModeName(MemoMode mode);
+
 /**
  * One request-level serving experiment (a [service NAME] section).
  * Runs against every device variant of the scenario; the scenario's
@@ -152,6 +167,8 @@ struct ServiceSpec
     double tenantSkew = 0.0;
     /** Virtual-time series window, ms (--timeseries). */
     double timeseriesMs = 1.0;
+    /** Batch-signature memoization mode (`memo = on|off|verify`). */
+    MemoMode memo = MemoMode::On;
 };
 
 /**

@@ -17,6 +17,7 @@
 #include "serve/cache.hh"
 #include "serve/engine.hh"
 #include "serve/loadgen.hh"
+#include "serve/memo.hh"
 #include "serve/policy.hh"
 #include "serve/simulator.hh"
 #include "serve/zipf.hh"
@@ -783,6 +784,119 @@ TEST(ServeSimulator, GsaPaysLutReloadGmcDoesNot)
     EXPECT_GT(b.phaseMs[reload], 0.0);
 }
 
+TEST(ServeSimulator, MemoModesAreBitIdenticalAcrossTheGrid)
+{
+    // memo=on replay and memo=verify sampling must reproduce the
+    // memo=off oracle bit for bit — outcomes, histograms, phase
+    // attribution, tenant digests — across every batching policy,
+    // both designs (GSA exercises the residency component of the
+    // signature: its destructive sweeps flip the placement state
+    // between batches) and both engine kinds.
+    sim::DeviceSpec gmc = testVariant(128);
+    gmc.name = "gmc";
+    sim::DeviceSpec gsa = testVariant(128);
+    gsa.name = "gsa";
+    gsa.config.design = core::Design::Gsa;
+    const auto mix = twoClassMix();
+    const sim::BatchPolicyKind policies[] = {
+        sim::BatchPolicyKind::Immediate,
+        sim::BatchPolicyKind::FixedSize,
+        sim::BatchPolicyKind::TimeWindow,
+        sim::BatchPolicyKind::Adaptive,
+    };
+    u64 cells = 0;
+    for (const auto &variant : {gmc, gsa}) {
+        const auto cal =
+            ServeSimulator::calibrateAll(variant.config, mix);
+        for (const auto policy : policies)
+            for (const auto engine :
+                 {EngineKind::Event, EngineKind::LegacyPolling}) {
+                auto svc = testService(policy, 20000.0);
+                svc.durationMs = 3.0;
+                svc.sloMs = 0.5;
+                SCOPED_TRACE(
+                    "design=" + variant.name + " policy=" +
+                    std::string(sim::batchPolicyName(policy)) +
+                    " engine=" +
+                    (engine == EngineKind::Event ? "event"
+                                                 : "poll"));
+                auto on = svc;
+                on.memo = sim::MemoMode::On;
+                auto off = svc;
+                off.memo = sim::MemoMode::Off;
+                auto verify = svc;
+                verify.memo = sim::MemoMode::Verify;
+                const auto a =
+                    ServeSimulator(variant, on, mix)
+                        .run(&cal, engine);
+                const auto b =
+                    ServeSimulator(variant, off, mix)
+                        .run(&cal, engine);
+                const auto c =
+                    ServeSimulator(variant, verify, mix)
+                        .run(&cal, engine);
+                ASSERT_GT(a.requests, 0u);
+                expectSameOutcome(a, b);
+                expectSameOutcome(a, c);
+                ++cells;
+            }
+    }
+    EXPECT_EQ(cells, 16u);
+}
+
+TEST(ServeSimulator, SharedMemoReplaysWithoutNewEntries)
+{
+    // A second run over the same signature stream must find every
+    // bundle already recorded: the table stops growing, and the
+    // replayed outcome still matches the first run bit for bit.
+    const auto variant = testVariant(128);
+    auto svc = testService(sim::BatchPolicyKind::Adaptive, 20000.0);
+    svc.durationMs = 3.0;
+    const auto mix = twoClassMix();
+    const auto cal =
+        ServeSimulator::calibrateAll(variant.config, mix);
+    ServeSimulator sim(variant, svc, mix);
+    BatchMemo memo;
+    const auto a = sim.run(&cal, EngineKind::Event, &memo);
+    ASSERT_GT(a.requests, 0u);
+    const auto entries = memo.entries().size();
+    ASSERT_GT(entries, 0u);
+    EXPECT_GT(memo.approxBytes(), 0u);
+    const auto b = sim.run(&cal, EngineKind::Event, &memo);
+    EXPECT_EQ(memo.entries().size(), entries);
+    expectSameOutcome(a, b);
+}
+
+TEST(ServeSimulatorDeathTest, VerifyModeDetectsACorruptedBundle)
+{
+    // verify mode re-executes a deterministic sample of hits (the
+    // first hit of a run is always sampled) and must abort loudly
+    // when the cached bundle no longer matches the oracle.
+    const auto variant = testVariant(128);
+    auto svc = testService(sim::BatchPolicyKind::Adaptive, 20000.0);
+    svc.durationMs = 2.0;
+    svc.memo = sim::MemoMode::Verify;
+    const auto mix = twoClassMix();
+    const auto cal =
+        ServeSimulator::calibrateAll(variant.config, mix);
+    ServeSimulator sim(variant, svc, mix);
+    BatchMemo memo;
+    sim.run(&cal, EngineKind::Event, &memo);
+    ASSERT_GT(memo.entries().size(), 0u);
+    memo.corruptForTests(1.0);
+    EXPECT_DEATH(sim.run(&cal, EngineKind::Event, &memo),
+                 "memo verify mismatch");
+}
+
+TEST(BatchMemo, SignaturesSeparateClassSizeAndResidency)
+{
+    const u64 base = BatchMemo::signature(3, 17, false);
+    EXPECT_EQ(base, BatchMemo::signature(3, 17, false));
+    EXPECT_NE(base, BatchMemo::signature(4, 17, false));
+    EXPECT_NE(base, BatchMemo::signature(3, 18, false));
+    EXPECT_NE(base, BatchMemo::signature(3, 17, true));
+}
+
 TEST(ServiceCache, RoundTripsOutcomesBitIdentically)
 {
     namespace fs = std::filesystem;
@@ -929,6 +1043,18 @@ TEST(ServiceCache, KeySeparatesSpecsAndMixes)
     auto mix3 = mix;
     mix3[0].sloMs = 1.5;
     EXPECT_NE(base, ServiceCache::key(dev, svc, mix3));
+
+    // Memo modes key separately even though their outcomes agree: a
+    // verify-mode cell must actually verify, not replay an on-mode
+    // cache line.
+    sim::ServiceSpec svc7 = svc;
+    svc7.memo = sim::MemoMode::Off;
+    EXPECT_NE(base, ServiceCache::key(dev, svc7, mix));
+    sim::ServiceSpec svc8 = svc;
+    svc8.memo = sim::MemoMode::Verify;
+    EXPECT_NE(base, ServiceCache::key(dev, svc8, mix));
+    EXPECT_NE(ServiceCache::key(dev, svc7, mix),
+              ServiceCache::key(dev, svc8, mix));
 }
 
 } // namespace

@@ -174,11 +174,13 @@ window_ms = 0.25
 devices = 3
 lanes = 32
 seed = 9
+memo = verify
 [service cl]
 mode = closed
 clients = 24
 think_ms = 1.5
 policy = fixed
+memo = off
 )",
                                       err);
     ASSERT_TRUE(cfg) << err;
@@ -199,11 +201,13 @@ policy = fixed
     EXPECT_EQ(sat.devices, 3u);
     EXPECT_EQ(sat.lanes, 32u);
     EXPECT_EQ(sat.seed, 9u);
+    EXPECT_EQ(sat.memo, MemoMode::Verify);
     const ServiceSpec &cl = cfg->services[1];
     EXPECT_TRUE(cl.closedLoop);
     EXPECT_EQ(cl.clients, 24u);
     EXPECT_DOUBLE_EQ(cl.thinkMs, 1.5);
     EXPECT_EQ(cl.policy, BatchPolicyKind::FixedSize);
+    EXPECT_EQ(cl.memo, MemoMode::Off);
 
     // 1 implicit variant x 2 services.
     EXPECT_EQ(cfg->totalServiceRuns(), 2u);
@@ -334,6 +338,8 @@ INSTANTIATE_TEST_SUITE_P(
                 "bad batch"},
         BadCase{"[workload ADD4]\n[service a]\ndevices = 0\n",
                 "bad devices"},
+        BadCase{"[workload ADD4]\n[service a]\nmemo = maybe\n",
+                "bad memo"},
         BadCase{"[workload ADD4]\n[service a]\nwarp = 9\n",
                 "unknown service key"},
         BadCase{"[workload ADD4]\n[service a]\n[service a]\n",
